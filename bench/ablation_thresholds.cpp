@@ -1,0 +1,53 @@
+// Ablation bench: sensitivity of the paper's headline results to its three
+// methodological constants — the 30 s session-concatenation gap (S3), the
+// 600 s truncation cap (S3) and the 80% busy-PRB threshold (S4.3). The
+// paper fixes these by judgement; this bench shows how the conclusions move
+// as they vary.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/busy_time.h"
+#include "core/cell_sessions.h"
+#include "core/connected_time.h"
+#include "core/handover.h"
+
+int main() {
+  using namespace ccms;
+  bench::print_header(
+      "Ablation: sensitivity to the 30 s gap / 600 s cap / 80% busy "
+      "threshold",
+      "(methodology constants fixed by judgement in S3/S4.3)");
+
+  const bench::BenchStudy bench = bench::make_bench_study();
+
+  std::printf("\n-- truncation cap (S3; paper uses 600 s) --\n");
+  std::printf("cap_s,mean_connected_pct,mean_session_s\n");
+  for (const std::int32_t cap : {150, 300, 600, 1200, 2400}) {
+    const auto ct = core::analyze_connected_time(bench.cleaned, cap);
+    const auto cs = core::analyze_cell_sessions(bench.cleaned, cap);
+    std::printf("%d,%.2f,%.0f\n", cap, ct.mean_truncated * 100,
+                cs.mean_truncated);
+  }
+
+  std::printf("\n-- session gap for handover accounting (S4.5; paper uses "
+              "600 s) --\n");
+  std::printf("gap_s,sessions,median_handovers,p70,p90\n");
+  for (const time::Seconds gap : {30, 120, 300, 600, 1200}) {
+    const auto h =
+        core::analyze_handovers(bench.cleaned, bench.study.topology.cells(),
+                                gap);
+    std::printf("%lld,%llu,%.0f,%.0f,%.0f\n", static_cast<long long>(gap),
+                static_cast<unsigned long long>(h.session_count), h.median,
+                h.p70, h.p90);
+  }
+
+  std::printf("\n-- busy-PRB threshold (S4.3; paper uses 80%%) --\n");
+  std::printf("threshold,cars_over_half_busy_pct,median_busy_share_pct\n");
+  for (const double threshold : {0.6, 0.7, 0.8, 0.9}) {
+    const auto busy =
+        core::analyze_busy_time(bench.cleaned, bench.load, threshold);
+    std::printf("%.0f%%,%.2f,%.1f\n", threshold * 100,
+                busy.fraction_over_half * 100, busy.shares.median() * 100);
+  }
+  return 0;
+}

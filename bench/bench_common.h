@@ -1,0 +1,64 @@
+// Shared setup for the per-figure/table bench binaries.
+//
+// Every binary simulates the same synthetic study (paper-default config,
+// scaled by env vars) and prints its figure/table next to the paper's
+// reported values. Env overrides:
+//   CCMS_CARS  fleet size         (default 2500)
+//   CCMS_DAYS  study length       (default 90)
+//   CCMS_SEED  master seed        (default 20170901)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cdr/clean.h"
+#include "core/load_view.h"
+#include "sim/simulator.h"
+
+namespace ccms::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// The simulated study plus its cleaned dataset and load view.
+struct BenchStudy {
+  sim::Study study;
+  core::CellLoad load;
+  cdr::CleanReport clean_report;
+  cdr::Dataset cleaned;
+};
+
+inline sim::SimConfig bench_config() {
+  sim::SimConfig config = sim::SimConfig::paper_default();
+  config.fleet.size = env_int("CCMS_CARS", 2500);
+  config.study_days = env_int("CCMS_DAYS", 90);
+  config.seed = static_cast<std::uint64_t>(env_int("CCMS_SEED", 20170901));
+  return config;
+}
+
+inline BenchStudy make_bench_study() {
+  const sim::SimConfig config = bench_config();
+  std::cerr << "[bench] simulating " << config.fleet.size << " cars x "
+            << config.study_days << " days (seed " << config.seed
+            << "; override with CCMS_CARS/CCMS_DAYS/CCMS_SEED)...\n";
+  sim::Study study = sim::simulate(config);
+  core::CellLoad load = core::CellLoad::from_background(study.background);
+  cdr::CleanReport report;
+  cdr::Dataset cleaned = cdr::clean(study.raw, {}, report);
+  std::cerr << "[bench] " << study.raw.size() << " raw records, "
+            << report.total_removed() << " removed by cleaning\n";
+  return BenchStudy{std::move(study), std::move(load), report,
+                    std::move(cleaned)};
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::cout << "==================================================\n"
+            << experiment << "\n"
+            << "paper: " << paper_claim << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace ccms::bench

@@ -1,0 +1,50 @@
+// Figure 2: "Number of cars that appear on the network is relatively
+// consistent over the days throughout the study."
+//
+// Prints the per-day % of cars and % of cells series with OLS trend lines
+// (the paper annotates y = 0.0003x + 0.6448, R^2 = 0.0333 for cells and
+// y = 7e-05x + 0.7566, R^2 = 0.001 for cars) and renders both series.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/presence.h"
+#include "core/report.h"
+#include "util/ascii_plot.h"
+
+int main() {
+  using namespace ccms;
+  bench::print_header(
+      "Figure 2: cars and cells on the network per day",
+      "weekly dips on weekends; slow upward trend; 3 data-loss days dip");
+
+  const bench::BenchStudy bench = bench::make_bench_study();
+  const core::DailyPresence presence = core::analyze_presence(bench.cleaned);
+
+  std::printf("day,weekday,pct_cars,pct_cells\n");
+  for (std::size_t d = 0; d < presence.cars_fraction.size(); ++d) {
+    std::printf("%zu,%s,%.4f,%.4f\n", d,
+                time::name(time::weekday(static_cast<time::Seconds>(d) *
+                                         time::kSecondsPerDay)),
+                presence.cars_fraction[d], presence.cells_fraction[d]);
+  }
+
+  std::vector<util::Series> series(2);
+  series[0].glyph = 'c';
+  series[0].name = "% cars";
+  series[1].glyph = 'x';
+  series[1].name = "% cells";
+  for (std::size_t d = 0; d < presence.cars_fraction.size(); ++d) {
+    series[0].points.push_back(
+        {static_cast<double>(d), presence.cars_fraction[d]});
+    series[1].points.push_back(
+        {static_cast<double>(d), presence.cells_fraction[d]});
+  }
+  util::PlotOptions options;
+  options.y_min = 0.4;
+  options.y_max = 1.0;
+  options.x_label = "day of the study period";
+  std::printf("\n%s\n", util::render_lines(series, options).c_str());
+
+  core::print_presence(std::cout, presence);
+  return 0;
+}

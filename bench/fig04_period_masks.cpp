@@ -1,0 +1,38 @@
+// Figure 4: "Significant time ranges in the week" — the commute-peak,
+// network-peak and weekend 24x7 masks the paper encodes (these are
+// definitions from known load data, not measurements).
+#include <cstdio>
+
+#include "core/usage_matrix.h"
+#include "util/ascii_plot.h"
+
+namespace {
+
+void print_mask(const char* title, const ccms::core::Matrix24x7& mask) {
+  std::printf("\n%s\n", title);
+  std::vector<double> values(mask.values.begin(), mask.values.end());
+  std::printf("%s", ccms::util::render_matrix24x7(values).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccms;
+  std::printf(
+      "==================================================\n"
+      "Figure 4: significant time ranges in the week\n"
+      "paper: commute peaks Mon-Fri 7-9 & 16-18; network peak 14-24 daily;\n"
+      "       weekend daytime block\n"
+      "==================================================\n");
+
+  print_mask("Commute peak times", core::commute_peak_mask());
+  print_mask("Network peak times", core::network_peak_mask());
+  print_mask("Weekend times", core::weekend_mask());
+
+  // Mask sizes as a sanity row.
+  std::printf("\nmask,hours_per_week\ncommute,%.0f\nnetwork_peak,%.0f\n"
+              "weekend,%.0f\n",
+              core::commute_peak_mask().sum(), core::network_peak_mask().sum(),
+              core::weekend_mask().sum());
+  return 0;
+}

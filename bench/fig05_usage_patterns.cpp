@@ -1,0 +1,66 @@
+// Figure 5: "Usage patterns from 3 sample cars" — 24x7 connection-frequency
+// matrices for three behaviourally distinct cars: a network-peak commuter, a
+// heavy all-week user, and a strict early commuter with weekend structure.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/usage_matrix.h"
+#include "fleet/archetype.h"
+#include "util/ascii_plot.h"
+
+int main() {
+  using namespace ccms;
+  bench::print_header(
+      "Figure 5: 24x7 usage matrices of 3 sample cars",
+      "left: weekday busy-hour car; middle: heavy user; right: strict "
+      "commuter with predictable weekend usage");
+
+  const bench::BenchStudy bench = bench::make_bench_study();
+
+  // Pick exemplars by archetype, preferring cars with many records.
+  auto best_of = [&](fleet::Archetype archetype) -> const fleet::CarProfile* {
+    const fleet::CarProfile* best = nullptr;
+    std::size_t best_records = 0;
+    for (const fleet::CarProfile& car : bench.study.fleet) {
+      if (car.archetype != archetype) continue;
+      const auto n = bench.cleaned.of_car(car.id).size();
+      if (n > best_records) {
+        best_records = n;
+        best = &car;
+      }
+    }
+    return best;
+  };
+
+  const struct {
+    const char* label;
+    fleet::Archetype archetype;
+  } picks[3] = {
+      {"flex commuter (busy-hour usage)", fleet::Archetype::kFlexCommuter},
+      {"heavy user (all week)", fleet::Archetype::kHeavyUser},
+      {"regular commuter (strict pattern)",
+       fleet::Archetype::kRegularCommuter},
+  };
+
+  for (const auto& pick : picks) {
+    const fleet::CarProfile* car = best_of(pick.archetype);
+    if (car == nullptr) continue;
+    const auto records = bench.cleaned.of_car(car->id);
+    const core::Matrix24x7 matrix =
+        core::usage_matrix(records, car->tz_offset_hours);
+    std::printf("\ncar %u - %s (%zu records)\n", car->id.value, pick.label,
+                records.size());
+    std::vector<double> values(matrix.values.begin(), matrix.values.end());
+    std::printf("%s", util::render_matrix24x7(values).c_str());
+    std::printf(
+        "regularity score %.2f | activity share: commute-peak %.0f%%, "
+        "network-peak %.0f%%, weekend %.0f%%\n",
+        core::regularity_score(records, bench.cleaned.study_days(),
+                               car->tz_offset_hours),
+        matrix.fraction_in(core::commute_peak_mask()) * 100,
+        matrix.fraction_in(core::network_peak_mask()) * 100,
+        matrix.fraction_in(core::weekend_mask()) * 100);
+  }
+
+  return 0;
+}

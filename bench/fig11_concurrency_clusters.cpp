@@ -1,0 +1,57 @@
+// Figure 11: "Concurrent cars on all busy radios" — k-means (k=2) over the
+// 96-bin daily concurrency vectors of all cells with weekly average PRB >=
+// 70%. The paper finds a large cluster of low-concurrency busy radios and a
+// ~4x smaller cluster with ~5x the concurrent cars.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/clustering.h"
+#include "core/report.h"
+#include "util/ascii_plot.h"
+
+int main() {
+  using namespace ccms;
+  bench::print_header(
+      "Figure 11: k-means clusters of busy radios' daily concurrency",
+      "2 clusters, same diurnal shape; cluster 2 ~5x the cars, cluster 1 ~4x "
+      "the cells");
+
+  const bench::BenchStudy bench = bench::make_bench_study();
+  const core::ConcurrencyGrid grid = core::ConcurrencyGrid::build(bench.cleaned);
+  const core::ConcurrencyClusters result =
+      core::cluster_busy_cells(grid, bench.load);
+
+  core::print_clusters(std::cout, result);
+
+  std::printf("\nbin_of_day");
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    std::printf(",cluster%zu_cars", c + 1);
+  }
+  std::printf("\n");
+  for (int bin = 0; bin < time::kBins15PerDay; ++bin) {
+    std::printf("%d", bin);
+    for (const auto& cluster : result.clusters) {
+      std::printf(",%.3f", cluster.centroid[static_cast<std::size_t>(bin)]);
+    }
+    std::printf("\n");
+  }
+
+  std::vector<util::Series> series;
+  const char glyphs[] = {'1', '2', '3', '4'};
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    util::Series s;
+    s.glyph = glyphs[c % 4];
+    s.name = "cluster " + std::to_string(c + 1) + " centroid";
+    for (int bin = 0; bin < time::kBins15PerDay; ++bin) {
+      s.points.push_back(
+          {static_cast<double>(bin),
+           result.clusters[c].centroid[static_cast<std::size_t>(bin)]});
+    }
+    series.push_back(std::move(s));
+  }
+  util::PlotOptions options;
+  options.x_label = "15-min bin of day";
+  options.y_label = "average concurrent cars";
+  std::printf("\n%s", util::render_lines(series, options).c_str());
+  return 0;
+}

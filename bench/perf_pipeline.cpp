@@ -1,0 +1,174 @@
+// google-benchmark microbenchmarks of the analysis pipeline itself: how fast
+// the library chews through CDRs. (The per-figure binaries measure fidelity;
+// this one measures throughput.)
+#include <benchmark/benchmark.h>
+
+#include "cdr/clean.h"
+#include "cdr/session.h"
+#include "core/busy_time.h"
+#include "core/concurrency.h"
+#include "core/connected_time.h"
+#include "core/presence.h"
+#include "sim/simulator.h"
+#include "stats/kmeans.h"
+#include "stats/p2_quantile.h"
+#include "stats/quantile.h"
+
+namespace {
+
+using namespace ccms;
+
+const sim::Study& shared_study() {
+  static const sim::Study study = [] {
+    sim::SimConfig config;
+    config.fleet.size = 400;
+    config.study_days = 28;
+    config.topology.grid_width = 16;
+    config.topology.grid_height = 16;
+    return sim::simulate(config);
+  }();
+  return study;
+}
+
+void BM_Simulate(benchmark::State& state) {
+  sim::SimConfig config;
+  config.fleet.size = static_cast<int>(state.range(0));
+  config.study_days = 14;
+  config.topology.grid_width = 16;
+  config.topology.grid_height = 16;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    const sim::Study study = sim::simulate(config);
+    records = study.raw.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulate)->Arg(100)->Arg(400);
+
+void BM_Clean(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  for (auto _ : state) {
+    cdr::CleanReport report;
+    const cdr::Dataset cleaned = cdr::clean(study.raw, {}, report);
+    benchmark::DoNotOptimize(cleaned.size());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(study.raw.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Clean);
+
+void BM_SessionAggregation(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  const auto gap = static_cast<time::Seconds>(state.range(0));
+  for (auto _ : state) {
+    std::size_t sessions = 0;
+    study.raw.for_each_car(
+        [&](CarId, std::span<const cdr::Connection> conns) {
+          sessions += cdr::aggregate_sessions(conns, gap).size();
+        });
+    benchmark::DoNotOptimize(sessions);
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(study.raw.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionAggregation)->Arg(30)->Arg(600);
+
+void BM_UnionConnectedTime(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  for (auto _ : state) {
+    const auto ct = core::analyze_connected_time(study.raw);
+    benchmark::DoNotOptimize(ct.mean_full);
+  }
+}
+BENCHMARK(BM_UnionConnectedTime);
+
+void BM_Presence(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  for (auto _ : state) {
+    const auto presence = core::analyze_presence(study.raw);
+    benchmark::DoNotOptimize(presence.cars_overall.mean);
+  }
+}
+BENCHMARK(BM_Presence);
+
+void BM_BusyTime(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  const auto load = core::CellLoad::from_background(study.background);
+  for (auto _ : state) {
+    const auto busy = core::analyze_busy_time(study.raw, load);
+    benchmark::DoNotOptimize(busy.fraction_over_half);
+  }
+}
+BENCHMARK(BM_BusyTime);
+
+void BM_ConcurrencyGrid(benchmark::State& state) {
+  const sim::Study& study = shared_study();
+  for (auto _ : state) {
+    const auto grid = core::ConcurrencyGrid::build(study.raw);
+    benchmark::DoNotOptimize(grid.cells().size());
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(study.raw.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConcurrencyGrid);
+
+void BM_KMeans96d(benchmark::State& state) {
+  // Fig 11's workload shape: N 96-dim vectors, k = 2.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v(96);
+    const double level = i % 5 == 0 ? 8.0 : 1.5;
+    for (auto& x : v) x = level + rng.normal(0, 0.4);
+    points.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    util::Rng krng(11);
+    const auto result = stats::kmeans(points, {.k = 2}, krng);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+BENCHMARK(BM_KMeans96d)->Arg(100)->Arg(1000);
+
+void BM_QuantileExact(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.lognormal_median(105.0, 1.2);
+  for (auto _ : state) {
+    auto copy = sample;
+    const stats::EmpiricalDistribution dist(std::move(copy));
+    benchmark::DoNotOptimize(dist.quantile(0.73));
+  }
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(sample.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QuantileExact)->Arg(100000)->Arg(1000000);
+
+void BM_QuantileP2(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.lognormal_median(105.0, 1.2);
+  for (auto _ : state) {
+    stats::P2Quantile est(0.73);
+    for (const double x : sample) est.add(x);
+    benchmark::DoNotOptimize(est.value());
+  }
+  state.counters["values/s"] = benchmark::Counter(
+      static_cast<double>(sample.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QuantileP2)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Table 3: "Carrier use of connected cars" — % of cars that ever connect to
+// each carrier C1..C5 and % of total connected time per carrier.
+#include "bench_common.h"
+#include "core/carrier_usage.h"
+#include "core/report.h"
+
+int main() {
+  using namespace ccms;
+  bench::print_header(
+      "Table 3: carrier use of connected cars",
+      "cars: 98.7/89.2/98.7/80.8/0.006 %; time: 18.6/7.4/51.9/22.1/~0 % - "
+      "C3+C4 carry ~75% of connected time");
+
+  const bench::BenchStudy bench = bench::make_bench_study();
+  const core::CarrierUsage usage =
+      core::analyze_carrier_usage(bench.cleaned, bench.study.topology.cells());
+  core::print_carriers(std::cout, usage);
+  return 0;
+}

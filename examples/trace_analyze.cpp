@@ -1,0 +1,105 @@
+// trace_analyze: run the cell-independent analyses on ANY CDR CSV file —
+// the path a downstream user takes with their own trace export.
+//
+// Usage:
+//   trace_analyze <cdr.csv>          analyze an existing trace
+//   trace_analyze --demo [path]      write a demo trace first, then analyze
+//
+// Input schema (see cdr::write_csv): car,cell,start_s,duration_s with an
+// optional "#fleet_size=N,study_days=M" metadata row. Analyses that need
+// the radio topology or PRB grid (busy-hour, handover typing, carrier
+// shares) require the simulator study; everything here runs from the
+// records alone.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cdr/clean.h"
+#include "cdr/io.h"
+#include "cdr/session.h"
+#include "core/cell_sessions.h"
+#include "core/connected_time.h"
+#include "core/days_histogram.h"
+#include "core/presence.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace ccms;
+
+  std::string path;
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
+    path = argc >= 3 ? argv[2] : "/tmp/ccms_demo_trace.csv";
+    sim::SimConfig config = sim::SimConfig::quick();
+    config.fleet.size = 400;
+    config.study_days = 30;
+    const sim::Study study = sim::simulate(config);
+    cdr::write_csv(study.raw, path);
+    std::printf("wrote demo trace: %s (%zu records)\n\n", path.c_str(),
+                study.raw.size());
+  } else if (argc >= 2) {
+    path = argv[1];
+  } else {
+    std::fprintf(stderr, "usage: %s <cdr.csv> | --demo [path]\n", argv[0]);
+    return 2;
+  }
+
+  cdr::Dataset raw;
+  try {
+    raw = cdr::read_csv(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("loaded %zu records, fleet size %u, %d study days, %zu cells\n",
+              raw.size(), raw.fleet_size(), raw.study_days(),
+              raw.distinct_cells());
+
+  cdr::CleanReport clean_report;
+  const cdr::Dataset cleaned = cdr::clean(raw, {}, clean_report);
+  std::printf("cleaning: removed %zu records (%zu exactly-1-hour "
+              "artifacts, %zu non-positive, %zu implausible)\n\n",
+              clean_report.total_removed(),
+              clean_report.hour_artifacts_removed,
+              clean_report.nonpositive_removed,
+              clean_report.implausible_removed);
+
+  const core::DailyPresence presence = core::analyze_presence(cleaned);
+  std::printf("daily presence: %.1f%% of cars on the network per day "
+              "(stdev %.1f%%), %.1f%% of cells touched per day\n",
+              presence.cars_overall.mean * 100,
+              presence.cars_overall.stdev * 100,
+              presence.cells_overall.mean * 100);
+
+  const core::ConnectedTime ct = core::analyze_connected_time(cleaned);
+  std::printf("connected time: mean %.1f%% of the study (%.1f%% truncated), "
+              "p99.5 %.1f%%\n",
+              ct.mean_full * 100, ct.mean_truncated * 100,
+              ct.p995_full * 100);
+
+  const core::DaysOnNetwork days = core::analyze_days_on_network(cleaned);
+  std::size_t rare10 = 0;
+  for (const int d : days.days_per_car) rare10 += d <= 10;
+  std::printf("days on network: knee at %d days; %.1f%% of cars rare "
+              "(<=10 days)\n",
+              days.knee_days,
+              100.0 * static_cast<double>(rare10) /
+                  std::max<std::size_t>(1, days.days_per_car.size()));
+
+  const core::CellSessionStats sessions = core::analyze_cell_sessions(cleaned);
+  std::printf("per-cell connections: median %.0f s, mean %.0f s, "
+              "%.0f%% complete within 600 s\n",
+              sessions.median, sessions.mean_full,
+              sessions.cdf_at_cap * 100);
+
+  // Journey structure without cell metadata: session and leg counts.
+  std::size_t journeys = 0, legs = 0;
+  cleaned.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
+    const auto s = cdr::aggregate_sessions(conns, cdr::kJourneyGap);
+    journeys += s.size();
+    for (const auto& session : s) legs += session.legs.size();
+  });
+  std::printf("journeys (10-min gap): %zu, averaging %.1f connections each\n",
+              journeys,
+              journeys > 0 ? static_cast<double>(legs) / journeys : 0.0);
+  return 0;
+}

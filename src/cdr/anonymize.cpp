@@ -1,0 +1,56 @@
+#include "cdr/anonymize.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccms::cdr {
+
+namespace {
+
+/// The salt's full permutation of [0, fleet_size): Fisher-Yates driven by a
+/// seeded generator. O(fleet) once per export.
+std::vector<std::uint32_t> permutation(std::uint32_t fleet_size,
+                                       std::uint64_t salt) {
+  std::vector<std::uint32_t> p(fleet_size);
+  std::iota(p.begin(), p.end(), 0u);
+  util::Rng rng(salt ^ 0xA4049'5A17ULL);
+  rng.shuffle(p);
+  return p;
+}
+
+}  // namespace
+
+CarId pseudonym(CarId car, std::uint32_t fleet_size, std::uint64_t salt) {
+  if (fleet_size == 0 || car.value >= fleet_size) return car;
+  return CarId{permutation(fleet_size, salt)[car.value]};
+}
+
+Dataset anonymize(const Dataset& input, const AnonymizeOptions& options) {
+  const std::vector<std::uint32_t> p =
+      permutation(input.fleet_size(), options.salt);
+
+  time::Seconds shift = 0;
+  if (options.shift_time && options.max_shift_weeks > 0) {
+    util::Rng rng(options.salt ^ 0x7135'F00DULL);
+    shift = rng.uniform_int(0, options.max_shift_weeks) *
+            time::kSecondsPerWeek;
+  }
+
+  Dataset output;
+  output.reserve(input.size());
+  output.set_fleet_size(input.fleet_size());
+  // A week shift extends the window by whole weeks.
+  output.set_study_days(input.study_days() +
+                        static_cast<int>(shift / time::kSecondsPerDay));
+  for (Connection c : input.all()) {
+    if (c.car.value < p.size()) c.car = CarId{p[c.car.value]};
+    c.start += shift;
+    output.add(c);
+  }
+  output.finalize();
+  return output;
+}
+
+}  // namespace ccms::cdr

@@ -1,0 +1,45 @@
+// CDR anonymization.
+//
+// §3: "These records are anonymized and aggregated and do not contain
+// sensitive personal or identifiable information." Operators exporting CDRs
+// apply exactly the transforms implemented here before the records leave the
+// network:
+//   - car ids are replaced by a salted pseudorandom permutation (stable
+//     within one export: the same car keeps one pseudonym, so longitudinal
+//     analyses still work, but pseudonyms cannot be linked across exports
+//     with different salts),
+//   - optionally, all timestamps are shifted by a salt-derived global offset
+//     of whole weeks, which preserves every analysis in this library
+//     (day-of-week, hour, bin-of-week are week-periodic) while decoupling
+//     the export from calendar dates.
+#pragma once
+
+#include <cstdint>
+
+#include "cdr/dataset.h"
+
+namespace ccms::cdr {
+
+/// Options for anonymization.
+struct AnonymizeOptions {
+  std::uint64_t salt = 1;
+  /// Also shift all timestamps by a salt-derived number of whole weeks.
+  bool shift_time = false;
+  /// Maximum shift magnitude in weeks (the actual shift is salt-derived in
+  /// [0, max_shift_weeks]).
+  int max_shift_weeks = 4;
+};
+
+/// Returns an anonymized copy of `input` (finalized). The car-id mapping is
+/// a permutation of [0, fleet_size), so fleet-level percentages are
+/// unchanged.
+[[nodiscard]] Dataset anonymize(const Dataset& input,
+                                const AnonymizeOptions& options);
+
+/// The pseudonym `car` receives under `salt` for a fleet of `fleet_size`
+/// (exposed so tests and re-identification audits can verify the mapping is
+/// a bijection).
+[[nodiscard]] CarId pseudonym(CarId car, std::uint32_t fleet_size,
+                              std::uint64_t salt);
+
+}  // namespace ccms::cdr

@@ -1,0 +1,74 @@
+#include "cdr/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccms::cdr {
+
+void Dataset::add(const Connection& c) {
+  records_.push_back(c);
+  finalized_ = false;
+}
+
+void Dataset::add(std::span<const Connection> records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+  finalized_ = false;
+}
+
+void Dataset::finalize() {
+  if (finalized_) return;
+  std::sort(records_.begin(), records_.end(), ByCarThenStart{});
+
+  // Per-car offset table. Car ids are dense in practice; the table has one
+  // slot per id up to the max observed (or declared fleet size).
+  std::uint32_t max_car = 0;
+  time::Seconds max_end = 0;
+  for (const Connection& c : records_) {
+    max_car = std::max(max_car, c.car.value);
+    max_end = std::max(max_end, c.end());
+  }
+  if (!records_.empty() && fleet_size_ < max_car + 1) {
+    fleet_size_ = max_car + 1;
+  }
+  if (study_days_ == 0 && max_end > 0) {
+    study_days_ = static_cast<int>(
+        (max_end + time::kSecondsPerDay - 1) / time::kSecondsPerDay);
+  }
+
+  car_offsets_.assign(static_cast<std::size_t>(fleet_size_) + 1, 0);
+  for (const Connection& c : records_) {
+    ++car_offsets_[c.car.value + 1];
+  }
+  std::partial_sum(car_offsets_.begin(), car_offsets_.end(),
+                   car_offsets_.begin());
+
+  // By-cell permutation.
+  by_cell_.resize(records_.size());
+  std::iota(by_cell_.begin(), by_cell_.end(), 0u);
+  std::sort(by_cell_.begin(), by_cell_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return ByCellThenStart{}(records_[a], records_[b]);
+            });
+
+  finalized_ = true;
+}
+
+std::span<const Connection> Dataset::of_car(CarId car) const {
+  if (car.value >= fleet_size_ || car_offsets_.empty()) return {};
+  const auto lo = car_offsets_[car.value];
+  const auto hi = car_offsets_[car.value + 1];
+  return {records_.data() + lo, hi - lo};
+}
+
+void Dataset::set_fleet_size(std::uint32_t n) {
+  fleet_size_ = n;
+  finalized_ = false;
+}
+
+std::size_t Dataset::distinct_cells() const {
+  std::size_t count = 0;
+  for_each_cell([&count](CellId, std::span<const std::uint32_t>) { ++count; });
+  return count;
+}
+
+}  // namespace ccms::cdr

@@ -1,0 +1,107 @@
+// In-memory CDR dataset with per-car and per-cell access paths.
+//
+// The paper's pipeline reads the whole 90-day trace repeatedly from two
+// directions: grouped by car (connected time, usage matrices, segmentation,
+// handovers, carrier usage) and grouped by cell (session durations,
+// concurrency, clustering). The Dataset stores records once, sorted by
+// (car, start), plus an index permutation sorted by (cell, start).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cdr/record.h"
+
+namespace ccms::cdr {
+
+/// Owning container of connection records.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Appends a record. Call finalize() before reading.
+  void add(const Connection& c);
+
+  /// Bulk append.
+  void add(std::span<const Connection> records);
+
+  /// Reserve capacity for `n` records.
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Sorts and builds indexes. Must be called after the last add() and
+  /// before any accessor; idempotent.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// All records in (car, start) order.
+  [[nodiscard]] std::span<const Connection> all() const { return records_; }
+
+  /// Records of one car, in start order. Empty span for cars with no
+  /// records. Requires finalize().
+  [[nodiscard]] std::span<const Connection> of_car(CarId car) const;
+
+  /// Number of distinct car ids that could appear: max id + 1 (cars with no
+  /// records still count toward fleet-level percentages if the caller says
+  /// so via set_fleet_size).
+  [[nodiscard]] std::uint32_t fleet_size() const { return fleet_size_; }
+
+  /// Declares the true fleet size (>= max car id + 1). Percentages like
+  /// "% cars on network" (Fig 2) are relative to this.
+  void set_fleet_size(std::uint32_t n);
+
+  /// Number of study days covered; defaults to ceil(max end / day) but can
+  /// be pinned by the simulator / importer.
+  [[nodiscard]] int study_days() const { return study_days_; }
+  void set_study_days(int days) { study_days_ = days; }
+
+  /// Number of distinct cells referenced by at least one record.
+  [[nodiscard]] std::size_t distinct_cells() const;
+
+  /// One cell's records in start order (via the by-cell permutation).
+  /// `for_each_cell` visits every cell that has records, ascending by cell
+  /// id, passing (cell, span of indices into all()).
+  template <typename F>
+  void for_each_cell(F&& f) const {
+    std::size_t i = 0;
+    while (i < by_cell_.size()) {
+      const CellId cell = records_[by_cell_[i]].cell;
+      std::size_t j = i;
+      while (j < by_cell_.size() && records_[by_cell_[j]].cell == cell) ++j;
+      f(cell, std::span<const std::uint32_t>(by_cell_.data() + i, j - i));
+      i = j;
+    }
+  }
+
+  /// Record by storage index (used with for_each_cell's index spans).
+  [[nodiscard]] const Connection& at(std::uint32_t index) const {
+    return records_[index];
+  }
+
+  /// Visits every car that has records, ascending, passing
+  /// (car, span of its records).
+  template <typename F>
+  void for_each_car(F&& f) const {
+    std::size_t i = 0;
+    while (i < records_.size()) {
+      const CarId car = records_[i].car;
+      std::size_t j = i;
+      while (j < records_.size() && records_[j].car == car) ++j;
+      f(car, std::span<const Connection>(records_.data() + i, j - i));
+      i = j;
+    }
+  }
+
+ private:
+  std::vector<Connection> records_;
+  std::vector<std::uint32_t> by_cell_;      // permutation: (cell, start) order
+  std::vector<std::uint64_t> car_offsets_;  // car id -> first index (+ sentinel)
+  std::uint32_t fleet_size_ = 0;
+  int study_days_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ccms::cdr

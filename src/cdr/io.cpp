@@ -1,0 +1,123 @@
+#include "cdr/io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace ccms::cdr {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'D', 'R', '1', '\0', '\0', '\0'};
+
+struct BinaryHeader {
+  char magic[8];
+  std::uint64_t record_count;
+  std::uint32_t fleet_size;
+  std::int32_t study_days;
+};
+
+struct BinaryRecord {
+  std::uint32_t car;
+  std::uint32_t cell;
+  std::int64_t start;
+  std::int32_t duration;
+  std::int32_t pad;
+};
+static_assert(sizeof(BinaryRecord) == 24);
+
+}  // namespace
+
+void write_csv(const Dataset& dataset, const std::string& path) {
+  util::CsvWriter writer(path);
+  writer.write_row({"#fleet_size=" + std::to_string(dataset.fleet_size()),
+                    "study_days=" + std::to_string(dataset.study_days())});
+  writer.write_row({"car", "cell", "start_s", "duration_s"});
+  for (const Connection& c : dataset.all()) {
+    writer.write_row({std::to_string(c.car.value), std::to_string(c.cell.value),
+                      std::to_string(c.start), std::to_string(c.duration_s)});
+  }
+  writer.close();
+}
+
+Dataset read_csv(const std::string& path) {
+  util::CsvReader reader(path);
+  Dataset dataset;
+  std::vector<std::string> fields;
+  while (reader.read_row(fields)) {
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0][0] == '#') {
+      // Metadata row: "#fleet_size=N", "study_days=M".
+      const std::string& f0 = fields[0];
+      const auto eq = f0.find('=');
+      if (eq != std::string::npos && f0.substr(1, eq - 1) == "fleet_size") {
+        dataset.set_fleet_size(
+            static_cast<std::uint32_t>(util::parse_i64(f0.substr(eq + 1))));
+      }
+      if (fields.size() > 1) {
+        const auto eq2 = fields[1].find('=');
+        if (eq2 != std::string::npos &&
+            fields[1].substr(0, eq2) == "study_days") {
+          dataset.set_study_days(
+              static_cast<int>(util::parse_i64(fields[1].substr(eq2 + 1))));
+        }
+      }
+      continue;
+    }
+    if (fields[0] == "car") continue;  // header row
+    if (fields.size() < 4) throw util::CsvError("short CDR row in " + path);
+    Connection c;
+    c.car = CarId{static_cast<std::uint32_t>(util::parse_i64(fields[0]))};
+    c.cell = CellId{static_cast<std::uint32_t>(util::parse_i64(fields[1]))};
+    c.start = util::parse_i64(fields[2]);
+    c.duration_s = static_cast<std::int32_t>(util::parse_i64(fields[3]));
+    dataset.add(c);
+  }
+  dataset.finalize();
+  return dataset;
+}
+
+void write_binary(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::CsvError("cannot open for writing: " + path);
+
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.record_count = dataset.size();
+  header.fleet_size = dataset.fleet_size();
+  header.study_days = dataset.study_days();
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+
+  for (const Connection& c : dataset.all()) {
+    BinaryRecord r{c.car.value, c.cell.value, c.start, c.duration_s, 0};
+    out.write(reinterpret_cast<const char*>(&r), sizeof r);
+  }
+  if (!out) throw util::CsvError("write failed: " + path);
+}
+
+Dataset read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::CsvError("cannot open for reading: " + path);
+
+  BinaryHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    throw util::CsvError("bad CCDR1 header in " + path);
+  }
+
+  Dataset dataset;
+  dataset.set_fleet_size(header.fleet_size);
+  dataset.set_study_days(header.study_days);
+  dataset.reserve(header.record_count);
+  for (std::uint64_t i = 0; i < header.record_count; ++i) {
+    BinaryRecord r{};
+    in.read(reinterpret_cast<char*>(&r), sizeof r);
+    if (!in) throw util::CsvError("truncated CCDR1 file: " + path);
+    dataset.add(Connection{CarId{r.car}, CellId{r.cell}, r.start, r.duration});
+  }
+  dataset.finalize();
+  return dataset;
+}
+
+}  // namespace ccms::cdr

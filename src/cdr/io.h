@@ -1,0 +1,34 @@
+// CDR import/export.
+//
+// Two interchange formats:
+//   - CSV (`car,cell,start_s,duration_s` with a header row) for
+//     interoperability with the usual trace-analysis tooling, and
+//   - a compact little-endian binary format ("CCDR1") for fast reloads of
+//     large simulated studies.
+//
+// Both round-trip the Dataset exactly, including the declared fleet size and
+// study length (carried in the CSV header comment / binary header), so an
+// exported study re-imports with identical percentages.
+#pragma once
+
+#include <string>
+
+#include "cdr/dataset.h"
+
+namespace ccms::cdr {
+
+/// Writes `dataset` as CSV. Throws util::CsvError on I/O failure.
+void write_csv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV produced by write_csv (or any file with the same columns).
+/// The returned dataset is finalized. Throws util::CsvError on parse errors.
+[[nodiscard]] Dataset read_csv(const std::string& path);
+
+/// Writes the compact binary format. Throws util::CsvError on I/O failure.
+void write_binary(const Dataset& dataset, const std::string& path);
+
+/// Reads the binary format; validates the magic and record bounds.
+/// The returned dataset is finalized. Throws util::CsvError on corruption.
+[[nodiscard]] Dataset read_binary(const std::string& path);
+
+}  // namespace ccms::cdr

@@ -1,0 +1,85 @@
+#include "cdr/session.h"
+
+#include <algorithm>
+
+#include "cdr/clean.h"
+
+namespace ccms::cdr {
+
+std::vector<Session> aggregate_sessions(
+    std::span<const Connection> car_connections, time::Seconds gap) {
+  std::vector<Session> sessions;
+  if (car_connections.empty()) return sessions;
+
+  Session current;
+  current.car = car_connections.front().car;
+  current.span = car_connections.front().interval();
+  current.legs.push_back(
+      {car_connections.front().cell, car_connections.front().interval()});
+
+  for (std::size_t i = 1; i < car_connections.size(); ++i) {
+    const Connection& c = car_connections[i];
+    if (c.start - current.span.end <= gap) {
+      current.legs.push_back({c.cell, c.interval()});
+      current.span.end = std::max(current.span.end, c.end());
+    } else {
+      sessions.push_back(std::move(current));
+      current = Session{};
+      current.car = c.car;
+      current.span = c.interval();
+      current.legs.push_back({c.cell, c.interval()});
+    }
+  }
+  sessions.push_back(std::move(current));
+  return sessions;
+}
+
+namespace {
+
+time::Seconds union_of_intervals(std::vector<time::Interval>& intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const time::Interval& a, const time::Interval& b) {
+              return a.start < b.start;
+            });
+  time::Seconds total = 0;
+  time::Seconds cur_start = intervals.front().start;
+  time::Seconds cur_end = intervals.front().end;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    if (iv.start <= cur_end) {
+      cur_end = std::max(cur_end, iv.end);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = iv.start;
+      cur_end = iv.end;
+    }
+  }
+  total += cur_end - cur_start;
+  return total;
+}
+
+}  // namespace
+
+time::Seconds union_connected_time(
+    std::span<const Connection> car_connections) {
+  std::vector<time::Interval> intervals;
+  intervals.reserve(car_connections.size());
+  for (const Connection& c : car_connections) {
+    if (c.duration_s > 0) intervals.push_back(c.interval());
+  }
+  return union_of_intervals(intervals);
+}
+
+time::Seconds union_connected_time_truncated(
+    std::span<const Connection> car_connections, std::int32_t cap) {
+  std::vector<time::Interval> intervals;
+  intervals.reserve(car_connections.size());
+  for (const Connection& c : car_connections) {
+    const std::int32_t d = truncated_duration(c.duration_s, cap);
+    if (d > 0) intervals.push_back({c.start, c.start + d});
+  }
+  return union_of_intervals(intervals);
+}
+
+}  // namespace ccms::cdr

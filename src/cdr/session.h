@@ -1,0 +1,62 @@
+// Session aggregation.
+//
+// §3: "There can be a vast range of connection durations at radio level due
+// to the normal timeout of 10 to 12 seconds after no data is left to
+// transmit. We concatenate all connections that are up to 30 seconds apart
+// into aggregate sessions where appropriate."
+//
+// §4.5 uses a looser notion for the handover lower bound: "we account for
+// handovers within sessions on the network during which the longest
+// connection gap is 10 minutes."
+//
+// Both are the same algorithm with different gap thresholds, so this module
+// exposes one aggregator parameterised by the gap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdr/record.h"
+
+namespace ccms::cdr {
+
+/// The paper's default concatenation gap for aggregate sessions (30 s).
+inline constexpr time::Seconds kSessionGap = 30;
+
+/// The gap defining §4.5's handover-accounting sessions (10 min).
+inline constexpr time::Seconds kJourneyGap = 600;
+
+/// One leg of a session: a single radio connection, in trace order.
+struct SessionLeg {
+  CellId cell;
+  time::Interval when;
+};
+
+/// An aggregate session: a maximal run of one car's connections where each
+/// connection starts within `gap` seconds of the latest end seen so far.
+struct Session {
+  CarId car;
+  time::Interval span;            ///< first start .. latest end
+  std::vector<SessionLeg> legs;   ///< the member connections, start order
+
+  [[nodiscard]] std::size_t connection_count() const { return legs.size(); }
+};
+
+/// Aggregates one car's connections (must be sorted by start, as produced by
+/// Dataset::of_car) into sessions with the given gap.
+[[nodiscard]] std::vector<Session> aggregate_sessions(
+    std::span<const Connection> car_connections,
+    time::Seconds gap = kSessionGap);
+
+/// Total time the car was connected to the network: the measure of Fig 3.
+/// Computed as the length of the union of connection intervals (overlapping
+/// legs during handover are not double counted).
+[[nodiscard]] time::Seconds union_connected_time(
+    std::span<const Connection> car_connections);
+
+/// union_connected_time with every duration first truncated at `cap`
+/// (the Fig 3 "truncated to 600 s" curve).
+[[nodiscard]] time::Seconds union_connected_time_truncated(
+    std::span<const Connection> car_connections, std::int32_t cap);
+
+}  // namespace ccms::cdr

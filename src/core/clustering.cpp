@@ -1,0 +1,63 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ccms::core {
+
+ConcurrencyClusters cluster_busy_cells(const ConcurrencyGrid& concurrency,
+                                       const CellLoad& load,
+                                       double load_threshold, int k,
+                                       std::uint64_t seed) {
+  ConcurrencyClusters result;
+  result.load_threshold = load_threshold;
+
+  std::vector<std::vector<double>> points;
+  for (const CellConcurrency& profile : concurrency.cells()) {
+    if (load.weekly_mean(profile.cell) >= load_threshold) {
+      result.busy_cells.push_back(profile.cell);
+      points.push_back(profile.daily);
+    }
+  }
+  if (points.empty()) return result;
+
+  util::Rng rng(seed);
+  const stats::KMeansResult km = stats::kmeans(points, {.k = k}, rng);
+
+  // Order clusters by mean concurrency ascending and remap assignments.
+  std::vector<std::size_t> order(km.centroids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  auto centroid_mean = [&](std::size_t c) {
+    const auto& v = km.centroids[c];
+    return v.empty() ? 0.0
+                     : std::accumulate(v.begin(), v.end(), 0.0) /
+                           static_cast<double>(v.size());
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return centroid_mean(a) < centroid_mean(b);
+  });
+  std::vector<int> remap(km.centroids.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<int>(rank);
+  }
+
+  result.clusters.resize(km.centroids.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    ConcurrencyCluster& cluster = result.clusters[rank];
+    cluster.centroid = km.centroids[order[rank]];
+    cluster.cell_count = km.sizes[order[rank]];
+    cluster.mean_cars = centroid_mean(order[rank]);
+    cluster.peak_cars =
+        cluster.centroid.empty()
+            ? 0.0
+            : *std::max_element(cluster.centroid.begin(),
+                                cluster.centroid.end());
+  }
+  result.assignment.reserve(km.assignment.size());
+  for (const int a : km.assignment) {
+    result.assignment.push_back(remap[static_cast<std::size_t>(a)]);
+  }
+  return result;
+}
+
+}  // namespace ccms::core

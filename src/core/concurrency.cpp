@@ -1,0 +1,132 @@
+#include "core/concurrency.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ccms::core {
+
+namespace {
+
+/// Number of times each 15-minute bin of the week occurs in a study of
+/// `study_days` days starting on a Monday.
+std::vector<int> bin_occurrences(int study_days) {
+  std::vector<int> occurrences(time::kBins15PerWeek, 0);
+  for (int d = 0; d < study_days; ++d) {
+    const int dow = d % time::kDaysPerWeek;
+    for (int b = 0; b < time::kBins15PerDay; ++b) {
+      ++occurrences[static_cast<std::size_t>(dow * time::kBins15PerDay + b)];
+    }
+  }
+  return occurrences;
+}
+
+}  // namespace
+
+ConcurrencyGrid ConcurrencyGrid::build(const cdr::Dataset& dataset,
+                                       time::Seconds session_gap) {
+  ConcurrencyGrid grid;
+  grid.study_days_ = std::max(1, dataset.study_days());
+  const std::int64_t total_bins =
+      static_cast<std::int64_t>(grid.study_days_) * time::kBins15PerDay;
+
+  // Pass 1: per car, the distinct (cell, absolute 15-minute bin) pairs its
+  // session legs straddle. Deduplicated per car, then accumulated globally.
+  std::vector<std::uint64_t> pairs;  // (cell << 24) | absolute_bin
+  std::vector<std::uint64_t> car_pairs;
+  dataset.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
+    car_pairs.clear();
+    const auto sessions = cdr::aggregate_sessions(conns, session_gap);
+    for (const cdr::Session& s : sessions) {
+      for (const cdr::SessionLeg& leg : s.legs) {
+        const std::int64_t b0 =
+            std::clamp<std::int64_t>(leg.when.start / time::kSecondsPerBin15,
+                                     0, total_bins - 1);
+        const std::int64_t b1 = std::clamp<std::int64_t>(
+            (leg.when.end - 1) / time::kSecondsPerBin15, 0, total_bins - 1);
+        for (std::int64_t b = b0; b <= b1; ++b) {
+          car_pairs.push_back((static_cast<std::uint64_t>(leg.cell.value)
+                               << 24) |
+                              static_cast<std::uint64_t>(b));
+        }
+      }
+    }
+    std::sort(car_pairs.begin(), car_pairs.end());
+    car_pairs.erase(std::unique(car_pairs.begin(), car_pairs.end()),
+                    car_pairs.end());
+    pairs.insert(pairs.end(), car_pairs.begin(), car_pairs.end());
+  });
+
+  // Pass 2: aggregate per (cell, bin) multiplicity into per-cell weekly
+  // averages.
+  std::sort(pairs.begin(), pairs.end());
+  const std::vector<int> occurrences = bin_occurrences(grid.study_days_);
+
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const auto cell_value = static_cast<std::uint32_t>(pairs[i] >> 24);
+    CellConcurrency profile;
+    profile.cell = CellId{cell_value};
+    std::vector<std::int64_t> week_totals(time::kBins15PerWeek, 0);
+
+    while (i < pairs.size() &&
+           static_cast<std::uint32_t>(pairs[i] >> 24) == cell_value) {
+      const auto abs_bin =
+          static_cast<std::int64_t>(pairs[i] & 0xFFFFFFu);
+      std::int64_t count = 0;
+      const std::uint64_t key = pairs[i];
+      while (i < pairs.size() && pairs[i] == key) {
+        ++count;
+        ++i;
+      }
+      const int day = static_cast<int>(abs_bin / time::kBins15PerDay);
+      const int dow = day % time::kDaysPerWeek;
+      const int bin_of_day =
+          static_cast<int>(abs_bin % time::kBins15PerDay);
+      week_totals[static_cast<std::size_t>(dow * time::kBins15PerDay +
+                                           bin_of_day)] += count;
+      profile.observations += static_cast<std::uint64_t>(count);
+    }
+
+    profile.weekly.assign(time::kBins15PerWeek, 0.0);
+    for (int b = 0; b < time::kBins15PerWeek; ++b) {
+      const auto idx = static_cast<std::size_t>(b);
+      profile.weekly[idx] =
+          occurrences[idx] > 0
+              ? static_cast<double>(week_totals[idx]) / occurrences[idx]
+              : 0.0;
+    }
+    profile.daily.assign(time::kBins15PerDay, 0.0);
+    for (int b = 0; b < time::kBins15PerDay; ++b) {
+      std::int64_t total = 0;
+      int occ = 0;
+      for (int d = 0; d < time::kDaysPerWeek; ++d) {
+        const auto idx =
+            static_cast<std::size_t>(d * time::kBins15PerDay + b);
+        total += week_totals[idx];
+        occ += occurrences[idx];
+      }
+      profile.daily[static_cast<std::size_t>(b)] =
+          occ > 0 ? static_cast<double>(total) / occ : 0.0;
+    }
+
+    double sum = 0;
+    for (const double v : profile.weekly) {
+      profile.peak = std::max(profile.peak, v);
+      sum += v;
+    }
+    profile.mean = sum / time::kBins15PerWeek;
+    grid.cells_.push_back(std::move(profile));
+  }
+
+  return grid;
+}
+
+const CellConcurrency* ConcurrencyGrid::find(CellId cell) const {
+  const auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), cell,
+      [](const CellConcurrency& p, CellId c) { return p.cell < c; });
+  if (it != cells_.end() && it->cell == cell) return &*it;
+  return nullptr;
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,37 @@
+#include "core/connected_time.h"
+
+#include <vector>
+
+#include "cdr/session.h"
+
+namespace ccms::core {
+
+ConnectedTime analyze_connected_time(const cdr::Dataset& dataset,
+                                     std::int32_t truncation_cap) {
+  ConnectedTime result;
+  result.study_days = dataset.study_days();
+  const double study_seconds =
+      static_cast<double>(result.study_days) * time::kSecondsPerDay;
+  if (study_seconds <= 0) return result;
+
+  std::vector<double> full;
+  std::vector<double> truncated;
+  dataset.for_each_car(
+      [&](CarId, std::span<const cdr::Connection> connections) {
+        const auto t_full = cdr::union_connected_time(connections);
+        const auto t_trunc =
+            cdr::union_connected_time_truncated(connections, truncation_cap);
+        full.push_back(static_cast<double>(t_full) / study_seconds);
+        truncated.push_back(static_cast<double>(t_trunc) / study_seconds);
+      });
+
+  result.full = stats::EmpiricalDistribution(std::move(full));
+  result.truncated = stats::EmpiricalDistribution(std::move(truncated));
+  result.mean_full = result.full.mean();
+  result.mean_truncated = result.truncated.mean();
+  result.p995_full = result.full.quantile(0.995);
+  result.p995_truncated = result.truncated.quantile(0.995);
+  return result;
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,38 @@
+#include "core/days_histogram.h"
+
+#include <algorithm>
+
+#include "util/time.h"
+
+namespace ccms::core {
+
+DaysOnNetwork analyze_days_on_network(const cdr::Dataset& dataset) {
+  DaysOnNetwork result;
+  const int days = std::max(1, dataset.study_days());
+  result.histogram = stats::Histogram(0, days + 1, days + 1);
+
+  std::vector<char> present(static_cast<std::size_t>(days));
+  dataset.for_each_car(
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        std::fill(present.begin(), present.end(), 0);
+        for (const cdr::Connection& c : connections) {
+          const auto d0 = std::clamp<std::int64_t>(
+              time::day_index(c.start), 0, days - 1);
+          const auto d1 = std::clamp<std::int64_t>(
+              time::day_index(c.end() - 1), 0, days - 1);
+          for (std::int64_t d = d0; d <= d1; ++d) {
+            present[static_cast<std::size_t>(d)] = 1;
+          }
+        }
+        int count = 0;
+        for (const char p : present) count += p;
+        result.cars.push_back(car);
+        result.days_per_car.push_back(count);
+        result.histogram.add(count);
+      });
+
+  result.knee_days = result.histogram.knee_bin();
+  return result;
+}
+
+}  // namespace ccms::core

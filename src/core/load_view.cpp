@@ -1,0 +1,47 @@
+#include "core/load_view.h"
+
+namespace ccms::core {
+
+CellLoad CellLoad::from_profiles(std::vector<std::vector<float>> profiles) {
+  CellLoad load;
+  load.weekly_ = std::move(profiles);
+  return load;
+}
+
+CellLoad CellLoad::from_background(const net::BackgroundLoad& background) {
+  std::vector<std::vector<float>> profiles(background.cell_count());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto p = background.profile(CellId{static_cast<std::uint32_t>(i)});
+    profiles[i].assign(p.begin(), p.end());
+  }
+  return from_profiles(std::move(profiles));
+}
+
+double CellLoad::weekly_mean(CellId cell) const {
+  if (cell.value >= weekly_.size() || weekly_[cell.value].empty()) return 0.0;
+  double sum = 0;
+  for (const float v : weekly_[cell.value]) sum += v;
+  return sum / static_cast<double>(weekly_[cell.value].size());
+}
+
+std::vector<double> CellLoad::daily_curve(CellId cell) const {
+  std::vector<double> day(time::kBins15PerDay, 0.0);
+  if (cell.value >= weekly_.size() || weekly_[cell.value].empty()) return day;
+  const auto& p = weekly_[cell.value];
+  for (int bin = 0; bin < time::kBins15PerDay; ++bin) {
+    double sum = 0;
+    int n = 0;
+    for (int d = 0; d < time::kDaysPerWeek; ++d) {
+      const auto idx =
+          static_cast<std::size_t>(d * time::kBins15PerDay + bin);
+      if (idx < p.size()) {
+        sum += p[idx];
+        ++n;
+      }
+    }
+    day[static_cast<std::size_t>(bin)] = n > 0 ? sum / n : 0.0;
+  }
+  return day;
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,85 @@
+#include "core/mobility.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/time.h"
+
+namespace ccms::core {
+
+MobilityStats analyze_mobility(const cdr::Dataset& dataset,
+                               const net::CellTable& cells) {
+  MobilityStats stats;
+  std::vector<double> stations_per_day;
+  std::vector<double> novelty;
+  std::vector<double> distinct_cells;
+
+  dataset.for_each_car([&](CarId car,
+                           std::span<const cdr::Connection> conns) {
+    CarMobility m;
+    m.car = car;
+
+    std::unordered_set<std::uint32_t> all_cells;
+    std::unordered_set<std::uint32_t> all_stations;
+    std::unordered_set<std::uint32_t> day_cells;
+    std::unordered_set<std::uint32_t> day_stations;
+    std::unordered_set<std::uint32_t> seen_before;
+
+    double stations_sum = 0;
+    double novelty_sum = 0;
+    int novelty_days = 0;
+    std::int64_t current_day = -1;
+
+    auto close_day = [&]() {
+      if (current_day < 0 || day_cells.empty()) return;
+      ++m.active_days;
+      stations_sum += static_cast<double>(day_stations.size());
+      if (m.active_days > 1) {
+        std::size_t fresh = 0;
+        for (const auto cell : day_cells) {
+          fresh += seen_before.count(cell) == 0;
+        }
+        novelty_sum +=
+            static_cast<double>(fresh) / static_cast<double>(day_cells.size());
+        ++novelty_days;
+      }
+      seen_before.insert(day_cells.begin(), day_cells.end());
+      day_cells.clear();
+      day_stations.clear();
+    };
+
+    // Records are start-sorted, so days arrive in order.
+    for (const cdr::Connection& c : conns) {
+      const std::int64_t day = time::day_index(c.start);
+      if (day != current_day) {
+        close_day();
+        current_day = day;
+      }
+      day_cells.insert(c.cell.value);
+      day_stations.insert(cells.info(c.cell).station.value);
+      all_cells.insert(c.cell.value);
+      all_stations.insert(cells.info(c.cell).station.value);
+    }
+    close_day();
+
+    m.distinct_cells = all_cells.size();
+    m.distinct_stations = all_stations.size();
+    m.stations_per_day =
+        m.active_days > 0 ? stations_sum / m.active_days : 0;
+    m.novelty = novelty_days > 0 ? novelty_sum / novelty_days : 0;
+
+    stations_per_day.push_back(m.stations_per_day);
+    novelty.push_back(m.novelty);
+    distinct_cells.push_back(static_cast<double>(m.distinct_cells));
+    stats.per_car.push_back(m);
+  });
+
+  stats.stations_per_day =
+      stats::EmpiricalDistribution(std::move(stations_per_day));
+  stats.novelty = stats::EmpiricalDistribution(std::move(novelty));
+  stats.distinct_cells =
+      stats::EmpiricalDistribution(std::move(distinct_cells));
+  return stats;
+}
+
+}  // namespace ccms::core

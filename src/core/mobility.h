@@ -1,0 +1,46 @@
+// Per-car mobility characterisation.
+//
+// §4.7 singles out what makes cars unlike both reference classes:
+// "Connected car-specific traits include connecting to different cells on
+// different days, having commute-time pattern or no pattern, and inherent
+// mobility." This module quantifies those traits per car:
+//   - breadth: distinct cells/stations over the study,
+//   - intensity: distinct stations touched per active day,
+//   - novelty: how much of each day's footprint was never seen before —
+//     near 0 for a metronomic commuter after week one, high for a roamer.
+#pragma once
+
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "net/cell.h"
+#include "stats/quantile.h"
+
+namespace ccms::core {
+
+/// Mobility profile of one car.
+struct CarMobility {
+  CarId car;
+  std::size_t distinct_cells = 0;
+  std::size_t distinct_stations = 0;
+  int active_days = 0;
+  /// Mean distinct stations per active day.
+  double stations_per_day = 0;
+  /// Mean over active days (after the first) of the fraction of that day's
+  /// cells never seen on an earlier day. 0 = pure repetition.
+  double novelty = 0;
+};
+
+/// Fleet-level mobility summary.
+struct MobilityStats {
+  std::vector<CarMobility> per_car;  ///< ascending car id
+  stats::EmpiricalDistribution stations_per_day;
+  stats::EmpiricalDistribution novelty;
+  stats::EmpiricalDistribution distinct_cells;
+};
+
+/// Runs the analysis; `cells` maps cells to stations.
+[[nodiscard]] MobilityStats analyze_mobility(const cdr::Dataset& dataset,
+                                             const net::CellTable& cells);
+
+}  // namespace ccms::core

@@ -1,0 +1,96 @@
+#include "core/predictability.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/usage_matrix.h"
+#include "util/time.h"
+
+namespace ccms::core {
+
+std::vector<CarBehavior> extract_behavior(
+    const cdr::Dataset& dataset, std::span<const int> tz_offset_hours) {
+  std::vector<CarBehavior> features;
+  const int study_days = std::max(1, dataset.study_days());
+  const Matrix24x7 commute = commute_peak_mask();
+  const Matrix24x7 peak = network_peak_mask();
+  const Matrix24x7 weekend = weekend_mask();
+
+  std::vector<char> present(static_cast<std::size_t>(study_days));
+  dataset.for_each_car(
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        const int tz = car.value < tz_offset_hours.size()
+                           ? tz_offset_hours[car.value]
+                           : 0;
+        CarBehavior behavior;
+        behavior.car = car;
+        behavior.regularity =
+            regularity_score(connections, study_days, tz);
+
+        std::fill(present.begin(), present.end(), 0);
+        for (const cdr::Connection& c : connections) {
+          const auto d0 = std::clamp<std::int64_t>(time::day_index(c.start),
+                                                   0, study_days - 1);
+          const auto d1 = std::clamp<std::int64_t>(
+              time::day_index(c.end() - 1), 0, study_days - 1);
+          for (std::int64_t d = d0; d <= d1; ++d) {
+            present[static_cast<std::size_t>(d)] = 1;
+          }
+        }
+        int days = 0;
+        for (const char p : present) days += p;
+        behavior.days_fraction = static_cast<double>(days) / study_days;
+
+        const Matrix24x7 usage = usage_matrix(connections, tz);
+        behavior.commute_fraction = usage.fraction_in(commute);
+        behavior.peak_fraction = usage.fraction_in(peak);
+        behavior.weekend_fraction = usage.fraction_in(weekend);
+        features.push_back(behavior);
+      });
+  return features;
+}
+
+BehaviorClusters cluster_behavior(std::span<const CarBehavior> features,
+                                  int k, std::uint64_t seed) {
+  BehaviorClusters result;
+  result.features.assign(features.begin(), features.end());
+  if (features.empty() || k < 1) return result;
+
+  std::vector<std::vector<double>> points;
+  points.reserve(features.size());
+  for (const CarBehavior& f : features) points.push_back(f.vector());
+
+  util::Rng rng(seed);
+  const stats::KMeansResult km = stats::kmeans(points, {.k = k}, rng);
+
+  // Order clusters by centroid regularity (dimension 0) descending, so
+  // cluster 0 is always "the most predictable cars".
+  std::vector<std::size_t> order(km.centroids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return km.centroids[a][0] > km.centroids[b][0];
+  });
+  std::vector<int> remap(km.centroids.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = static_cast<int>(rank);
+  }
+
+  result.clusters.resize(km.centroids.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const auto& c = km.centroids[order[rank]];
+    BehaviorCluster& cluster = result.clusters[rank];
+    cluster.size = km.sizes[order[rank]];
+    cluster.centroid.regularity = c[0];
+    cluster.centroid.days_fraction = c[1];
+    cluster.centroid.commute_fraction = c[2];
+    cluster.centroid.peak_fraction = c[3];
+    cluster.centroid.weekend_fraction = c[4];
+  }
+  result.assignment.reserve(km.assignment.size());
+  for (const int a : km.assignment) {
+    result.assignment.push_back(remap[static_cast<std::size_t>(a)]);
+  }
+  return result;
+}
+
+}  // namespace ccms::core

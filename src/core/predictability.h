@@ -1,0 +1,66 @@
+// Per-car behaviour features and predictability clustering.
+//
+// §1/§4.7: "cars can be clustered according to predictability in their
+// behavior. This indicates a potential for intelligent capacity and network
+// management in terms of connectivity and content delivery" — the paper
+// motivates but does not execute this clustering; this module does.
+//
+// Each car is reduced to five interpretable features in [0,1]:
+//   regularity         how consistently its hour-of-week boxes repeat
+//   days_fraction      fraction of study days it appears at all
+//   commute_fraction   share of activity inside Fig 4's commute-peak mask
+//   peak_fraction      share of activity inside the network-peak mask
+//   weekend_fraction   share of activity inside the weekend mask
+// and the fleet is clustered with k-means. A FOTA scheduler can then treat
+// "predictable commuters" (pre-position updates for their window) apart
+// from "erratic/rare" cars (push opportunistically).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "stats/kmeans.h"
+
+namespace ccms::core {
+
+/// The per-car behaviour feature vector.
+struct CarBehavior {
+  CarId car;
+  double regularity = 0;
+  double days_fraction = 0;
+  double commute_fraction = 0;
+  double peak_fraction = 0;
+  double weekend_fraction = 0;
+
+  /// Flattened for clustering, all dimensions already in [0,1].
+  [[nodiscard]] std::vector<double> vector() const {
+    return {regularity, days_fraction, commute_fraction, peak_fraction,
+            weekend_fraction};
+  }
+};
+
+/// Extracts features for every car with records. `tz_offset_hours(car)` is
+/// applied when provided (same-size span as the fleet, indexed by car id);
+/// pass an empty span for a single-zone study.
+[[nodiscard]] std::vector<CarBehavior> extract_behavior(
+    const cdr::Dataset& dataset, std::span<const int> tz_offset_hours = {});
+
+/// One behaviour cluster.
+struct BehaviorCluster {
+  std::size_t size = 0;
+  CarBehavior centroid;  ///< car id meaningless; feature means of members
+};
+
+/// Result of the fleet clustering.
+struct BehaviorClusters {
+  std::vector<CarBehavior> features;   ///< input order = ascending car id
+  std::vector<int> assignment;         ///< per feature row
+  std::vector<BehaviorCluster> clusters;  ///< ordered by regularity descending
+};
+
+/// Clusters the fleet into `k` behaviour classes. Deterministic given seed.
+[[nodiscard]] BehaviorClusters cluster_behavior(
+    std::span<const CarBehavior> features, int k = 4, std::uint64_t seed = 1);
+
+}  // namespace ccms::core

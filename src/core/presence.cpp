@@ -1,0 +1,100 @@
+#include "core/presence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/time.h"
+
+namespace ccms::core {
+
+namespace {
+
+PresenceStat to_stat(const stats::Accumulator& acc) {
+  return {acc.mean(), acc.stddev()};
+}
+
+}  // namespace
+
+DailyPresence analyze_presence(const cdr::Dataset& dataset) {
+  DailyPresence result;
+  const int days = std::max(1, dataset.study_days());
+  result.fleet_size = dataset.fleet_size();
+
+  // Presence bitmaps: [day][car] and [day][cell-slot].
+  const std::size_t n_days = static_cast<std::size_t>(days);
+  std::vector<std::vector<char>> car_present(
+      n_days, std::vector<char>(dataset.fleet_size(), 0));
+
+  // Cells are not necessarily dense; map to slots on first sight.
+  std::unordered_map<std::uint32_t, std::uint32_t> cell_slot;
+  std::vector<std::vector<char>> cell_present(n_days);
+
+  auto mark_days = [&](const cdr::Connection& c, auto&& mark) {
+    const std::int64_t d0 = std::clamp<std::int64_t>(
+        time::day_index(c.start), 0, days - 1);
+    // The last instant of the interval is end()-1 (half-open interval).
+    const std::int64_t d1 = std::clamp<std::int64_t>(
+        time::day_index(c.end() - 1), 0, days - 1);
+    for (std::int64_t d = d0; d <= d1; ++d) mark(static_cast<std::size_t>(d));
+  };
+
+  for (const cdr::Connection& c : dataset.all()) {
+    auto [it, inserted] = cell_slot.try_emplace(
+        c.cell.value, static_cast<std::uint32_t>(cell_slot.size()));
+    const std::uint32_t slot = it->second;
+    mark_days(c, [&](std::size_t d) {
+      car_present[d][c.car.value] = 1;
+      auto& row = cell_present[d];
+      if (row.size() <= slot) row.resize(slot + 1, 0);
+      row[slot] = 1;
+    });
+  }
+  result.ever_touched_cells = cell_slot.size();
+
+  result.cars_fraction.resize(n_days, 0.0);
+  result.cells_fraction.resize(n_days, 0.0);
+  std::array<stats::Accumulator, 7> cars_dow;
+  std::array<stats::Accumulator, 7> cells_dow;
+  stats::Accumulator cars_all;
+  stats::Accumulator cells_all;
+
+  for (std::size_t d = 0; d < n_days; ++d) {
+    std::size_t cars = 0;
+    for (const char p : car_present[d]) cars += static_cast<std::size_t>(p);
+    std::size_t cells = 0;
+    for (const char p : cell_present[d]) cells += static_cast<std::size_t>(p);
+
+    const double car_frac =
+        result.fleet_size > 0
+            ? static_cast<double>(cars) / result.fleet_size
+            : 0.0;
+    const double cell_frac =
+        result.ever_touched_cells > 0
+            ? static_cast<double>(cells) /
+                  static_cast<double>(result.ever_touched_cells)
+            : 0.0;
+    result.cars_fraction[d] = car_frac;
+    result.cells_fraction[d] = cell_frac;
+
+    const auto dow = static_cast<std::size_t>(time::weekday(
+        static_cast<time::Seconds>(d) * time::kSecondsPerDay));
+    cars_dow[dow].add(car_frac);
+    cells_dow[dow].add(cell_frac);
+    cars_all.add(car_frac);
+    cells_all.add(cell_frac);
+  }
+
+  for (int w = 0; w < 7; ++w) {
+    result.cars_by_weekday[static_cast<std::size_t>(w)] =
+        to_stat(cars_dow[static_cast<std::size_t>(w)]);
+    result.cells_by_weekday[static_cast<std::size_t>(w)] =
+        to_stat(cells_dow[static_cast<std::size_t>(w)]);
+  }
+  result.cars_overall = to_stat(cars_all);
+  result.cells_overall = to_stat(cells_all);
+  result.cars_trend = stats::linear_fit_indexed(result.cars_fraction);
+  result.cells_trend = stats::linear_fit_indexed(result.cells_fraction);
+  return result;
+}
+
+}  // namespace ccms::core

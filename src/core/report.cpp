@@ -1,0 +1,222 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/time.h"
+
+namespace ccms::core {
+
+namespace {
+
+std::string pct(double fraction, int decimals = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string num(double v, int decimals = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+void print_presence(std::ostream& out, const DailyPresence& presence,
+                    const PaperReference& paper) {
+  out << "Daily presence (Fig 2)\n";
+  out << "  fleet size: " << presence.fleet_size
+      << ", cells ever touched: " << presence.ever_touched_cells << "\n";
+  out << "  cars  trend: y = " << num(presence.cars_trend.slope, 6) << "x + "
+      << num(presence.cars_trend.intercept, 4)
+      << "  (R^2 = " << num(presence.cars_trend.r_squared, 4)
+      << ")   [paper: y = 7e-05x + 0.7566, R^2 = 0.001]\n";
+  out << "  cells trend: y = " << num(presence.cells_trend.slope, 6) << "x + "
+      << num(presence.cells_trend.intercept, 4)
+      << "  (R^2 = " << num(presence.cells_trend.r_squared, 4)
+      << ")   [paper: y = 0.0003x + 0.6448, R^2 = 0.0333]\n";
+  out << "  overall mean % cars on network: " << pct(presence.cars_overall.mean)
+      << "  [paper: " << pct(paper.cars_on_network_mean) << "]\n";
+  out << "  overall mean % cells with cars: "
+      << pct(presence.cells_overall.mean)
+      << "  [paper: " << pct(paper.cells_with_cars_mean) << "]\n";
+}
+
+void print_table1(std::ostream& out, const DailyPresence& presence) {
+  static constexpr const char* kPaperRows[8] = {
+      "67.2 1.1 78.1 0.8", "68.1 1.6 79.1 1.5", "68.5 1.4 79.8 1.2",
+      "68.2 1.7 79.3 0.9", "67.2 3.1 78.0 3.8", "62.0 4.3 70.3 7.0",
+      "59.3 1.5 67.4 2.0", "65.8 4.1 76.0 5.6"};
+  out << "Table 1: usage of cells by cars and occurrence of cars per day\n";
+  out << "  day        %cells mean  stdev   %cars mean  stdev     "
+         "[paper: cells-mean sd cars-mean sd]\n";
+  for (int w = 0; w < 7; ++w) {
+    const auto i = static_cast<std::size_t>(w);
+    out << "  " << time::name(static_cast<time::Weekday>(w)) << "        "
+        << pct(presence.cells_by_weekday[i].mean) << "       "
+        << pct(presence.cells_by_weekday[i].stdev) << "   "
+        << pct(presence.cars_by_weekday[i].mean) << "      "
+        << pct(presence.cars_by_weekday[i].stdev) << "     [" << kPaperRows[w]
+        << "]\n";
+  }
+  out << "  Overall    " << pct(presence.cells_overall.mean) << "       "
+      << pct(presence.cells_overall.stdev) << "   "
+      << pct(presence.cars_overall.mean) << "      "
+      << pct(presence.cars_overall.stdev) << "     [" << kPaperRows[7]
+      << "]\n";
+}
+
+void print_connected_time(std::ostream& out, const ConnectedTime& ct,
+                          const PaperReference& paper) {
+  out << "Connected time as % of study (Fig 3)\n";
+  out << "  mean full:      " << pct(ct.mean_full) << " ("
+      << num(ct.to_hours(ct.mean_full), 0) << " h total)   [paper: "
+      << pct(paper.connected_mean_full) << " / ~173 h]\n";
+  out << "  mean truncated: " << pct(ct.mean_truncated) << " ("
+      << num(ct.to_hours(ct.mean_truncated), 0) << " h total)   [paper: "
+      << pct(paper.connected_mean_truncated) << " / ~86 h]\n";
+  out << "  p99.5 full:      " << pct(ct.p995_full)
+      << "   [paper: " << pct(paper.connected_p995_full) << "]\n";
+  out << "  p99.5 truncated: " << pct(ct.p995_truncated)
+      << "   [paper: " << pct(paper.connected_p995_truncated) << "]\n";
+}
+
+void print_days_histogram(std::ostream& out, const DaysOnNetwork& days) {
+  out << "Days on network (Fig 6)\n";
+  out << "  cars with records: " << days.days_per_car.size() << "\n";
+  out << "  detected drop-off knee: " << days.knee_days
+      << " days  [paper eyeballs ~10; rise past ~30]\n";
+}
+
+void print_busy_time(std::ostream& out, const BusyTime& busy,
+                     const PaperReference& paper) {
+  out << "Time in busy cells (Fig 7)\n  deciles:";
+  for (const double d : busy.shares.deciles()) out << " " << pct(d, 0);
+  out << "\n  cars with >50% busy time: " << pct(busy.fraction_over_half, 2)
+      << "   [paper: " << pct(paper.busy_over_half, 1) << "]\n";
+  out << "  cars with ~all busy time: " << pct(busy.fraction_all, 2)
+      << "   [paper: ~" << pct(paper.busy_all, 0) << "]\n";
+}
+
+void print_segmentation(std::ostream& out, const Segmentation& seg) {
+  auto row = [&](const char* label, const SegmentRow& r) {
+    out << "  " << label << "  busy " << pct(r.busy) << "  non-busy "
+        << pct(r.non_busy) << "  both " << pct(r.both) << "  total "
+        << pct(r.total()) << "\n";
+  };
+  out << "Table 2: car segmentation (cars: " << seg.car_count << ")\n";
+  row("rare   (<=10 days)", seg.rare_a);
+  out << "      [paper:              busy 0.4%   non-busy 0.9%   both 0.9%  "
+         "total 2.2%]\n";
+  row("common (10+  days)", seg.common_a);
+  out << "      [paper:              busy 1.3%   non-busy 59.0%  both 37.5% "
+         "total 97.8%]\n";
+  row("rare   (<=30 days)", seg.rare_b);
+  out << "      [paper:              busy 0.7%   non-busy 5.0%   both 4.2%  "
+         "total 9.9%]\n";
+  row("common (30+  days)", seg.common_b);
+  out << "      [paper:              busy 1.0%   non-busy 54.9%  both 34.2% "
+         "total 90.1%]\n";
+}
+
+void print_cell_sessions(std::ostream& out, const CellSessionStats& stats,
+                         const PaperReference& paper) {
+  out << "Per-cell connection durations (Fig 9)\n";
+  out << "  median: " << num(stats.median, 0) << " s   [paper: "
+      << num(paper.session_median_s, 0) << " s]\n";
+  out << "  mean full: " << num(stats.mean_full, 0) << " s   [paper: "
+      << num(paper.session_mean_full_s, 0) << " s]\n";
+  out << "  mean truncated: " << num(stats.mean_truncated, 0)
+      << " s   [paper: " << num(paper.session_mean_truncated_s, 0) << " s]\n";
+  out << "  CDF at " << stats.cap << " s: " << pct(stats.cdf_at_cap)
+      << "   [paper: " << pct(paper.session_cdf_at_600) << "]\n";
+}
+
+void print_handovers(std::ostream& out, const HandoverStats& handovers,
+                     const PaperReference& paper) {
+  out << "Handovers within 10-min-gap sessions (S4.5)\n";
+  out << "  sessions: " << handovers.session_count << "\n";
+  out << "  per-session handovers: median " << num(handovers.median, 0)
+      << ", p70 " << num(handovers.p70, 0) << ", p90 "
+      << num(handovers.p90, 0) << "   [paper: " << num(paper.handover_median, 0)
+      << " / " << num(paper.handover_p70, 0) << " / "
+      << num(paper.handover_p90, 0) << "]\n";
+  out << "  by type:";
+  for (int t = 1; t < net::kHandoverTypeCount; ++t) {
+    const auto type = static_cast<net::HandoverType>(t);
+    out << "  " << net::name(type) << " " << pct(handovers.share(type));
+  }
+  out << "\n  [paper: inter-station dominates; technology/carrier/sector "
+         "negligible]\n";
+}
+
+void print_carriers(std::ostream& out, const CarrierUsage& usage,
+                    const PaperReference& paper) {
+  out << "Table 3: carrier use (cars: " << usage.car_count << ")\n  carrier ";
+  for (int k = 0; k < net::kCarrierCount; ++k) {
+    out << "      C" << k + 1;
+  }
+  out << "\n  cars %  ";
+  for (const double f : usage.cars_fraction) out << "  " << pct(f, 1);
+  out << "\n  [paper]  ";
+  for (const double f : paper.carrier_cars) out << "  " << pct(f, 1);
+  out << "\n  time %  ";
+  for (const double f : usage.time_fraction) out << "  " << pct(f, 1);
+  out << "\n  [paper]  ";
+  for (const double f : paper.carrier_time) out << "  " << pct(f, 1);
+  out << "\n";
+}
+
+void print_clusters(std::ostream& out, const ConcurrencyClusters& clusters) {
+  out << "Concurrency clusters over busy radios (Fig 11; PRB >= "
+      << pct(clusters.load_threshold, 0) << ")\n";
+  out << "  busy radios: " << clusters.busy_cells.size() << "\n";
+  for (std::size_t c = 0; c < clusters.clusters.size(); ++c) {
+    const ConcurrencyCluster& cluster = clusters.clusters[c];
+    out << "  cluster " << c + 1 << ": " << cluster.cell_count
+        << " cells, mean concurrent cars " << num(cluster.mean_cars, 2)
+        << ", peak " << num(cluster.peak_cars, 1) << "\n";
+  }
+  if (clusters.clusters.size() == 2 && clusters.clusters[0].mean_cars > 0) {
+    out << "  cars ratio (cluster2/cluster1): "
+        << num(clusters.clusters[1].mean_cars / clusters.clusters[0].mean_cars,
+               1)
+        << "x   [paper: ~5x]\n";
+    if (clusters.clusters[1].cell_count > 0) {
+      out << "  size ratio (cluster1/cluster2): "
+          << num(static_cast<double>(clusters.clusters[0].cell_count) /
+                     static_cast<double>(clusters.clusters[1].cell_count),
+                 1)
+          << "x   [paper: ~4x]\n";
+    }
+  }
+}
+
+void print_report(std::ostream& out, const StudyReport& report,
+                  const PaperReference& paper) {
+  out << "=== Connected-car study report ===\n";
+  out << "Cleaning (S3): removed " << report.clean.total_removed() << " of "
+      << report.clean.input_records << " records ("
+      << report.clean.hour_artifacts_removed << " exactly-1-hour artifacts)\n\n";
+  print_presence(out, report.presence, paper);
+  out << "\n";
+  print_table1(out, report.presence);
+  out << "\n";
+  print_connected_time(out, report.connected_time, paper);
+  out << "\n";
+  print_days_histogram(out, report.days);
+  out << "\n";
+  print_busy_time(out, report.busy_time, paper);
+  out << "\n";
+  print_segmentation(out, report.segmentation);
+  out << "\n";
+  print_cell_sessions(out, report.cell_sessions, paper);
+  out << "\n";
+  print_handovers(out, report.handovers, paper);
+  out << "\n";
+  print_carriers(out, report.carriers, paper);
+  out << "\n";
+  print_clusters(out, report.clusters);
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,63 @@
+// Human-readable rendering of a StudyReport — paper-style tables plus the
+// paper's headline numbers for side-by-side comparison.
+#pragma once
+
+#include <ostream>
+
+#include "core/study.h"
+
+namespace ccms::core {
+
+/// The paper's reported values, for printing next to measured ones.
+struct PaperReference {
+  // Table 1 (overall row).
+  double cells_with_cars_mean = 0.658;
+  double cars_on_network_mean = 0.760;
+  // Fig 3.
+  double connected_mean_full = 0.08;
+  double connected_mean_truncated = 0.04;
+  double connected_p995_full = 0.27;
+  double connected_p995_truncated = 0.15;
+  // Fig 9.
+  double session_median_s = 105;
+  double session_mean_full_s = 625;
+  double session_mean_truncated_s = 238;
+  double session_cdf_at_600 = 0.73;
+  // §4.5.
+  double handover_median = 2;
+  double handover_p70 = 4;
+  double handover_p90 = 9;
+  // Table 2.
+  double rare10 = 0.022;
+  double rare30 = 0.099;
+  // Fig 7.
+  double busy_over_half = 0.024;
+  double busy_all = 0.01;
+  // Table 3.
+  std::array<double, 5> carrier_cars = {0.987, 0.892, 0.987, 0.808, 0.00006};
+  std::array<double, 5> carrier_time = {0.186, 0.074, 0.519, 0.221, 0.0};
+};
+
+/// Prints every section of the report with paper references.
+void print_report(std::ostream& out, const StudyReport& report,
+                  const PaperReference& paper = {});
+
+/// Individual sections (used by the per-figure bench binaries).
+void print_presence(std::ostream& out, const DailyPresence& presence,
+                    const PaperReference& paper = {});
+void print_table1(std::ostream& out, const DailyPresence& presence);
+void print_connected_time(std::ostream& out, const ConnectedTime& ct,
+                          const PaperReference& paper = {});
+void print_days_histogram(std::ostream& out, const DaysOnNetwork& days);
+void print_busy_time(std::ostream& out, const BusyTime& busy,
+                     const PaperReference& paper = {});
+void print_segmentation(std::ostream& out, const Segmentation& seg);
+void print_cell_sessions(std::ostream& out, const CellSessionStats& stats,
+                         const PaperReference& paper = {});
+void print_handovers(std::ostream& out, const HandoverStats& handovers,
+                     const PaperReference& paper = {});
+void print_carriers(std::ostream& out, const CarrierUsage& usage,
+                    const PaperReference& paper = {});
+void print_clusters(std::ostream& out, const ConcurrencyClusters& clusters);
+
+}  // namespace ccms::core

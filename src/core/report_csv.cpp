@@ -1,0 +1,165 @@
+#include "core/report_csv.h"
+
+#include <filesystem>
+
+#include "util/csv.h"
+#include "util/time.h"
+
+namespace ccms::core {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+util::CsvWriter open_csv(const std::string& directory, const char* name) {
+  return util::CsvWriter((std::filesystem::path(directory) / name).string());
+}
+
+void write_presence(const std::string& dir, const DailyPresence& presence) {
+  {
+    auto w = open_csv(dir, "presence_daily.csv");
+    w.write_row({"day", "weekday", "pct_cars", "pct_cells"});
+    for (std::size_t d = 0; d < presence.cars_fraction.size(); ++d) {
+      w.write_row({std::to_string(d),
+                   time::name(time::weekday(static_cast<time::Seconds>(d) *
+                                            time::kSecondsPerDay)),
+                   fmt(presence.cars_fraction[d]),
+                   fmt(presence.cells_fraction[d])});
+    }
+    w.close();
+  }
+  auto w = open_csv(dir, "presence_weekday.csv");
+  w.write_row({"weekday", "cells_mean", "cells_stdev", "cars_mean",
+               "cars_stdev"});
+  for (int d = 0; d < 7; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    w.write_row({time::name(static_cast<time::Weekday>(d)),
+                 fmt(presence.cells_by_weekday[i].mean),
+                 fmt(presence.cells_by_weekday[i].stdev),
+                 fmt(presence.cars_by_weekday[i].mean),
+                 fmt(presence.cars_by_weekday[i].stdev)});
+  }
+  w.write_row({"Overall", fmt(presence.cells_overall.mean),
+               fmt(presence.cells_overall.stdev),
+               fmt(presence.cars_overall.mean),
+               fmt(presence.cars_overall.stdev)});
+  w.close();
+}
+
+void write_connected_time(const std::string& dir, const ConnectedTime& ct) {
+  auto w = open_csv(dir, "connected_time_cdf.csv");
+  w.write_row({"pct_of_study", "cdf_full", "cdf_truncated"});
+  for (int i = 0; i <= 100; ++i) {
+    const double x = 0.40 * i / 100;
+    w.write_row({fmt(x), fmt(ct.full.cdf(x)), fmt(ct.truncated.cdf(x))});
+  }
+  w.close();
+}
+
+void write_days(const std::string& dir, const DaysOnNetwork& days) {
+  auto w = open_csv(dir, "days_histogram.csv");
+  w.write_row({"days", "car_count"});
+  for (int b = 0; b < days.histogram.bin_count(); ++b) {
+    w.write_row({std::to_string(b), fmt(days.histogram.count(b))});
+  }
+  w.close();
+}
+
+void write_busy(const std::string& dir, const BusyTime& busy) {
+  auto w = open_csv(dir, "busy_time_deciles.csv");
+  w.write_row({"decile", "share"});
+  const auto deciles = busy.shares.deciles();
+  for (std::size_t i = 0; i < deciles.size(); ++i) {
+    w.write_row({std::to_string((i + 1) * 10), fmt(deciles[i])});
+  }
+  w.close();
+}
+
+void write_segmentation(const std::string& dir, const Segmentation& seg) {
+  auto w = open_csv(dir, "segmentation.csv");
+  w.write_row({"segment", "busy", "non_busy", "both", "total"});
+  const auto row = [&w](const char* label, const SegmentRow& r) {
+    std::vector<std::string> fields = {label, fmt(r.busy), fmt(r.non_busy),
+                                       fmt(r.both), fmt(r.total())};
+    w.write_row(fields);
+  };
+  row("rare_a", seg.rare_a);
+  row("common_a", seg.common_a);
+  row("rare_b", seg.rare_b);
+  row("common_b", seg.common_b);
+  w.close();
+}
+
+void write_sessions(const std::string& dir, const CellSessionStats& stats) {
+  auto w = open_csv(dir, "session_duration_cdf.csv");
+  w.write_row({"seconds", "cdf"});
+  for (int s = 0; s <= 5000; s += 50) {
+    w.write_row({std::to_string(s), fmt(stats.durations.cdf(s))});
+  }
+  w.close();
+}
+
+void write_handovers(const std::string& dir, const HandoverStats& handovers) {
+  auto w = open_csv(dir, "handovers.csv");
+  w.write_row({"metric", "value"});
+  for (int t = 0; t < net::kHandoverTypeCount; ++t) {
+    w.write_row({net::name(static_cast<net::HandoverType>(t)),
+                 std::to_string(handovers.counts[static_cast<std::size_t>(t)])});
+  }
+  w.write_row({"median", fmt(handovers.median)});
+  w.write_row({"p70", fmt(handovers.p70)});
+  w.write_row({"p90", fmt(handovers.p90)});
+  w.write_row({"sessions", std::to_string(handovers.session_count)});
+  w.close();
+}
+
+void write_carriers(const std::string& dir, const CarrierUsage& usage) {
+  auto w = open_csv(dir, "carrier_usage.csv");
+  w.write_row({"carrier", "cars_fraction", "time_fraction", "seconds"});
+  for (int k = 0; k < net::kCarrierCount; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    w.write_row({"C" + std::to_string(k + 1), fmt(usage.cars_fraction[i]),
+                 fmt(usage.time_fraction[i]), fmt(usage.seconds[i])});
+  }
+  w.close();
+}
+
+void write_clusters(const std::string& dir,
+                    const ConcurrencyClusters& clusters) {
+  auto w = open_csv(dir, "cluster_centroids.csv");
+  std::vector<std::string> header = {"bin"};
+  for (std::size_t c = 0; c < clusters.clusters.size(); ++c) {
+    header.push_back("cluster" + std::to_string(c + 1));
+  }
+  w.write_row(header);
+  for (int bin = 0; bin < time::kBins15PerDay; ++bin) {
+    std::vector<std::string> row = {std::to_string(bin)};
+    for (const auto& cluster : clusters.clusters) {
+      row.push_back(fmt(cluster.centroid[static_cast<std::size_t>(bin)]));
+    }
+    w.write_row(row);
+  }
+  w.close();
+}
+
+}  // namespace
+
+void write_report_csv(const std::string& directory,
+                      const StudyReport& report) {
+  std::filesystem::create_directories(directory);
+  write_presence(directory, report.presence);
+  write_connected_time(directory, report.connected_time);
+  write_days(directory, report.days);
+  write_busy(directory, report.busy_time);
+  write_segmentation(directory, report.segmentation);
+  write_sessions(directory, report.cell_sessions);
+  write_handovers(directory, report.handovers);
+  write_carriers(directory, report.carriers);
+  write_clusters(directory, report.clusters);
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,28 @@
+// Machine-readable export of a StudyReport.
+//
+// The ASCII renderings in core/report.h are for eyeballs; this writer emits
+// the underlying series as CSV files (one per exhibit) so external plotting
+// (matplotlib, R, gnuplot) can regenerate publication-quality figures.
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+
+namespace ccms::core {
+
+/// Writes one CSV per exhibit into `directory` (created if missing):
+///   presence_daily.csv        day, weekday, pct_cars, pct_cells   (Fig 2)
+///   presence_weekday.csv      weekday rows of Table 1
+///   connected_time_cdf.csv    pct_of_study, cdf_full, cdf_truncated (Fig 3)
+///   days_histogram.csv        days, car_count                      (Fig 6)
+///   busy_time_deciles.csv     decile, share                        (Fig 7)
+///   segmentation.csv          Table 2 rows
+///   session_duration_cdf.csv  seconds, cdf                         (Fig 9)
+///   handovers.csv             per-type counts + percentile rows    (S4.5)
+///   carrier_usage.csv         Table 3 rows
+///   cluster_centroids.csv     bin, cluster1.., clusterN            (Fig 11)
+/// Throws util::CsvError on I/O failure.
+void write_report_csv(const std::string& directory, const StudyReport& report);
+
+}  // namespace ccms::core

@@ -1,0 +1,47 @@
+#include "core/segmentation.h"
+
+#include <cassert>
+
+namespace ccms::core {
+
+BusyClass classify_busy_share(double share, const SegmentationConfig& config) {
+  if (share >= config.hi_share) return BusyClass::kBusy;
+  if (share <= config.lo_share) return BusyClass::kNonBusy;
+  return BusyClass::kBoth;
+}
+
+Segmentation segment_cars(const DaysOnNetwork& days, const BusyTime& busy,
+                          const SegmentationConfig& config) {
+  Segmentation result;
+  result.config = config;
+  const std::size_t n =
+      std::min(days.days_per_car.size(), busy.per_car.size());
+  result.car_count = n;
+  if (n == 0) return result;
+
+  auto bump = [](SegmentRow& row, BusyClass c, double w) {
+    switch (c) {
+      case BusyClass::kBusy:
+        row.busy += w;
+        break;
+      case BusyClass::kNonBusy:
+        row.non_busy += w;
+        break;
+      case BusyClass::kBoth:
+        row.both += w;
+        break;
+    }
+  };
+
+  const double w = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(days.cars[i] == busy.per_car[i].car);
+    const int d = days.days_per_car[i];
+    const BusyClass c = classify_busy_share(busy.per_car[i].share, config);
+    bump(d <= config.rare_days_a ? result.rare_a : result.common_a, c, w);
+    bump(d <= config.rare_days_b ? result.rare_b : result.common_b, c, w);
+  }
+  return result;
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,46 @@
+#include "core/signaling.h"
+
+#include <algorithm>
+
+#include "cdr/session.h"
+#include "util/time.h"
+
+namespace ccms::core {
+
+SignalingStats analyze_signaling(const cdr::Dataset& dataset,
+                                 const net::CellTable& cells) {
+  SignalingStats stats;
+  const int days = std::max(1, dataset.study_days());
+  std::vector<char> present(static_cast<std::size_t>(days));
+
+  dataset.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
+    stats.connections += conns.size();
+    stats.connected_hours +=
+        static_cast<double>(cdr::union_connected_time(conns)) / 3600.0;
+
+    std::fill(present.begin(), present.end(), 0);
+    for (const cdr::Connection& c : conns) {
+      const auto d0 =
+          std::clamp<std::int64_t>(time::day_index(c.start), 0, days - 1);
+      const auto d1 =
+          std::clamp<std::int64_t>(time::day_index(c.end() - 1), 0, days - 1);
+      for (std::int64_t d = d0; d <= d1; ++d) {
+        present[static_cast<std::size_t>(d)] = 1;
+      }
+    }
+    for (const char p : present) stats.device_days += p;
+
+    for (const cdr::Session& session :
+         cdr::aggregate_sessions(conns, cdr::kJourneyGap)) {
+      for (std::size_t i = 1; i < session.legs.size(); ++i) {
+        const auto type = net::classify_handover(
+            cells.info(session.legs[i - 1].cell),
+            cells.info(session.legs[i].cell));
+        stats.handovers += type != net::HandoverType::kNone;
+      }
+    }
+  });
+  return stats;
+}
+
+}  // namespace ccms::core

@@ -1,0 +1,30 @@
+#include "core/study.h"
+
+namespace ccms::core {
+
+StudyReport run_study(const cdr::Dataset& raw, const net::CellTable& cells,
+                      const CellLoad& load, const StudyOptions& options) {
+  StudyReport report;
+  const cdr::Dataset cleaned = cdr::clean(raw, options.clean, report.clean);
+
+  report.presence = analyze_presence(cleaned);
+  report.connected_time =
+      analyze_connected_time(cleaned, options.truncation_cap);
+  report.days = analyze_days_on_network(cleaned);
+  report.busy_time =
+      analyze_busy_time(cleaned, load, options.busy_prb_threshold);
+  report.segmentation =
+      segment_cars(report.days, report.busy_time, options.segmentation);
+  report.cell_sessions =
+      analyze_cell_sessions(cleaned, options.truncation_cap);
+  report.handovers = analyze_handovers(cleaned, cells);
+  report.carriers = analyze_carrier_usage(cleaned, cells);
+
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(cleaned);
+  report.clusters =
+      cluster_busy_cells(grid, load, options.cluster_load_threshold,
+                         options.cluster_k, options.cluster_seed);
+  return report;
+}
+
+}  // namespace ccms::core

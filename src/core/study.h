@@ -1,0 +1,56 @@
+// Whole-study driver: the paper's pipeline end to end.
+//
+// Feed it a raw CDR dataset (ours or yours), the cell table and the measured
+// cell-load grid; it runs §3's cleaning and every §4 analysis and returns
+// one report. Individual analyses remain callable directly for custom
+// pipelines.
+#pragma once
+
+#include "cdr/clean.h"
+#include "core/busy_time.h"
+#include "core/carrier_usage.h"
+#include "core/cell_sessions.h"
+#include "core/clustering.h"
+#include "core/concurrency.h"
+#include "core/connected_time.h"
+#include "core/days_histogram.h"
+#include "core/handover.h"
+#include "core/load_view.h"
+#include "core/presence.h"
+#include "core/segmentation.h"
+
+namespace ccms::core {
+
+/// Knobs of the full pipeline (defaults are the paper's choices).
+struct StudyOptions {
+  cdr::CleanOptions clean;
+  std::int32_t truncation_cap = 600;     ///< §3 per-cell truncation
+  double busy_prb_threshold = 0.80;      ///< §4.3 busy (cell, bin)
+  SegmentationConfig segmentation;       ///< Table 2 thresholds
+  double cluster_load_threshold = 0.70;  ///< Fig 11 busy-radio filter
+  int cluster_k = 2;                     ///< Fig 11 k
+  std::uint64_t cluster_seed = 1;
+};
+
+/// Everything §4 computes.
+struct StudyReport {
+  cdr::CleanReport clean;
+  DailyPresence presence;         // Fig 2, Table 1
+  ConnectedTime connected_time;   // Fig 3
+  DaysOnNetwork days;             // Fig 6
+  BusyTime busy_time;             // Fig 7
+  Segmentation segmentation;      // Table 2
+  CellSessionStats cell_sessions; // Fig 9
+  HandoverStats handovers;        // §4.5
+  CarrierUsage carriers;          // Table 3
+  ConcurrencyClusters clusters;   // Fig 11
+};
+
+/// Runs cleaning + every analysis. `raw` may contain artifacts; it is
+/// cleaned per `options.clean` first (§3), then analysed.
+[[nodiscard]] StudyReport run_study(const cdr::Dataset& raw,
+                                    const net::CellTable& cells,
+                                    const CellLoad& load,
+                                    const StudyOptions& options = {});
+
+}  // namespace ccms::core

@@ -1,0 +1,51 @@
+#include "fleet/archetype.h"
+
+namespace ccms::fleet {
+
+namespace {
+
+// day_activity is Mon..Sun. Shares sum to 1. Calibration notes:
+//  - weekday presence target ~78-80% of the fleet (Table 1),
+//  - Saturday ~70.3%, Sunday ~67.4%,
+//  - rare drivers' activity scale spreads them over Fig 6's <=30-day head.
+constexpr std::array<ArchetypeSpec, kArchetypeCount> kCatalogue = {{
+    {Archetype::kRegularCommuter, "regular-commuter", 0.45,
+     {0.97, 0.97, 0.97, 0.97, 0.95, 0.72, 0.68},
+     /*commutes=*/true, /*extra_wd=*/0.25, /*extra_we=*/1.1,
+     /*hotspot=*/0.75, /*idle=*/0.70, /*stuck=*/0.72,
+     /*errand_radius=*/3, /*local=*/0.10, 1.0, 1.0},
+    {Archetype::kFlexCommuter, "flex-commuter", 0.25,
+     {0.85, 0.88, 0.90, 0.88, 0.86, 0.70, 0.66},
+     /*commutes=*/true, /*extra_wd=*/0.6, /*extra_we=*/1.2,
+     /*hotspot=*/0.70, /*idle=*/0.70, /*stuck=*/0.72,
+     /*errand_radius=*/3, /*local=*/0.10, 0.92, 1.0},
+    {Archetype::kWeekendDriver, "weekend-driver", 0.12,
+     {0.32, 0.32, 0.35, 0.35, 0.45, 0.88, 0.85},
+     /*commutes=*/false, /*extra_wd=*/0.3, /*extra_we=*/1.2,
+     /*hotspot=*/0.63, /*idle=*/0.68, /*stuck=*/0.66,
+     /*errand_radius=*/5, /*local=*/0.15, 0.95, 1.0},
+    {Archetype::kHeavyUser, "heavy-user", 0.08,
+     {0.99, 0.99, 0.99, 0.99, 0.99, 0.97, 0.95},
+     /*commutes=*/false, /*extra_wd=*/4.0, /*extra_we=*/3.5,
+     /*hotspot=*/0.80, /*idle=*/0.78, /*stuck=*/0.74,
+     /*errand_radius=*/6, /*local=*/0.10, 1.0, 1.0},
+    {Archetype::kRareDriver, "rare-driver", 0.10,
+     {1.00, 1.00, 1.00, 1.00, 1.05, 0.90, 0.80},
+     /*commutes=*/false, /*extra_wd=*/0.2, /*extra_we=*/0.4,
+     /*hotspot=*/0.57, /*idle=*/0.64, /*stuck=*/0.62,
+     /*errand_radius=*/3, /*local=*/0.40, 0.06, 0.33},
+}};
+
+}  // namespace
+
+std::span<const ArchetypeSpec, kArchetypeCount> archetype_catalogue() {
+  return kCatalogue;
+}
+
+const ArchetypeSpec& archetype_spec(Archetype a) {
+  return kCatalogue[static_cast<std::size_t>(a)];
+}
+
+const char* name(Archetype a) { return archetype_spec(a).name; }
+
+}  // namespace ccms::fleet

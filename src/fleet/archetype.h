@@ -1,0 +1,72 @@
+// Car behaviour archetypes.
+//
+// The paper's population exhibits a spectrum of behaviours: Fig 5 shows a
+// strict weekday commuter, a heavy all-week user and a weekend-skewed car;
+// Fig 6's days-on-network histogram has a mass of rarely-seen cars (<= 10
+// days), a dip, and a rising bulk past 30 days; Table 1's presence is ~79% on
+// weekdays and ~67-70% on weekends. We generate that spectrum from five
+// archetypes whose shares and daily-activity probabilities are calibrated to
+// those aggregate targets (see DESIGN.md §5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ccms::fleet {
+
+/// The behavioural classes the synthetic fleet is drawn from.
+enum class Archetype : std::uint8_t {
+  kRegularCommuter = 0,  ///< strict Mon-Fri home->work->home (Fig 5 right)
+  kFlexCommuter = 1,     ///< commutes most weekdays, variable hours
+  kWeekendDriver = 2,    ///< weekday-quiet, weekend-active
+  kHeavyUser = 3,        ///< many trips every day (Fig 5 middle)
+  kRareDriver = 4,       ///< on the network only a handful of days (Fig 6 head)
+};
+
+inline constexpr int kArchetypeCount = 5;
+
+/// Static parameters of one archetype.
+struct ArchetypeSpec {
+  Archetype archetype;
+  const char* name;
+  /// Fraction of the fleet.
+  double population_share;
+  /// Probability of making at least one trip on each weekday (Mon..Sun),
+  /// before the per-car activity scale and the global day factor.
+  std::array<double, 7> day_activity;
+  /// Whether the car has a fixed home->work commute on active weekdays.
+  bool commutes;
+  /// Poisson mean of extra (non-commute) round trips on an active weekday /
+  /// weekend day.
+  double extra_trips_weekday;
+  double extra_trips_weekend;
+  /// Probability a trip carries an in-car WiFi / infotainment stream
+  /// (produces multi-cell connection legs and thus handovers).
+  double hotspot_prob;
+  /// Probability of a parked engine-on idle connection after arriving.
+  double idle_per_arrival;
+  /// Probability of a stuck (improperly non-disconnecting) record after a
+  /// trip, before the per-car stuck multiplier.
+  double stuck_per_arrival;
+  /// Chebyshev radius (in grid steps) of errand destinations.
+  int errand_radius;
+  /// Probability an errand stays at the home station (corner-store runs):
+  /// the whole trip lives in one cell's footprint.
+  double local_errand_prob;
+  /// Range of the per-car activity scale, drawn uniformly per car.
+  double activity_scale_min;
+  double activity_scale_max;
+};
+
+/// The five-archetype catalogue (index = static_cast<int>(Archetype)).
+[[nodiscard]] std::span<const ArchetypeSpec, kArchetypeCount>
+archetype_catalogue();
+
+/// Spec of one archetype.
+[[nodiscard]] const ArchetypeSpec& archetype_spec(Archetype a);
+
+/// Short name ("regular-commuter", ...).
+[[nodiscard]] const char* name(Archetype a);
+
+}  // namespace ccms::fleet

@@ -1,0 +1,56 @@
+// Per-car profile: everything the generators need to produce one car's
+// 90 days of trips and radio connections.
+#pragma once
+
+#include <array>
+
+#include "fleet/archetype.h"
+#include "net/carrier.h"
+#include "util/time.h"
+#include "util/types.h"
+
+namespace ccms::fleet {
+
+/// One car of the synthetic fleet. Immutable after fleet building.
+struct CarProfile {
+  CarId id;
+  Archetype archetype = Archetype::kRegularCommuter;
+
+  /// Home base station (trips start/end here) and, for commuters, the work
+  /// station. Non-commuters have work == home.
+  StationId home;
+  StationId work;
+
+  /// Fixed habitual commute departure times (seconds of local day). Small
+  /// daily jitter is added at schedule time; the fixed habit is what makes
+  /// Fig 5's matrices so regular.
+  time::Seconds depart_am = 0;
+  time::Seconds depart_pm = 0;
+
+  /// Per-car multiplier on the archetype's day-activity probabilities;
+  /// spreads rare drivers over Fig 6's head.
+  double activity_scale = 1.0;
+
+  /// Per-car multiplier on the stuck-record probability (log-normal across
+  /// the fleet); the fat upper tail produces Fig 3's p99.5 cars that are
+  /// "connected" 27% of the study.
+  double stuck_multiplier = 1.0;
+
+  /// Which carriers this modem can use (Table 3's capability story).
+  std::array<bool, net::kCarrierCount> carrier_support{};
+
+  /// The band the modem camps on where available (modems are sticky: they
+  /// re-acquire the same carrier at habitual locations day after day).
+  CarrierId preferred_carrier{2};
+
+  /// Offset of the car's local time from study reference time, in hours.
+  /// Zero in the default single-metro configuration.
+  int tz_offset_hours = 0;
+
+  /// Local-time -> study-time conversion for this car.
+  [[nodiscard]] time::Seconds to_reference(time::Seconds local) const {
+    return local - tz_offset_hours * time::kSecondsPerHour;
+  }
+};
+
+}  // namespace ccms::fleet

@@ -1,0 +1,214 @@
+#include "fleet/connection_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccms::fleet {
+
+namespace {
+
+double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+ConnectionGenerator::ConnectionGenerator(const net::Topology& topology,
+                                         const GenConfig& config)
+    : topology_(topology), config_(config) {}
+
+double ConnectionGenerator::base_dwell_s(StationId station) const {
+  const auto g = static_cast<std::size_t>(topology_.station_class(station));
+  const double speed = std::max(5.0, config_.speed_kmh[g]);
+  return topology_.config().spacing_km / speed * 3600.0;
+}
+
+std::optional<CellId> ConnectionGenerator::pick_cell(
+    const CarProfile& car, StationId station, net::Position toward,
+    std::optional<CarrierId>& current, util::Rng& rng) const {
+  const SectorId sector = topology_.sector_towards(station, toward);
+
+  // Carrier persistence: LTE prefers same-frequency handover, so keep the
+  // current carrier when it is deployed at the new station.
+  if (current.has_value() && car.carrier_support[current->value] &&
+      rng.bernoulli(config_.carrier_stickiness)) {
+    if (auto cell = topology_.cell_at(station, sector, *current)) {
+      return cell;
+    }
+  }
+
+  // (Re)select among deployed & supported carriers: camp on the modem's
+  // preferred band when available, otherwise draw by preference weight.
+  const auto deployed = topology_.carriers_at(station);
+  std::array<double, net::kCarrierCount> weights{};
+  bool any = false;
+  bool preferred_here = false;
+  for (const CarrierId c : deployed) {
+    if (!car.carrier_support[c.value]) continue;
+    weights[c.value] = net::carrier_spec(c).selection_weight;
+    any = true;
+    preferred_here = preferred_here || c == car.preferred_carrier;
+  }
+  if (!any) return std::nullopt;
+  if (preferred_here && rng.bernoulli(config_.camping_prob)) {
+    current = car.preferred_carrier;
+    return topology_.cell_at(station, sector, car.preferred_carrier);
+  }
+
+  const auto chosen = static_cast<std::uint8_t>(rng.categorical(weights));
+  current = CarrierId{chosen};
+  return topology_.cell_at(station, sector, CarrierId{chosen});
+}
+
+time::Seconds ConnectionGenerator::generate_trip(
+    const CarProfile& car, const Trip& trip, util::Rng& rng,
+    std::vector<cdr::Connection>& out) const {
+  const std::vector<StationId> route = topology_.route(trip.from, trip.to);
+  const std::size_t n = route.size();
+
+  // Entry time at each station along the route; the last station is the
+  // destination (the car parks there).
+  std::vector<time::Seconds> enter(n);
+  enter[0] = trip.depart;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dwell =
+        base_dwell_s(route[i - 1]) *
+        (1.0 + config_.dwell_jitter * (2.0 * rng.uniform() - 1.0));
+    enter[i] = enter[i - 1] + static_cast<time::Seconds>(std::max(20.0, dwell));
+  }
+  const time::Seconds arrival = enter[n - 1];
+
+  // Direction the antenna sees the car from: the next station on the route,
+  // or (at the destination) the previous one.
+  auto toward_of = [&](std::size_t i) -> net::Position {
+    if (i + 1 < n) return topology_.station_position(route[i + 1]);
+    if (n >= 2) return topology_.station_position(route[n - 2]);
+    // Single-station route: a fixed per-car bearing.
+    net::Position p = topology_.station_position(route[i]);
+    p.x += (car.id.value % 2 == 0) ? 0.5 : -0.5;
+    p.y += (car.id.value % 3 == 0) ? 0.5 : -0.5;
+    return p;
+  };
+
+  auto station_index_at = [&](time::Seconds t) -> std::size_t {
+    // Last station whose entry time is <= t.
+    std::size_t i = 0;
+    while (i + 1 < n && enter[i + 1] <= t) ++i;
+    return i;
+  };
+
+  std::optional<CarrierId> carrier;
+
+  auto emit = [&](std::size_t station_idx, time::Seconds start,
+                  double duration_s) {
+    const auto cell =
+        pick_cell(car, route[station_idx], toward_of(station_idx), carrier, rng);
+    if (!cell.has_value()) return;
+    cdr::Connection c;
+    c.car = car.id;
+    c.cell = *cell;
+    c.start = start;
+    c.duration_s = static_cast<std::int32_t>(duration_s);
+    out.push_back(c);
+  };
+
+  // A ping's logged duration = the transfer itself + the RRC inactivity
+  // timeout that keeps the connection up afterwards.
+  auto ping_duration = [&]() {
+    const double activity =
+        clamp(rng.lognormal_median(config_.ping_activity_median_s,
+                                   config_.ping_activity_sigma),
+              1.0, 60.0);
+    return activity + rng.uniform(config_.rrc.timeout_min_s,
+                                  config_.rrc.timeout_max_s);
+  };
+
+  // 0. Remote-start warm-up idle at the origin, before departure.
+  if (rng.bernoulli(config_.warmup_prob)) {
+    const double dur = clamp(
+        rng.lognormal_median(config_.warmup_median_s, config_.warmup_sigma),
+        30.0, config_.idle_max_s);
+    const auto lead = static_cast<time::Seconds>(rng.uniform(30.0, 240.0));
+    emit(0, trip.depart - lead - static_cast<time::Seconds>(dur), dur);
+  }
+
+  // 1. Ignition ping at departure.
+  emit(0, trip.depart, ping_duration());
+
+  // 2. Periodic telemetry pings while driving. Sparse: cars "often do not
+  // connect to every cell they traverse, unless there is an immediate
+  // request to transfer data" (S4.5), so most of a journey's records come
+  // from data bursts (streams), not keep-alives.
+  time::Seconds t = trip.depart + static_cast<time::Seconds>(
+                                      rng.exponential(config_.telemetry_interval_s));
+  while (t < arrival) {
+    emit(station_index_at(t), t, ping_duration());
+    t += static_cast<time::Seconds>(
+        std::max(120.0, rng.exponential(config_.telemetry_interval_s)));
+  }
+
+  // 3. Infotainment / WiFi-hotspot stream across cells.
+  const double hotspot_prob = archetype_spec(car.archetype).hotspot_prob;
+  if (n >= 2 && rng.bernoulli(hotspot_prob)) {
+    const auto span = static_cast<double>(arrival - trip.depart);
+    const time::Seconds s0 =
+        trip.depart + static_cast<time::Seconds>(rng.uniform(0.0, 0.3 * span));
+    const double stream_len =
+        std::max(60.0, rng.exponential(config_.stream_mean_s));
+    const time::Seconds s1 = std::min<time::Seconds>(
+        s0 + static_cast<time::Seconds>(stream_len),
+        arrival +
+            static_cast<time::Seconds>(
+                rng.uniform(0.0, config_.stream_linger_max_s)));
+    // One leg per station the stream rides across.
+    std::size_t i = station_index_at(s0);
+    time::Seconds leg_start = s0;
+    while (leg_start < s1) {
+      const time::Seconds leg_end =
+          (i + 1 < n && enter[i + 1] < s1) ? enter[i + 1] : s1;
+      if (leg_end > leg_start) {
+        emit(i, leg_start, static_cast<double>(leg_end - leg_start));
+      }
+      leg_start = leg_end;
+      if (i + 1 < n && leg_start >= enter[i + 1]) ++i;
+      if (leg_end == s1) break;
+    }
+  }
+
+  // 4. Engine-on idles after arrival (waiting, remote climate,
+  // drive-through). The archetype rate is the expected count.
+  const int idles =
+      rng.poisson(archetype_spec(car.archetype).idle_per_arrival);
+  time::Seconds idle_at = arrival;
+  for (int k = 0; k < idles; ++k) {
+    idle_at += static_cast<time::Seconds>(rng.uniform(5.0, 120.0));
+    const double dur =
+        clamp(rng.lognormal_median(config_.idle_median_s, config_.idle_sigma),
+              30.0, config_.idle_max_s);
+    emit(n - 1, idle_at, dur);
+    idle_at += static_cast<time::Seconds>(dur);
+  }
+
+  // 5. Stuck record: the radio release was never logged.
+  const double p_stuck =
+      clamp(archetype_spec(car.archetype).stuck_per_arrival *
+                car.stuck_multiplier,
+            0.0, 0.95);
+  if (rng.bernoulli(p_stuck)) {
+    const double dur = rng.uniform(config_.stuck_min_s, config_.stuck_max_s);
+    emit(n - 1,
+         arrival + static_cast<time::Seconds>(rng.uniform(60.0, 300.0)), dur);
+  }
+
+  // 6. Exactly-1-hour reporting artifact (removed by cdr::clean).
+  if (rng.bernoulli(config_.hour_artifact_per_trip)) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    emit(idx, enter[idx] + static_cast<time::Seconds>(rng.uniform(0.0, 30.0)),
+         3600.0);
+  }
+
+  return arrival;
+}
+
+}  // namespace ccms::fleet

@@ -1,0 +1,110 @@
+// Trip -> radio connection generation.
+//
+// Translates a planned trip into the CDR records the paper's pipeline sees.
+// The generative vocabulary comes from how connected cars of this era
+// actually used the network (§1, §3):
+//   - ignition/telemetry pings: short bursts (the RRC connection lives for
+//     the transfer plus the 10-12 s inactivity timeout [Huang et al.]),
+//   - infotainment / in-car WiFi streams: long transfers that ride across
+//     cells as the car drives, leaving one per-cell record per handover leg,
+//   - engine-on idles (remote start, waiting, drive-through): single-cell
+//     records of minutes,
+//   - stuck records: "some modems tendency to improperly disconnect" (§3) —
+//     the radio release is never logged, so durations run into the tens of
+//     minutes; the paper mitigates these by truncating at 600 s,
+//   - exactly-1-hour artifacts: periodic network reporting records the
+//     paper removes in pre-processing.
+//
+// The mixture weights are calibrated against Fig 9 (per-cell duration CDF:
+// median ~105 s, p73 at 600 s, mean 625 s full / 238 s truncated) and Fig 3
+// (total connected time ~8% full / ~4% truncated of the study period).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cdr/record.h"
+#include "fleet/car.h"
+#include "fleet/schedule.h"
+#include "net/rrc.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ccms::fleet {
+
+/// Tunables of the connection generator (defaults are the calibrated values).
+struct GenConfig {
+  /// Mean gap between periodic telemetry pings while driving (s).
+  double telemetry_interval_s = 800;
+  /// Telemetry transfer (data activity) duration: lognormal(median, sigma),
+  /// clamped to [1, 60] s. The logged connection adds the RRC inactivity
+  /// timeout on top (S3 / Huang et al.).
+  double ping_activity_median_s = 7;
+  double ping_activity_sigma = 0.6;
+  /// RRC inactivity-timer range appended to every data burst.
+  net::RrcConfig rrc;
+  /// Streaming session length (s), exponential mean, clamped >= 60 s.
+  double stream_mean_s = 800;
+  /// Seconds a stream may continue after arrival (finishing the song).
+  double stream_linger_max_s = 300;
+  /// Engine-on idles after arrival (waiting, drive-through, remote climate):
+  /// the archetype gives the *expected count* per arrival (Poisson);
+  /// duration lognormal(median, sigma) clamped to [30, max].
+  double idle_median_s = 700;
+  double idle_sigma = 1.0;
+  double idle_max_s = 7200;
+  /// Remote-start warm-up idle before departure.
+  double warmup_prob = 0.40;
+  double warmup_median_s = 500;
+  double warmup_sigma = 0.8;
+  /// Stuck-record duration: uniform [min, max] s.
+  double stuck_min_s = 900;
+  double stuck_max_s = 6000;
+  /// Probability per trip of an exactly-1-hour reporting artifact.
+  double hour_artifact_per_trip = 0.012;
+  /// Probability of keeping the previous carrier when it is available at the
+  /// next station (same-frequency handover preference).
+  double carrier_stickiness = 0.9;
+  /// Probability that a fresh (re)selection camps on the car's preferred
+  /// carrier when deployed, rather than drawing by weight. Camping makes a
+  /// car's habitual stations map to the same few cells day after day, which
+  /// keeps daily cell coverage below the ever-touched set (Fig 2).
+  double camping_prob = 0.75;
+  /// Driving speed per geography class {downtown, suburban, highway, rural}
+  /// in km/h; with 1.6 km spacing this yields per-cell dwells of ~60-190 s,
+  /// the bulk of Fig 9's drive-through legs.
+  std::array<double, net::kGeoClassCount> speed_kmh = {28, 40, 80, 62};
+  /// Relative jitter on per-station dwell times.
+  double dwell_jitter = 0.25;
+};
+
+/// Stateless (per-trip) generator; one instance serves the whole fleet.
+class ConnectionGenerator {
+ public:
+  explicit ConnectionGenerator(const net::Topology& topology,
+                               const GenConfig& config = {});
+
+  /// Appends all records of `car` caused by `trip` to `out`. `rng` is the
+  /// car's own stream. Returns the arrival time (engine off).
+  time::Seconds generate_trip(const CarProfile& car, const Trip& trip,
+                              util::Rng& rng,
+                              std::vector<cdr::Connection>& out) const;
+
+  [[nodiscard]] const GenConfig& config() const { return config_; }
+
+ private:
+  /// Picks the serving cell at `station` for a car heading toward `toward`,
+  /// with carrier persistence in `current`. Returns nullopt when no
+  /// deployed carrier is supported by the modem.
+  [[nodiscard]] std::optional<CellId> pick_cell(
+      const CarProfile& car, StationId station, net::Position toward,
+      std::optional<CarrierId>& current, util::Rng& rng) const;
+
+  /// Per-station traversal dwell in seconds (before jitter).
+  [[nodiscard]] double base_dwell_s(StationId station) const;
+
+  const net::Topology& topology_;
+  GenConfig config_;
+};
+
+}  // namespace ccms::fleet

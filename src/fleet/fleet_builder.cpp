@@ -1,0 +1,145 @@
+#include "fleet/fleet_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccms::fleet {
+
+namespace {
+
+/// Station lists per geography class.
+std::array<std::vector<StationId>, net::kGeoClassCount> stations_by_class(
+    const net::Topology& topology) {
+  std::array<std::vector<StationId>, net::kGeoClassCount> by_class;
+  for (std::uint32_t s = 0; s < topology.station_count(); ++s) {
+    const StationId id{s};
+    by_class[static_cast<std::size_t>(topology.station_class(id))].push_back(
+        id);
+  }
+  return by_class;
+}
+
+StationId sample_station(
+    const std::array<std::vector<StationId>, net::kGeoClassCount>& by_class,
+    std::span<const double> class_weights, util::Rng& rng) {
+  // Zero out weights of empty classes, then draw.
+  std::array<double, net::kGeoClassCount> w{};
+  for (int g = 0; g < net::kGeoClassCount; ++g) {
+    w[static_cast<std::size_t>(g)] =
+        by_class[static_cast<std::size_t>(g)].empty()
+            ? 0.0
+            : class_weights[static_cast<std::size_t>(g)];
+  }
+  const auto g = rng.categorical(w);
+  const auto& list = by_class[g];
+  return list[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(list.size()) - 1))];
+}
+
+int chebyshev(const net::Topology& topo, StationId a, StationId b) {
+  const auto ca = topo.station_coord(a);
+  const auto cb = topo.station_coord(b);
+  return std::max(std::abs(ca.ix - cb.ix), std::abs(ca.iy - cb.iy));
+}
+
+}  // namespace
+
+std::vector<CarProfile> build_fleet(const net::Topology& topology,
+                                    const FleetConfig& config,
+                                    util::Rng& rng) {
+  const auto by_class = stations_by_class(topology);
+  const auto catalogue = archetype_catalogue();
+
+  // Exact-quota archetype assignment, then shuffled so car id carries no
+  // information about behaviour (ids are "anonymized", like the paper's).
+  std::vector<Archetype> assignment;
+  assignment.reserve(static_cast<std::size_t>(config.size));
+  for (const ArchetypeSpec& spec : catalogue) {
+    const auto quota = static_cast<std::size_t>(
+        std::llround(spec.population_share * config.size));
+    for (std::size_t i = 0; i < quota && assignment.size() <
+                                             static_cast<std::size_t>(config.size);
+         ++i) {
+      assignment.push_back(spec.archetype);
+    }
+  }
+  while (assignment.size() < static_cast<std::size_t>(config.size)) {
+    assignment.push_back(Archetype::kRegularCommuter);
+  }
+  rng.shuffle(assignment);
+
+  std::vector<CarProfile> fleet;
+  fleet.reserve(assignment.size());
+  const auto carrier_specs = net::carrier_catalogue();
+
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    util::Rng car_rng = rng.split(0xCA500000ULL + i);
+    CarProfile car;
+    car.id = CarId{static_cast<std::uint32_t>(i)};
+    car.archetype = assignment[i];
+    const ArchetypeSpec& spec = archetype_spec(car.archetype);
+
+    car.home = sample_station(by_class, config.home_class_weights, car_rng);
+    car.work = car.home;
+    if (spec.commutes) {
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        car.work =
+            sample_station(by_class, config.work_class_weights, car_rng);
+        const int d = chebyshev(topology, car.home, car.work);
+        if (d >= 2 && d <= 11) break;
+      }
+    }
+
+    car.depart_am = static_cast<time::Seconds>(
+        car_rng.uniform(6.4 * time::kSecondsPerHour,
+                        9.0 * time::kSecondsPerHour));
+    car.depart_pm = static_cast<time::Seconds>(
+        car_rng.uniform(15.5 * time::kSecondsPerHour,
+                        18.5 * time::kSecondsPerHour));
+
+    car.activity_scale =
+        car_rng.uniform(spec.activity_scale_min, spec.activity_scale_max);
+    car.stuck_multiplier =
+        std::min(2.0, std::exp(config.stuck_sigma * car_rng.normal()));
+
+    bool any = false;
+    for (const net::CarrierSpec& cs : carrier_specs) {
+      const bool supported = car_rng.bernoulli(cs.modem_support_fraction);
+      car.carrier_support[cs.id.value] = supported;
+      any = any || supported;
+    }
+    if (!car.carrier_support[0] && !car.carrier_support[2]) {
+      // Every modem of this OEM ships with at least the C1+C3 baseline.
+      car.carrier_support[0] = true;
+      car.carrier_support[2] = true;
+    }
+    (void)any;
+
+    // Camping preference among supported carriers, by selection weight.
+    std::array<double, net::kCarrierCount> pref_weights{};
+    for (const net::CarrierSpec& cs : carrier_specs) {
+      if (car.carrier_support[cs.id.value]) {
+        pref_weights[cs.id.value] = cs.selection_weight;
+      }
+    }
+    car.preferred_carrier = CarrierId{
+        static_cast<std::uint8_t>(car_rng.categorical(pref_weights))};
+
+    car.tz_offset_hours =
+        -static_cast<int>(car_rng.categorical(config.timezone_shares));
+
+    fleet.push_back(car);
+  }
+  return fleet;
+}
+
+std::array<std::size_t, kArchetypeCount> archetype_counts(
+    const std::vector<CarProfile>& fleet) {
+  std::array<std::size_t, kArchetypeCount> counts{};
+  for (const CarProfile& car : fleet) {
+    ++counts[static_cast<std::size_t>(car.archetype)];
+  }
+  return counts;
+}
+
+}  // namespace ccms::fleet

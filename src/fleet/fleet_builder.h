@@ -1,0 +1,44 @@
+// Fleet construction: draw per-car profiles from the archetype catalogue
+// and place homes/workplaces on the topology.
+#pragma once
+
+#include <vector>
+
+#include "fleet/car.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ccms::fleet {
+
+/// Knobs of fleet construction.
+struct FleetConfig {
+  int size = 2000;
+  /// Class weights for home placement {downtown, suburban, highway, rural}.
+  std::array<double, net::kGeoClassCount> home_class_weights = {0.07, 0.60,
+                                                                0.08, 0.25};
+  /// Class weights for commuter workplaces.
+  std::array<double, net::kGeoClassCount> work_class_weights = {0.55, 0.35,
+                                                                0.10, 0.00};
+  /// Log-space sigma of the per-car stuck multiplier.
+  double stuck_sigma = 0.6;
+
+  /// Population share per time zone offset, from the reference zone going
+  /// west (offsets 0, -1, -2, -3 hours — the ET/CT/MT/PT split of a US
+  /// national fleet). The default keeps everything in one zone; enable the
+  /// spread to exercise the paper's "rendered in respective local times"
+  /// handling of the 24x7 matrices.
+  std::array<double, 4> timezone_shares = {1.0, 0.0, 0.0, 0.0};
+};
+
+/// Builds `config.size` car profiles. Deterministic given `rng`.
+/// Archetypes are assigned by quota (exact shares, shuffled), so small fleets
+/// still contain every archetype in the intended proportion.
+[[nodiscard]] std::vector<CarProfile> build_fleet(const net::Topology& topology,
+                                                  const FleetConfig& config,
+                                                  util::Rng& rng);
+
+/// Counts per archetype in a fleet (diagnostics / tests).
+[[nodiscard]] std::array<std::size_t, kArchetypeCount> archetype_counts(
+    const std::vector<CarProfile>& fleet);
+
+}  // namespace ccms::fleet

@@ -1,0 +1,122 @@
+#include "fleet/reference_devices.h"
+
+#include <algorithm>
+
+#include "net/carrier.h"
+
+namespace ccms::fleet {
+
+namespace {
+
+/// Picks the cell at `station` for a stationary device: a fixed sector
+/// (devices do not move, so they camp on one antenna) and a carrier drawn
+/// by the usual preference weights among deployed ones.
+std::optional<CellId> stationary_cell(const net::Topology& topology,
+                                      StationId station, util::Rng& rng) {
+  const auto deployed = topology.carriers_at(station);
+  if (deployed.empty()) return std::nullopt;
+  std::array<double, net::kCarrierCount> weights{};
+  for (const CarrierId c : deployed) {
+    weights[c.value] = net::carrier_spec(c).selection_weight;
+  }
+  const auto carrier =
+      CarrierId{static_cast<std::uint8_t>(rng.categorical(weights))};
+  const auto sector =
+      SectorId{static_cast<std::uint8_t>(rng.uniform_int(0, 2))};
+  return topology.cell_at(station, sector, carrier);
+}
+
+StationId random_station(const net::Topology& topology, util::Rng& rng) {
+  return StationId{static_cast<std::uint32_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(topology.station_count()) - 1))};
+}
+
+}  // namespace
+
+std::vector<cdr::Connection> generate_smartphones(
+    const net::Topology& topology, const SmartphoneConfig& config,
+    util::Rng& rng) {
+  std::vector<cdr::Connection> records;
+  const time::Seconds study_end =
+      static_cast<time::Seconds>(config.study_days) * time::kSecondsPerDay;
+
+  for (int device = 0; device < config.count; ++device) {
+    util::Rng dev_rng = rng.split(0x5A127'0000ULL + static_cast<std::uint64_t>(device));
+    const StationId home = random_station(topology, dev_rng);
+    const StationId work = random_station(topology, dev_rng);
+    const auto home_cell = stationary_cell(topology, home, dev_rng);
+    const auto work_cell = stationary_cell(topology, work, dev_rng);
+    if (!home_cell.has_value()) continue;
+
+    for (int day = 0; day < config.study_days; ++day) {
+      const time::Seconds day_start =
+          static_cast<time::Seconds>(day) * time::kSecondsPerDay;
+      const bool workday =
+          !time::is_weekend(time::weekday(day_start)) && work_cell.has_value();
+
+      // Sessions over the waking window.
+      time::Seconds t =
+          day_start + config.wake_hour * time::kSecondsPerHour +
+          static_cast<time::Seconds>(
+              dev_rng.exponential(3600.0 / config.sessions_per_hour));
+      const time::Seconds sleep =
+          day_start + config.sleep_hour * time::kSecondsPerHour;
+      while (t < sleep && t < study_end) {
+        const int hour = time::hour_of_day(t);
+        // 9-17 on workdays: at work; otherwise at home. (Commute transit
+        // is negligible session-wise for phones: 2 of ~40 sessions.)
+        const CellId cell =
+            (workday && hour >= 9 && hour < 17) ? *work_cell : *home_cell;
+        const double duration = std::clamp(
+            dev_rng.lognormal_median(config.session_median_s,
+                                     config.session_sigma),
+            4.0, 7200.0);
+        cdr::Connection c;
+        c.car = CarId{static_cast<std::uint32_t>(device)};
+        c.cell = cell;
+        c.start = t;
+        c.duration_s = static_cast<std::int32_t>(duration);
+        if (c.end() <= study_end) records.push_back(c);
+        t += static_cast<time::Seconds>(
+                 duration +
+                 dev_rng.exponential(3600.0 / config.sessions_per_hour));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<cdr::Connection> generate_iot_meters(const net::Topology& topology,
+                                                 const IotMeterConfig& config,
+                                                 util::Rng& rng) {
+  std::vector<cdr::Connection> records;
+  const time::Seconds study_end =
+      static_cast<time::Seconds>(config.study_days) * time::kSecondsPerDay;
+
+  for (int device = 0; device < config.count; ++device) {
+    util::Rng dev_rng = rng.split(0x107'0000ULL + static_cast<std::uint64_t>(device));
+    const auto cell =
+        stationary_cell(topology, random_station(topology, dev_rng), dev_rng);
+    if (!cell.has_value()) continue;
+
+    // Fixed reporting phase per device, spread across the day.
+    const double period_s = 86400.0 / std::max(0.1, config.reports_per_day);
+    time::Seconds t = static_cast<time::Seconds>(
+        dev_rng.uniform(0.0, period_s));
+    while (t < study_end) {
+      cdr::Connection c;
+      c.car = CarId{static_cast<std::uint32_t>(device)};
+      c.cell = *cell;
+      c.start = t;
+      c.duration_s = static_cast<std::int32_t>(
+          dev_rng.uniform(config.report_min_s, config.report_max_s));
+      if (c.end() <= study_end) records.push_back(c);
+      // Mild jitter around the fixed period.
+      t += static_cast<time::Seconds>(period_s *
+                                      dev_rng.uniform(0.85, 1.15));
+    }
+  }
+  return records;
+}
+
+}  // namespace ccms::fleet

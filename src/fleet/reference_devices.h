@@ -1,0 +1,65 @@
+// Reference device populations: smartphones and static IoT meters.
+//
+// §4.7 positions connected cars between two known device classes:
+//   "Similarities to smartphones include weekly and diurnal patterns ...
+//    Similarities to IoT devices include limited carrier use capability,
+//    connecting to a subset of the network cells, short time on the network
+//    overall and per session."
+// and §2 cites Shafiq et al.'s M2M study and the LANMAN connected-car
+// signaling result (4-7x the signaling intensity of regular LTE devices).
+//
+// To let the comparison run inside one framework, this module generates CDR
+// streams for the two reference classes on the same topology the cars use:
+//   - smartphones: with their user all waking hours (not just while
+//     driving), many short data sessions per day, low mobility (home cell
+//     overnight, work cell on weekdays, a little transit),
+//   - static IoT meters: bolted to one cell, a few telemetry reports per
+//     day, seconds each.
+#pragma once
+
+#include <vector>
+
+#include "cdr/record.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ccms::fleet {
+
+/// Tunables of the smartphone generator.
+struct SmartphoneConfig {
+  int count = 500;
+  int study_days = 90;
+  /// Data sessions per waking hour. Phones hold few, long RRC sessions:
+  /// screen-on periods with continuous traffic keep the connection alive.
+  double sessions_per_hour = 1.1;
+  /// Session duration: lognormal(median, sigma), clamped to [4 s, 2 h].
+  double session_median_s = 480;
+  double session_sigma = 1.3;
+  /// Waking window, local hours.
+  int wake_hour = 7;
+  int sleep_hour = 23;
+};
+
+/// Tunables of the static-IoT generator.
+struct IotMeterConfig {
+  int count = 500;
+  int study_days = 90;
+  /// Telemetry reports per day.
+  double reports_per_day = 4;
+  /// Report duration: uniform [min, max] seconds.
+  double report_min_s = 5;
+  double report_max_s = 18;
+};
+
+/// Generates smartphone CDRs. Device ids are 0..count-1 (a standalone
+/// population; callers keep the datasets separate). Deterministic.
+[[nodiscard]] std::vector<cdr::Connection> generate_smartphones(
+    const net::Topology& topology, const SmartphoneConfig& config,
+    util::Rng& rng);
+
+/// Generates static-meter CDRs. Deterministic.
+[[nodiscard]] std::vector<cdr::Connection> generate_iot_meters(
+    const net::Topology& topology, const IotMeterConfig& config,
+    util::Rng& rng);
+
+}  // namespace ccms::fleet

@@ -1,0 +1,122 @@
+#include "fleet/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccms::fleet {
+
+namespace {
+
+constexpr time::Seconds kNominalDwell = 130;  // per-station, for estimates
+constexpr time::Seconds kMinTurnaround = 10 * time::kSecondsPerMinute;
+
+/// Picks an errand destination within `radius` grid steps of `near`.
+/// With probability `local_prob` the errand stays at the home station
+/// (corner-store run within one cell's footprint).
+StationId errand_destination(const net::Topology& topo, StationId near,
+                             int radius, double local_prob, util::Rng& rng) {
+  if (rng.bernoulli(local_prob)) return near;
+  const auto c = topo.station_coord(near);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const int dx = static_cast<int>(rng.uniform_int(-radius, radius));
+    const int dy = static_cast<int>(rng.uniform_int(-radius, radius));
+    if (dx == 0 && dy == 0) continue;
+    const StationId dest = topo.station_at({c.ix + dx, c.iy + dy});
+    if (dest != near) return dest;
+  }
+  // Fall back to a neighbouring station.
+  return topo.station_at({c.ix + 1, c.iy});
+}
+
+}  // namespace
+
+time::Seconds estimate_trip_seconds(const net::Topology& topology,
+                                    StationId from, StationId to) {
+  const auto a = topology.station_coord(from);
+  const auto b = topology.station_coord(to);
+  const int dist = std::abs(a.ix - b.ix) + std::abs(a.iy - b.iy);
+  return (dist + 1) * kNominalDwell;
+}
+
+std::vector<Trip> plan_day(const CarProfile& car,
+                           const net::Topology& topology,
+                           const DayContext& ctx, util::Rng& rng) {
+  std::vector<Trip> trips;
+  const ArchetypeSpec& spec = archetype_spec(car.archetype);
+  const time::Seconds day_start =
+      static_cast<time::Seconds>(ctx.day) * time::kSecondsPerDay;
+  const time::Weekday dow = time::weekday(day_start);
+  const bool weekend = time::is_weekend(dow);
+
+  const double p_active =
+      std::min(1.0, spec.day_activity[static_cast<std::size_t>(dow)] *
+                        car.activity_scale * ctx.activity_factor);
+  if (!rng.bernoulli(p_active)) return trips;
+
+  auto local_to_ref = [&](time::Seconds local_second_of_day) {
+    return day_start + car.to_reference(local_second_of_day);
+  };
+
+  if (spec.commutes && !weekend) {
+    // Habitual commute with modest jitter; the pm leg gets more spread
+    // (meetings, traffic, errands on the way).
+    const time::Seconds am =
+        local_to_ref(car.depart_am + static_cast<time::Seconds>(
+                                         rng.normal(0.0, 12 * 60.0)));
+    const time::Seconds pm =
+        local_to_ref(car.depart_pm + static_cast<time::Seconds>(
+                                         rng.normal(0.0, 25 * 60.0)));
+    trips.push_back({am, car.home, car.work});
+    trips.push_back({pm, car.work, car.home});
+
+    // Evening errands: short round trips from home.
+    const int extras = rng.poisson(spec.extra_trips_weekday);
+    for (int e = 0; e < extras; ++e) {
+      const StationId dest = errand_destination(
+          topology, car.home, spec.errand_radius, spec.local_errand_prob, rng);
+      const time::Seconds out = local_to_ref(static_cast<time::Seconds>(
+          rng.uniform(18.6 * time::kSecondsPerHour,
+                      21.2 * time::kSecondsPerHour)));
+      const time::Seconds back =
+          out + estimate_trip_seconds(topology, car.home, dest) +
+          static_cast<time::Seconds>(
+              rng.uniform(15 * 60.0, 75 * 60.0));  // time at destination
+      trips.push_back({out, car.home, dest});
+      trips.push_back({back, dest, car.home});
+    }
+  } else {
+    // Non-commute day: one or more round trips from home.
+    const double extra_mean =
+        weekend ? spec.extra_trips_weekend : spec.extra_trips_weekday;
+    const int rounds = 1 + rng.poisson(extra_mean);
+    for (int r = 0; r < rounds; ++r) {
+      const StationId dest = errand_destination(
+          topology, car.home, spec.errand_radius, spec.local_errand_prob, rng);
+      const time::Seconds out = local_to_ref(static_cast<time::Seconds>(
+          rng.uniform(8.5 * time::kSecondsPerHour,
+                      19.5 * time::kSecondsPerHour)));
+      const time::Seconds back =
+          out + estimate_trip_seconds(topology, car.home, dest) +
+          static_cast<time::Seconds>(rng.uniform(20 * 60.0, 150 * 60.0));
+      trips.push_back({out, car.home, dest});
+      trips.push_back({back, dest, car.home});
+    }
+  }
+
+  // Order by departure and enforce spacing: a trip cannot depart before the
+  // previous one has plausibly arrived plus a minimal turnaround.
+  std::sort(trips.begin(), trips.end(),
+            [](const Trip& a, const Trip& b) { return a.depart < b.depart; });
+  std::vector<Trip> spaced;
+  spaced.reserve(trips.size());
+  time::Seconds earliest = day_start;
+  for (Trip t : trips) {
+    if (t.depart < earliest) t.depart = earliest;
+    spaced.push_back(t);
+    earliest = t.depart + estimate_trip_seconds(topology, t.from, t.to) +
+               kMinTurnaround;
+  }
+  return spaced;
+}
+
+}  // namespace ccms::fleet

@@ -1,0 +1,47 @@
+// Daily trip planning.
+//
+// §3: "the cars from this OEM can connect to the network only when the
+// engine is running, so connections correlate to car usage and driving."
+// Trips are therefore the root of everything: a car with no trips on a day
+// produces no records that day (Fig 2/6/Table 1), and trip times place the
+// records in the day (Figs 4/5/8/10).
+#pragma once
+
+#include <vector>
+
+#include "fleet/car.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ccms::fleet {
+
+/// One planned drive from one station to another.
+struct Trip {
+  time::Seconds depart = 0;  ///< study (reference) time of ignition
+  StationId from;
+  StationId to;
+};
+
+/// Per-day global context supplied by the simulator.
+struct DayContext {
+  int day = 0;
+  /// Global multiplicative factor on activity probabilities for this day:
+  /// carries Fig 2's slow upward trend and the Friday/Saturday variability
+  /// of Table 1.
+  double activity_factor = 1.0;
+};
+
+/// Plans all trips of `car` on `ctx.day`. Returns an empty vector on
+/// inactive days. Trips are sorted by departure and spaced so a trip never
+/// departs before the previous one has plausibly arrived.
+[[nodiscard]] std::vector<Trip> plan_day(const CarProfile& car,
+                                         const net::Topology& topology,
+                                         const DayContext& ctx,
+                                         util::Rng& rng);
+
+/// Rough driving duration estimate used for spacing trips (seconds): the
+/// grid distance times a nominal per-station dwell.
+[[nodiscard]] time::Seconds estimate_trip_seconds(const net::Topology& topology,
+                                                  StationId from, StationId to);
+
+}  // namespace ccms::fleet

@@ -1,0 +1,126 @@
+#include "fota/campaign.h"
+
+#include <algorithm>
+
+#include "net/carrier.h"
+#include "util/time.h"
+
+namespace ccms::fota {
+
+BinMask all_day() {
+  BinMask mask;
+  mask.fill(true);
+  return mask;
+}
+
+BinMask window(int first_bin, int last_bin) {
+  BinMask mask{};
+  int bin = ((first_bin % 96) + 96) % 96;
+  const int last = ((last_bin % 96) + 96) % 96;
+  while (true) {
+    mask[static_cast<std::size_t>(bin)] = true;
+    if (bin == last) break;
+    bin = (bin + 1) % 96;
+  }
+  return mask;
+}
+
+BinMask off_peak_only() {
+  BinMask mask = all_day();
+  for (int bin = 14 * 4; bin < 96; ++bin) {
+    mask[static_cast<std::size_t>(bin)] = false;
+  }
+  return mask;
+}
+
+CampaignSimulator::CampaignSimulator(const cdr::Dataset& cleaned,
+                                     const core::CellLoad& load,
+                                     const net::CellTable& cells)
+    : dataset_(cleaned), load_(load), cells_(cells) {}
+
+std::vector<CarAssignment> CampaignSimulator::uniform_assignment(
+    const BinMask& mask) const {
+  std::vector<CarAssignment> assignments;
+  dataset_.for_each_car([&](CarId car, std::span<const cdr::Connection>) {
+    assignments.push_back({car, mask});
+  });
+  return assignments;
+}
+
+CampaignOutcome CampaignSimulator::run(
+    std::span<const CarAssignment> assignments,
+    const CampaignConfig& config) const {
+  CampaignOutcome outcome;
+  outcome.total_cars = assignments.size();
+  outcome.completions_per_day.assign(
+      static_cast<std::size_t>(std::max(1, config.max_days)), 0);
+
+  const time::Seconds campaign_start =
+      static_cast<time::Seconds>(config.start_day) * time::kSecondsPerDay;
+  const time::Seconds campaign_end =
+      campaign_start +
+      static_cast<time::Seconds>(config.max_days) * time::kSecondsPerDay;
+  const double share = std::clamp(config.download_share, 0.0, 1.0);
+
+  std::vector<double> completion_days;
+  for (const CarAssignment& assignment : assignments) {
+    const auto records = dataset_.of_car(assignment.car);
+    double remaining_mb = config.update_mb;
+    bool any_usable = false;
+    bool done = false;
+
+    for (const cdr::Connection& c : records) {
+      if (done || c.end() <= campaign_start) continue;
+      if (c.start >= campaign_end) break;
+
+      // Walk the record bin by bin.
+      time::Seconds t = std::max(c.start, campaign_start);
+      const time::Seconds end = std::min(c.end(), campaign_end);
+      while (t < end && !done) {
+        const time::Seconds next_bin =
+            (t / time::kSecondsPerBin15 + 1) * time::kSecondsPerBin15;
+        const time::Seconds slice_end = std::min(next_bin, end);
+        const double slice_s = static_cast<double>(slice_end - t);
+        const int bin_of_day = time::bin15_of_day(t);
+
+        if (assignment.allowed[static_cast<std::size_t>(bin_of_day)]) {
+          any_usable = true;
+          const double free =
+              std::max(0.0, 1.0 - load_.at_time(c.cell, t));
+          const double rate_mbps =
+              free * share *
+              net::peak_throughput_mbps(cells_.info(c.cell).carrier);
+          const double delivered =
+              std::min(remaining_mb, rate_mbps * slice_s / 8.0);
+          remaining_mb -= delivered;
+
+          const bool peak_bin = bin_of_day >= 14 * 4;
+          (peak_bin ? outcome.peak_mb : outcome.offpeak_mb) += delivered;
+
+          if (remaining_mb <= 0) {
+            done = true;
+            const auto day_offset = static_cast<std::size_t>(
+                time::day_index(t) - config.start_day);
+            if (day_offset < outcome.completions_per_day.size()) {
+              ++outcome.completions_per_day[day_offset];
+            }
+            completion_days.push_back(static_cast<double>(day_offset));
+          }
+        }
+        t = slice_end;
+      }
+    }
+
+    if (done) {
+      ++outcome.completed;
+    } else if (!any_usable) {
+      ++outcome.never_connected;
+    }
+  }
+
+  outcome.days_to_complete =
+      stats::EmpiricalDistribution(std::move(completion_days));
+  return outcome;
+}
+
+}  // namespace ccms::fota

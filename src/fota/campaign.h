@@ -1,0 +1,104 @@
+// Connectivity-driven FOTA campaign simulation.
+//
+// The paper's motivation (§1): "Managing large volume downloads, at high
+// speeds, and supporting devices that are typically considered legacy is
+// going to require innovative network planning and management strategies",
+// and its Fig 3 warning that "the window of opportunity to deliver large
+// amounts of data is very small."
+//
+// This module simulates a whole OTA campaign against the *actual* radio
+// connections of the study: a car can only receive bytes while one of its
+// CDR records is open, in a 15-minute bin its delivery policy allows, at a
+// rate bounded by the idle capacity of the serving cell. The output answers
+// the operator's questions directly: how many days until the fleet is
+// patched, which cars never complete, and how many megabytes the campaign
+// pushed into already-busy peak bins.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "core/load_view.h"
+#include "net/cell.h"
+#include "stats/quantile.h"
+
+namespace ccms::fota {
+
+/// Which 15-minute bins of the day a policy allows delivery in.
+using BinMask = std::array<bool, 96>;
+
+/// Every bin allowed (the unrestricted baseline).
+[[nodiscard]] BinMask all_day();
+
+/// Bins [first, last] inclusive, wrapping past midnight (e.g. window(92, 24)
+/// = 23:00-06:15).
+[[nodiscard]] BinMask window(int first_bin, int last_bin);
+
+/// Complement of core::network_peak_mask()'s hours: everything outside
+/// 14:00-24:00.
+[[nodiscard]] BinMask off_peak_only();
+
+/// One car's campaign assignment.
+struct CarAssignment {
+  CarId car;
+  BinMask allowed{};
+};
+
+/// Campaign parameters.
+struct CampaignConfig {
+  double update_mb = 500;  ///< OTA image size
+  int start_day = 45;      ///< study day the campaign opens
+  int max_days = 45;       ///< give up after this many days
+  /// Fraction of a cell's idle capacity one FOTA flow may absorb (operators
+  /// throttle background downloads; 1.0 = the greedy Fig 1 behaviour).
+  double download_share = 0.5;
+};
+
+/// Result of a simulated campaign.
+struct CampaignOutcome {
+  std::size_t total_cars = 0;
+  std::size_t completed = 0;
+  /// Cars with no usable connected time during the campaign window.
+  std::size_t never_connected = 0;
+  /// completions_per_day[k] = cars finishing on start_day + k.
+  std::vector<int> completions_per_day;
+  /// Days-to-complete distribution over completed cars.
+  stats::EmpiricalDistribution days_to_complete;
+  /// Megabytes delivered during network-peak bins (14-24h) vs outside them
+  /// — the congestion-impact split.
+  double peak_mb = 0;
+  double offpeak_mb = 0;
+
+  [[nodiscard]] double completion_rate() const {
+    return total_cars > 0
+               ? static_cast<double>(completed) / static_cast<double>(total_cars)
+               : 0.0;
+  }
+};
+
+/// Simulates campaigns against one cleaned study.
+class CampaignSimulator {
+ public:
+  /// `cleaned` must be finalized; `load` provides per-(cell, bin) average
+  /// utilisation; `cells` maps cells to carriers for throughput.
+  CampaignSimulator(const cdr::Dataset& cleaned, const core::CellLoad& load,
+                    const net::CellTable& cells);
+
+  /// Runs one campaign. Cars not listed in `assignments` are not part of
+  /// the campaign. Deterministic.
+  [[nodiscard]] CampaignOutcome run(std::span<const CarAssignment> assignments,
+                                    const CampaignConfig& config) const;
+
+  /// Convenience: the same mask for every car with records.
+  [[nodiscard]] std::vector<CarAssignment> uniform_assignment(
+      const BinMask& mask) const;
+
+ private:
+  const cdr::Dataset& dataset_;
+  const core::CellLoad& load_;
+  const net::CellTable& cells_;
+};
+
+}  // namespace ccms::fota

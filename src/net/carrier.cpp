@@ -1,0 +1,42 @@
+#include "net/carrier.h"
+
+namespace ccms::net {
+
+namespace {
+
+// deployment_by_class order: {downtown, suburban, highway, rural}.
+constexpr std::array<CarrierSpec, kCarrierCount> kCatalogue = {{
+    // C1: low-band workhorse; everywhere.
+    {CarrierId{0}, "C1", 739.0, 10.0, Technology::k4G,
+     {1.00, 1.00, 1.00, 1.00}, 0.16, 0.987},
+    // C2: narrow low-band; widely deployed but rarely preferred; also
+    // anchors the residual 3G layer at some rural sites.
+    {CarrierId{1}, "C2", 881.5, 5.0, Technology::k4G,
+     {0.95, 0.90, 0.85, 0.70}, 0.09, 0.892},
+    // C3: mid-band capacity layer; the workhorse by connected time.
+    {CarrierId{2}, "C3", 2145.0, 20.0, Technology::k4G,
+     {1.00, 1.00, 0.95, 0.75}, 0.70, 0.987},
+    // C4: mid-band; ~81% of modems of this OEM support the band.
+    {CarrierId{3}, "C4", 1960.0, 15.0, Technology::k4G,
+     {1.00, 0.95, 0.70, 0.40}, 0.44, 0.808},
+    // C5: new high band; handful of downtown sites, nearly no modem support.
+    {CarrierId{4}, "C5", 2355.0, 20.0, Technology::k4G,
+     {0.15, 0.00, 0.00, 0.00}, 0.40, 0.00006},
+}};
+
+}  // namespace
+
+std::span<const CarrierSpec, kCarrierCount> carrier_catalogue() {
+  return kCatalogue;
+}
+
+const CarrierSpec& carrier_spec(CarrierId id) {
+  return kCatalogue[id.value];
+}
+
+double peak_throughput_mbps(CarrierId id) {
+  constexpr double kSpectralEfficiencyBpsPerHz = 1.6;
+  return carrier_spec(id).bandwidth_mhz * kSpectralEfficiencyBpsPerHz;
+}
+
+}  // namespace ccms::net

@@ -1,0 +1,54 @@
+// Radio carrier (frequency band) catalogue.
+//
+// §4.6: the studied cars connect over five observed carriers C1..C5. The
+// paper anonymises the actual bands; we model a plausible US LTE band plan
+// with the properties the paper reports:
+//   - C1..C4 are usable by effectively the whole car population; C5 is a new
+//     band only a negligible sliver of modems supports (0.006% of cars),
+//   - C3 and C4 carry ~75% of connected time (C3 51.9%, C4 22.1%),
+//   - higher-frequency carriers have wider bandwidth => higher throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/types.h"
+
+namespace ccms::net {
+
+/// Number of carriers in the study.
+inline constexpr int kCarrierCount = 5;
+
+/// Radio access technology. 3G appears only residually (§4.5 finds 3G/4G
+/// handovers "in negligible numbers").
+enum class Technology : std::uint8_t { k3G = 0, k4G = 1 };
+
+/// Static description of one carrier.
+struct CarrierSpec {
+  CarrierId id;
+  const char* name;          ///< "C1".."C5", the paper's anonymised names
+  double frequency_mhz;      ///< nominal downlink centre frequency
+  double bandwidth_mhz;      ///< channel bandwidth (drives peak throughput)
+  Technology technology;     ///< C1 also anchors residual 3G coverage
+  /// Probability that a station of each geography class deploys this
+  /// carrier, indexed by net::GeoClass (downtown, suburban, highway, rural).
+  std::array<double, 4> deployment_by_class;
+  /// Relative preference of the car modem when several carriers are
+  /// available at a station; calibrated to Table 3's time shares.
+  double selection_weight;
+  /// Fraction of car modems capable of using this carrier at all.
+  double modem_support_fraction;
+};
+
+/// The five-carrier catalogue (index = CarrierId::value).
+[[nodiscard]] std::span<const CarrierSpec, kCarrierCount> carrier_catalogue();
+
+/// Spec for one carrier id (must be < kCarrierCount).
+[[nodiscard]] const CarrierSpec& carrier_spec(CarrierId id);
+
+/// Peak downlink throughput in Mbit/s for a carrier: bandwidth times an
+/// assumed average LTE spectral efficiency (~1.6 bit/s/Hz across the cell).
+[[nodiscard]] double peak_throughput_mbps(CarrierId id);
+
+}  // namespace ccms::net

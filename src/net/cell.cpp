@@ -1,0 +1,59 @@
+#include "net/cell.h"
+
+namespace ccms::net {
+
+const char* name(GeoClass g) {
+  switch (g) {
+    case GeoClass::kDowntown:
+      return "downtown";
+    case GeoClass::kSuburban:
+      return "suburban";
+    case GeoClass::kHighway:
+      return "highway";
+    case GeoClass::kRural:
+      return "rural";
+  }
+  return "?";
+}
+
+const char* name(HandoverType t) {
+  switch (t) {
+    case HandoverType::kNone:
+      return "none";
+    case HandoverType::kInterTechnology:
+      return "inter-technology";
+    case HandoverType::kInterStation:
+      return "inter-station";
+    case HandoverType::kInterSector:
+      return "inter-sector";
+    case HandoverType::kInterCarrier:
+      return "inter-carrier";
+  }
+  return "?";
+}
+
+HandoverType classify_handover(const CellInfo& a, const CellInfo& b) {
+  if (a.id == b.id) return HandoverType::kNone;
+  if (a.technology != b.technology) return HandoverType::kInterTechnology;
+  if (a.station != b.station) return HandoverType::kInterStation;
+  if (a.sector != b.sector) return HandoverType::kInterSector;
+  return HandoverType::kInterCarrier;
+}
+
+CellId CellTable::add(StationId station, SectorId sector, CarrierId carrier,
+                      GeoClass geo, Technology technology) {
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(CellInfo{id, station, sector, carrier, geo, technology});
+  if (by_station_.size() <= station.value) {
+    by_station_.resize(station.value + 1);
+  }
+  by_station_[station.value].push_back(id);
+  return id;
+}
+
+std::span<const CellId> CellTable::cells_of(StationId station) const {
+  if (station.value >= by_station_.size()) return {};
+  return by_station_[station.value];
+}
+
+}  // namespace ccms::net

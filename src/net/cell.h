@@ -1,0 +1,102 @@
+// Radio cells and the station/sector/carrier hierarchy.
+//
+// §3: "User devices ... connect to a radio cell over a certain radio
+// frequency or a carrier. Each cell covers a geographic area with a
+// directional antenna and it is common to find 3 such cells covering a full
+// circle ... Multiple cells covering the same direction and area can be
+// called a sector. For coverage and capacity, there are typically multiple
+// cells per base station, anywhere from 3 to 12."
+//
+// We model exactly that hierarchy: a base station has 3 sectors; each sector
+// hosts one cell per deployed carrier; a cell is the unit a CDR references.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/carrier.h"
+#include "util/types.h"
+
+namespace ccms::net {
+
+/// Number of directional sectors per base station (120 degrees each).
+inline constexpr int kSectorsPerStation = 3;
+
+/// Geography class of a base station; drives background load, deployment
+/// and how often car routes traverse it.
+enum class GeoClass : std::uint8_t {
+  kDowntown = 0,  ///< dense urban core; high background load, busy cells
+  kSuburban = 1,  ///< residential ring; moderate load
+  kHighway = 2,   ///< corridor sites; commute-hour bumps, high car flux
+  kRural = 3,     ///< sparse edge sites; low load, few carriers
+};
+
+inline constexpr int kGeoClassCount = 4;
+
+/// Human-readable class name.
+[[nodiscard]] const char* name(GeoClass g);
+
+/// Immutable description of one cell.
+struct CellInfo {
+  CellId id;
+  StationId station;
+  SectorId sector;
+  CarrierId carrier;
+  GeoClass geo = GeoClass::kSuburban;
+  Technology technology = Technology::k4G;
+};
+
+/// Kinds of handover between two consecutive radio connections of one
+/// session (§4.5). Classification precedence follows the paper's taxonomy:
+/// technology change first, then base station, then sector, then carrier.
+enum class HandoverType : std::uint8_t {
+  kNone = 0,             ///< same cell (re-connection, not a handover)
+  kInterTechnology = 1,  ///< 3G <-> 4G
+  kInterStation = 2,     ///< across base stations (the dominant kind)
+  kInterSector = 3,      ///< between sectors of the same base station
+  kInterCarrier = 4,     ///< between carriers of the same sector
+};
+
+inline constexpr int kHandoverTypeCount = 5;
+
+/// Human-readable handover-type name.
+[[nodiscard]] const char* name(HandoverType t);
+
+/// Classify the transition from cell `a` to cell `b`.
+[[nodiscard]] HandoverType classify_handover(const CellInfo& a,
+                                             const CellInfo& b);
+
+/// Dense table of all cells in the network, addressable by CellId, plus
+/// per-station cell lists. Built once by the Topology; analyses only read it.
+class CellTable {
+ public:
+  CellTable() = default;
+
+  /// Appends a cell for (station, sector, carrier); returns its id.
+  /// Stations must be added in nondecreasing order of station id.
+  CellId add(StationId station, SectorId sector, CarrierId carrier,
+             GeoClass geo, Technology technology = Technology::k4G);
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const CellInfo& info(CellId id) const {
+    return cells_[id.value];
+  }
+
+  /// All cells of one station (empty span for unknown stations).
+  [[nodiscard]] std::span<const CellId> cells_of(StationId station) const;
+
+  /// Number of distinct stations that own at least one cell.
+  [[nodiscard]] std::size_t station_count() const {
+    return by_station_.size();
+  }
+
+  /// All cells, id order.
+  [[nodiscard]] const std::vector<CellInfo>& all() const { return cells_; }
+
+ private:
+  std::vector<CellInfo> cells_;
+  std::vector<std::vector<CellId>> by_station_;
+};
+
+}  // namespace ccms::net

@@ -1,0 +1,95 @@
+// Background (non-car) cell load model.
+//
+// Busy-cell classification is central to the paper: Table 2 counts a car's
+// time "in cells with average U_PRB > 80% for those 15-minute bins", Fig 7
+// plots time-in-busy-cells deciles, and Fig 11 clusters cells whose weekly
+// average PRB utilisation is >= 70%. The cars themselves contribute little
+// background load (CDRs carry no volumes), so we model U_PRB as an exogenous
+// weekly profile per cell:
+//
+//   U(cell, bin) = clamp(base(class) * diurnal(class, hour) * weekend(class,
+//                  day) * cell_scale * (1 + jitter), 0, 1)
+//
+// where cell_scale is a per-cell lognormal factor and a fraction of downtown
+// cells get an extra "hot" boost, producing the small population of
+// persistently busy radios the paper studies.
+#pragma once
+
+#include <vector>
+
+#include "net/cell.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ccms::net {
+
+/// Tunables of the background load model.
+struct LoadModelConfig {
+  /// Base utilisation per GeoClass {downtown, suburban, highway, rural}.
+  std::array<double, kGeoClassCount> base = {0.50, 0.27, 0.30, 0.10};
+  /// Log-space sigma of the per-cell scale factor.
+  double cell_scale_sigma = 0.28;
+  /// Fraction of cells per class that are persistently hot (cross the
+  /// busy threshold during peak bins) — real networks have hot spots in
+  /// every geography, not just the urban core.
+  std::array<double, kGeoClassCount> hot_fraction = {0.50, 0.10, 0.12, 0.0};
+  /// Multiplier applied to hot cells' base, per class (suburban/highway
+  /// bases are low, so their hot spots need a larger boost to cross 80%).
+  std::array<double, kGeoClassCount> hot_boost = {1.60, 2.60, 2.30, 1.0};
+  /// Fraction of *stations* per class that are super-hot: every sector runs
+  /// near saturation through all waking hours (stadium, transit hub, dense
+  /// venue). Cars living at such sites spend ~all their connected time on
+  /// busy radios — Fig 7's ~1% tail.
+  std::array<double, kGeoClassCount> superhot_fraction = {0.08, 0.007, 0.02,
+                                                          0.0};
+  /// Boost applied to super-hot stations' cells.
+  std::array<double, kGeoClassCount> superhot_boost = {2.30, 3.60, 3.20, 1.0};
+  /// Radius (as a fraction of the grid half-diagonal) of the saturated urban
+  /// core: every station inside is super-hot. The contiguity is what lets a
+  /// core-resident car spend effectively *all* its connected time on busy
+  /// radios (Fig 7's ~1% tail) - every cell it can reach is congested.
+  double core_radius = 0.05;
+  /// Uniform per-bin noise amplitude (+- this fraction).
+  double jitter = 0.05;
+};
+
+/// Immutable per-cell weekly background U_PRB profiles (672 bins each).
+class BackgroundLoad {
+ public:
+  /// Builds profiles for every cell of `topology`. Deterministic given
+  /// `rng`.
+  BackgroundLoad(const Topology& topology, const LoadModelConfig& config,
+                 util::Rng& rng);
+
+  /// Background utilisation in [0,1] for `cell` during bin-of-week `bin`.
+  [[nodiscard]] double utilization(CellId cell, int bin_of_week) const {
+    return profiles_[cell.value][static_cast<std::size_t>(bin_of_week)];
+  }
+
+  /// Background utilisation at time `t`.
+  [[nodiscard]] double utilization_at(CellId cell, time::Seconds t) const {
+    return utilization(cell, time::bin15_of_week(t));
+  }
+
+  /// Whole weekly profile of one cell (672 values, Monday 00:00 first).
+  [[nodiscard]] std::span<const float> profile(CellId cell) const {
+    return profiles_[cell.value];
+  }
+
+  /// Mean over the whole week for one cell.
+  [[nodiscard]] double weekly_mean(CellId cell) const;
+
+  [[nodiscard]] std::size_t cell_count() const { return profiles_.size(); }
+
+ private:
+  std::vector<std::vector<float>> profiles_;
+};
+
+/// The deterministic diurnal multiplier for a geography class at a given
+/// hour of day (0..23) and weekday. Exposed for tests and for the PRB
+/// saturation experiment (Fig 1), which needs the same "average day" shape.
+[[nodiscard]] double diurnal_multiplier(GeoClass geo, int hour,
+                                        time::Weekday day);
+
+}  // namespace ccms::net

@@ -1,0 +1,82 @@
+#include "net/prb.h"
+
+#include <algorithm>
+
+#include "util/time.h"
+
+namespace ccms::net {
+
+namespace {
+
+constexpr double kBinSeconds =
+    static_cast<double>(time::kSecondsPerBin15);
+
+double background_at(std::span<const double> background, int bin) {
+  if (background.empty()) return 0.0;
+  const auto n = static_cast<int>(background.size());
+  int b = bin % n;
+  if (b < 0) b += n;
+  return std::clamp(background[static_cast<std::size_t>(b)], 0.0, 1.0);
+}
+
+}  // namespace
+
+PrbDayResult simulate_day(std::span<const double> background,
+                          std::span<const GreedyFlow> flows,
+                          CarrierId carrier) {
+  PrbDayResult result;
+  const int bins = background.empty()
+                       ? time::kBins15PerDay
+                       : static_cast<int>(background.size());
+  result.utilization.resize(static_cast<std::size_t>(bins));
+  result.flow_throughput_mbps.assign(static_cast<std::size_t>(bins), 0.0);
+  const double peak = peak_throughput_mbps(carrier);
+
+  for (int bin = 0; bin < bins; ++bin) {
+    const double bg = background_at(background, bin);
+    // Collect the demand of flows active in this bin (wrapping).
+    double total_demand = 0;
+    for (const GreedyFlow& f : flows) {
+      for (int k = 0; k < f.duration_bins; ++k) {
+        if ((f.start_bin + k) % bins == bin) {
+          total_demand += std::clamp(f.demand, 0.0, 1.0);
+          break;
+        }
+      }
+    }
+    const double free = std::max(0.0, 1.0 - bg);
+    const double used_by_flows = free * std::min(1.0, total_demand);
+    result.utilization[static_cast<std::size_t>(bin)] = bg + used_by_flows;
+    const double tput = used_by_flows * peak;
+    result.flow_throughput_mbps[static_cast<std::size_t>(bin)] = tput;
+    result.delivered_mb += tput * kBinSeconds / 8.0;  // Mbit/s -> MB
+  }
+  return result;
+}
+
+double download_time_seconds(double megabytes,
+                             std::span<const double> background, int start_bin,
+                             CarrierId carrier, double demand) {
+  if (megabytes <= 0) return 0.0;
+  const double peak = peak_throughput_mbps(carrier);
+  const double d = std::clamp(demand, 0.0, 1.0);
+
+  double remaining_mb = megabytes;
+  double elapsed = 0;
+  const int max_bins = 7 * time::kBins15PerDay;
+  for (int k = 0; k < max_bins; ++k) {
+    const double bg = background_at(background, start_bin + k);
+    const double tput_mbps = std::max(0.0, 1.0 - bg) * d * peak;
+    const double bin_mb = tput_mbps * kBinSeconds / 8.0;
+    if (bin_mb >= remaining_mb) {
+      // Fraction of the bin needed to finish.
+      elapsed += kBinSeconds * (remaining_mb / bin_mb);
+      return elapsed;
+    }
+    remaining_mb -= bin_mb;
+    elapsed += kBinSeconds;
+  }
+  return -1.0;
+}
+
+}  // namespace ccms::net

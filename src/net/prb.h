@@ -1,0 +1,58 @@
+// Physical Resource Block (PRB) saturation model.
+//
+// Fig 1 of the paper shows that a single device running a long greedy
+// download drives a cell's PRB utilisation to ~100% for the duration of the
+// test (20:45 UTC + 4 h in the paper's experiment), while the cell's average
+// day keeps its diurnal shape. We reproduce that experiment with an elastic-
+// flow model: LTE schedulers give a backlogged ("greedy") flow whatever
+// PRBs the background traffic leaves idle, so
+//
+//   U(bin) = min(1, background(bin) + sum_i demand_i * free(bin) / n_active)
+//   throughput_i(bin) = share_i(bin) * peak_throughput(carrier)
+//
+// The same model powers the FOTA campaign planner example: given an update
+// size, it answers "how long does this download occupy the cell, and how
+// much utilisation does it add, if started at bin B?".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/carrier.h"
+
+namespace ccms::net {
+
+/// One backlogged elastic flow (e.g. a FOTA download) in a cell.
+struct GreedyFlow {
+  int start_bin = 0;     ///< first 15-minute bin of the day the flow is active
+  int duration_bins = 1; ///< number of consecutive bins the flow stays active
+  double demand = 1.0;   ///< fraction of the free capacity the flow can absorb
+};
+
+/// Result of simulating a day of a cell with greedy flows present.
+struct PrbDayResult {
+  /// Utilisation per 15-minute bin (96 values) including the flows.
+  std::vector<double> utilization;
+  /// Aggregate flow throughput per bin in Mbit/s.
+  std::vector<double> flow_throughput_mbps;
+  /// Total megabytes delivered to all flows over the day.
+  double delivered_mb = 0;
+};
+
+/// Simulate one day (96 bins) of a cell whose background utilisation is
+/// `background` (96 values in [0,1]) with `flows` active. Bins wrap modulo
+/// 96, so a flow straddling midnight is handled.
+[[nodiscard]] PrbDayResult simulate_day(std::span<const double> background,
+                                        std::span<const GreedyFlow> flows,
+                                        CarrierId carrier);
+
+/// How many seconds a single greedy download of `megabytes` takes when
+/// started at `start_bin`, given the background day profile. Returns a
+/// negative value if the download cannot finish within 7 days (capacity
+/// permanently saturated).
+[[nodiscard]] double download_time_seconds(double megabytes,
+                                           std::span<const double> background,
+                                           int start_bin, CarrierId carrier,
+                                           double demand = 1.0);
+
+}  // namespace ccms::net

@@ -1,0 +1,47 @@
+#include "net/rrc.h"
+
+#include <algorithm>
+
+namespace ccms::net {
+
+RrcMachine::RrcMachine(const RrcConfig& config, util::Rng& rng)
+    : config_(config), rng_(&rng) {}
+
+time::Seconds RrcMachine::draw_timeout() {
+  return static_cast<time::Seconds>(
+      rng_->uniform(config_.timeout_min_s, config_.timeout_max_s));
+}
+
+std::optional<time::Interval> RrcMachine::on_activity(
+    time::Interval activity) {
+  if (activity.empty()) {
+    // Instantaneous event: treat as a 1-second transfer.
+    activity.end = activity.start + 1;
+  }
+
+  std::optional<time::Interval> completed;
+  if (open_ && activity.start > release_at_) {
+    completed = time::Interval{open_start_, release_at_};
+    open_ = false;
+  }
+  if (!open_) {
+    open_ = true;
+    open_start_ = activity.start;
+    release_at_ = activity.end + draw_timeout();
+  } else {
+    release_at_ = std::max(release_at_, activity.end + draw_timeout());
+  }
+  return completed;
+}
+
+std::optional<time::Interval> RrcMachine::flush() {
+  if (!open_) return std::nullopt;
+  open_ = false;
+  return time::Interval{open_start_, release_at_};
+}
+
+bool RrcMachine::connected_at(time::Seconds t) const {
+  return open_ && t >= open_start_ && t < release_at_;
+}
+
+}  // namespace ccms::net

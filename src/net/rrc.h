@@ -1,0 +1,62 @@
+// RRC connection lifecycle model.
+//
+// §3: "There can be a vast range of connection durations at radio level due
+// to the normal timeout of 10 to 12 seconds after no data is left to
+// transmit in either direction [Huang et al., MobiSys'12]."
+//
+// A radio connection (one CDR record) is not the data transfer itself: the
+// RRC machine promotes to CONNECTED at the first byte and demotes back to
+// IDLE only after the inactivity timer expires. This module converts a
+// stream of data-activity intervals into the radio-connection intervals a
+// CDR would log: activities closer together than the timeout share one
+// connection; the logged duration extends past the last byte by the timeout.
+#pragma once
+
+#include <optional>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ccms::net {
+
+/// Inactivity-timer parameters (Huang et al. measured 10-12 s across
+/// carriers).
+struct RrcConfig {
+  double timeout_min_s = 10;
+  double timeout_max_s = 12;
+};
+
+/// Event-driven RRC machine for one device on one cell.
+///
+/// Feed data-activity intervals in nondecreasing start order; whenever a new
+/// activity arrives after the previous connection has already released, the
+/// completed radio-connection interval is returned. Call flush() at the end
+/// for the final connection.
+class RrcMachine {
+ public:
+  /// The timeout for each connection is drawn from `rng` (uniform in the
+  /// configured range) when the connection opens.
+  RrcMachine(const RrcConfig& config, util::Rng& rng);
+
+  /// Registers data activity [start, end). Returns the previous radio
+  /// connection if this activity arrives after its release.
+  std::optional<time::Interval> on_activity(time::Interval activity);
+
+  /// Closes and returns the open connection, if any.
+  std::optional<time::Interval> flush();
+
+  /// True while the radio would currently be CONNECTED at time `t` (i.e.
+  /// t is before the pending release of the open connection).
+  [[nodiscard]] bool connected_at(time::Seconds t) const;
+
+ private:
+  time::Seconds draw_timeout();
+
+  RrcConfig config_;
+  util::Rng* rng_;
+  bool open_ = false;
+  time::Seconds open_start_ = 0;
+  time::Seconds release_at_ = 0;  ///< last activity end + timeout
+};
+
+}  // namespace ccms::net

@@ -1,0 +1,168 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ccms::net {
+
+namespace {
+
+GeoClass classify(const TopologyConfig& cfg, int ix, int iy) {
+  const double cx = (cfg.grid_width - 1) / 2.0;
+  const double cy = (cfg.grid_height - 1) / 2.0;
+  const double half_diag = std::hypot(cx, cy);
+  const double dist = std::hypot(ix - cx, iy - cy);
+  const double r = dist / std::max(1.0, half_diag);
+  // At least the ring of stations around the centre is downtown, so tiny
+  // test grids still have an urban core.
+  if (r <= cfg.downtown_radius || dist <= 1.0) return GeoClass::kDowntown;
+  // Highway corridors: the central row and central column outside downtown.
+  const int mid_x = cfg.grid_width / 2;
+  const int mid_y = cfg.grid_height / 2;
+  if ((std::abs(ix - mid_x) <= 0 || std::abs(iy - mid_y) <= 0) &&
+      r <= cfg.suburban_radius + 0.25) {
+    return GeoClass::kHighway;
+  }
+  if (r <= cfg.suburban_radius) return GeoClass::kSuburban;
+  return GeoClass::kRural;
+}
+
+}  // namespace
+
+Topology::Topology(const TopologyConfig& config, util::Rng& rng)
+    : config_(config) {
+  const int w = std::max(1, config_.grid_width);
+  const int h = std::max(1, config_.grid_height);
+  config_.grid_width = w;
+  config_.grid_height = h;
+  const auto n_stations = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+  geo_.reserve(n_stations);
+  deployed_.reserve(n_stations);
+  cell_lookup_.assign(n_stations * kSectorsPerStation * kCarrierCount, -1);
+
+  const auto catalogue = carrier_catalogue();
+  for (int iy = 0; iy < h; ++iy) {
+    for (int ix = 0; ix < w; ++ix) {
+      const StationId station{static_cast<std::uint32_t>(geo_.size())};
+      const GeoClass geo = classify(config_, ix, iy);
+      geo_.push_back(geo);
+
+      std::vector<CarrierId> deployed;
+      for (const CarrierSpec& spec : catalogue) {
+        const double p =
+            spec.deployment_by_class[static_cast<std::size_t>(geo)];
+        if (rng.bernoulli(p)) deployed.push_back(spec.id);
+      }
+      // Every station must carry at least the coverage layer C1.
+      if (deployed.empty()) deployed.push_back(CarrierId{0});
+
+      // A small residue of 3G persists on the C2 band at some rural sites;
+      // cars touch it rarely, producing the paper's "negligible" count of
+      // 3G/4G handovers (§4.5).
+      const bool legacy_3g_site =
+          geo == GeoClass::kRural && rng.bernoulli(0.25);
+
+      for (int sector = 0; sector < kSectorsPerStation; ++sector) {
+        for (const CarrierId carrier : deployed) {
+          const Technology tech = (legacy_3g_site && carrier.value == 1)
+                                      ? Technology::k3G
+                                      : Technology::k4G;
+          const CellId cell = cells_.add(
+              station, SectorId{static_cast<std::uint8_t>(sector)}, carrier,
+              geo, tech);
+          const std::size_t key =
+              (static_cast<std::size_t>(station.value) * kSectorsPerStation +
+               static_cast<std::size_t>(sector)) *
+                  kCarrierCount +
+              carrier.value;
+          cell_lookup_[key] = static_cast<std::int32_t>(cell.value);
+        }
+      }
+      deployed_.push_back(std::move(deployed));
+    }
+  }
+}
+
+Position Topology::station_position(StationId s) const {
+  const GridCoord c = station_coord(s);
+  return {c.ix * config_.spacing_km, c.iy * config_.spacing_km};
+}
+
+GridCoord Topology::station_coord(StationId s) const {
+  const int w = config_.grid_width;
+  return {static_cast<int>(s.value) % w, static_cast<int>(s.value) / w};
+}
+
+StationId Topology::station_at(GridCoord c) const {
+  const int ix = std::clamp(c.ix, 0, config_.grid_width - 1);
+  const int iy = std::clamp(c.iy, 0, config_.grid_height - 1);
+  return StationId{
+      static_cast<std::uint32_t>(iy * config_.grid_width + ix)};
+}
+
+StationId Topology::nearest_station(Position p) const {
+  const int ix = static_cast<int>(std::lround(p.x / config_.spacing_km));
+  const int iy = static_cast<int>(std::lround(p.y / config_.spacing_km));
+  return station_at({ix, iy});
+}
+
+std::optional<CellId> Topology::cell_at(StationId s, SectorId sector,
+                                        CarrierId carrier) const {
+  if (s.value >= geo_.size() || sector.value >= kSectorsPerStation ||
+      carrier.value >= kCarrierCount) {
+    return std::nullopt;
+  }
+  const std::size_t key =
+      (static_cast<std::size_t>(s.value) * kSectorsPerStation +
+       static_cast<std::size_t>(sector.value)) *
+          kCarrierCount +
+      carrier.value;
+  const std::int32_t v = cell_lookup_[key];
+  if (v < 0) return std::nullopt;
+  return CellId{static_cast<std::uint32_t>(v)};
+}
+
+SectorId Topology::sector_towards(StationId s, Position p) const {
+  const Position sp = station_position(s);
+  const double angle = std::atan2(p.y - sp.y, p.x - sp.x);  // [-pi, pi]
+  // Sector 0 spans [-60, 60) degrees, 1 spans [60, 180), 2 spans [-180, -60).
+  constexpr double kThird = 2.0 * std::numbers::pi / 3.0;
+  double shifted = angle + kThird / 2.0;
+  if (shifted < 0) shifted += 2.0 * std::numbers::pi;
+  const int sector = static_cast<int>(shifted / kThird) % kSectorsPerStation;
+  return SectorId{static_cast<std::uint8_t>(sector)};
+}
+
+std::vector<StationId> Topology::route(StationId from, StationId to) const {
+  const GridCoord a = station_coord(from);
+  const GridCoord b = station_coord(to);
+  std::vector<StationId> path;
+  int x = a.ix;
+  int y = a.iy;
+  path.push_back(station_at({x, y}));
+  const int dx = b.ix > x ? 1 : -1;
+  const int dy = b.iy > y ? 1 : -1;
+  // Interleaved staircase: always step along the axis with more remaining
+  // distance, ties broken toward x. Deterministic, so commuters repeat the
+  // same cells daily.
+  while (x != b.ix || y != b.iy) {
+    const int rx = std::abs(b.ix - x);
+    const int ry = std::abs(b.iy - y);
+    if (rx >= ry && rx > 0) {
+      x += dx;
+    } else {
+      y += dy;
+    }
+    path.push_back(station_at({x, y}));
+  }
+  return path;
+}
+
+std::array<std::size_t, kGeoClassCount> Topology::class_counts() const {
+  std::array<std::size_t, kGeoClassCount> counts{};
+  for (const GeoClass g : geo_) ++counts[static_cast<std::size_t>(g)];
+  return counts;
+}
+
+}  // namespace ccms::net

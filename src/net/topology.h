@@ -1,0 +1,103 @@
+// Synthetic radio-access-network topology.
+//
+// A production network has hundreds of thousands of cells (§3); the analyses
+// only require that cars traverse a realistic *structure*: a dense urban core
+// whose cells run hot (the "busy radios" of Table 2 / Figs 7, 10, 11),
+// suburban rings where commuters live, highway corridors that funnel many
+// cars through the same few cells, and a rural fringe most cars never touch
+// (Fig 2's "two-thirds of cells see cars on a given day").
+//
+// We build a W x H grid of base stations. Geography classes are assigned by
+// position (centre box = downtown, cross-shaped corridors = highway, ring =
+// suburban, edge = rural). Each station has 3 sectors; each sector hosts one
+// cell per carrier the station deploys (deployment is per-class
+// probabilistic, per net::carrier_catalogue()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/cell.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace ccms::net {
+
+/// A point in the service area, kilometres from the south-west corner.
+struct Position {
+  double x = 0;
+  double y = 0;
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+/// Integer grid coordinates of a station.
+struct GridCoord {
+  int ix = 0;
+  int iy = 0;
+  friend constexpr bool operator==(const GridCoord&, const GridCoord&) = default;
+};
+
+/// Parameters of the synthetic grid.
+struct TopologyConfig {
+  int grid_width = 24;             ///< stations per row
+  int grid_height = 24;            ///< stations per column
+  double spacing_km = 1.6;         ///< inter-site distance
+  double downtown_radius = 0.14;   ///< fraction of half-diagonal => downtown
+  double suburban_radius = 0.60;   ///< fraction of half-diagonal => suburban
+};
+
+/// The network graph: stations on a grid, cells per station, routing.
+class Topology {
+ public:
+  /// Builds the grid; carrier deployment draws from `rng`.
+  Topology(const TopologyConfig& config, util::Rng& rng);
+
+  [[nodiscard]] const CellTable& cells() const { return cells_; }
+  [[nodiscard]] std::size_t station_count() const { return geo_.size(); }
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+  [[nodiscard]] GeoClass station_class(StationId s) const {
+    return geo_[s.value];
+  }
+  [[nodiscard]] Position station_position(StationId s) const;
+  [[nodiscard]] GridCoord station_coord(StationId s) const;
+  [[nodiscard]] StationId station_at(GridCoord c) const;
+
+  /// Station whose position is nearest to `p` (grid round + clamp).
+  [[nodiscard]] StationId nearest_station(Position p) const;
+
+  /// Carriers deployed at `s` (subset of C1..C5).
+  [[nodiscard]] std::span<const CarrierId> carriers_at(StationId s) const {
+    return deployed_[s.value];
+  }
+
+  /// The cell serving (station, sector, carrier), if that carrier is
+  /// deployed there.
+  [[nodiscard]] std::optional<CellId> cell_at(StationId s, SectorId sector,
+                                              CarrierId carrier) const;
+
+  /// Sector of station `s` facing position `p` (3 sectors of 120 degrees;
+  /// sector 0 faces east, 1 faces north-west, 2 faces south-west).
+  [[nodiscard]] SectorId sector_towards(StationId s, Position p) const;
+
+  /// Grid staircase route between two stations, inclusive of both endpoints.
+  /// Deterministic (x-then-y interleaved Bresenham walk), so a given
+  /// commuter's route is the same every day — the repetition behind the
+  /// strong weekly patterns of Fig 5.
+  [[nodiscard]] std::vector<StationId> route(StationId from, StationId to) const;
+
+  /// Number of stations of each geography class, indexed by GeoClass.
+  [[nodiscard]] std::array<std::size_t, kGeoClassCount> class_counts() const;
+
+ private:
+  TopologyConfig config_;
+  std::vector<GeoClass> geo_;                      // per station
+  std::vector<std::vector<CarrierId>> deployed_;   // per station
+  // cell id for (station, sector, carrier) or -1: indexed
+  // [station * kSectorsPerStation * kCarrierCount + sector * kCarrierCount + carrier]
+  std::vector<std::int32_t> cell_lookup_;
+  CellTable cells_;
+};
+
+}  // namespace ccms::net

@@ -1,0 +1,31 @@
+#include "sim/measured_load.h"
+
+#include <algorithm>
+
+namespace ccms::sim {
+
+core::CellLoad measured_load(const net::BackgroundLoad& background,
+                             const cdr::Dataset& cleaned,
+                             double car_prb_share) {
+  const core::ConcurrencyGrid grid = core::ConcurrencyGrid::build(cleaned);
+
+  std::vector<std::vector<float>> profiles(background.cell_count());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto cell = CellId{static_cast<std::uint32_t>(i)};
+    const auto bg = background.profile(cell);
+    profiles[i].assign(bg.begin(), bg.end());
+  }
+  for (const core::CellConcurrency& profile : grid.cells()) {
+    if (profile.cell.value >= profiles.size()) continue;
+    auto& out = profiles[profile.cell.value];
+    for (int bin = 0; bin < time::kBins15PerWeek; ++bin) {
+      const auto b = static_cast<std::size_t>(bin);
+      out[b] = static_cast<float>(std::clamp(
+          static_cast<double>(out[b]) + car_prb_share * profile.weekly[b],
+          0.0, 1.0));
+    }
+  }
+  return core::CellLoad::from_profiles(std::move(profiles));
+}
+
+}  // namespace ccms::sim

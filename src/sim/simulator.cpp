@@ -1,0 +1,119 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "fleet/schedule.h"
+#include "util/rng.h"
+
+namespace ccms::sim {
+
+SimConfig SimConfig::paper_default() {
+  SimConfig config;
+  config.fleet.size = 4000;
+  config.topology.grid_width = 40;
+  config.topology.grid_height = 40;
+  return config;
+}
+
+SimConfig SimConfig::quick() {
+  SimConfig config;
+  config.seed = 7;
+  config.study_days = 28;
+  config.fleet.size = 300;
+  config.topology.grid_width = 12;
+  config.topology.grid_height = 12;
+  return config;
+}
+
+Study simulate(const SimConfig& config) {
+  util::Rng master(config.seed);
+  util::Rng topo_rng = master.split(0x701ULL);
+  util::Rng load_rng = master.split(0x10ADULL);
+  util::Rng fleet_rng = master.split(0xF1EE7ULL);
+  util::Rng day_rng = master.split(0xDA75ULL);
+
+
+  net::Topology topology(config.topology, topo_rng);
+  net::BackgroundLoad background(topology, config.load, load_rng);
+  std::vector<fleet::CarProfile> cars =
+      fleet::build_fleet(topology, config.fleet, fleet_rng);
+
+  // Global per-day activity factors: slow adoption trend plus day-of-week
+  // dependent variability (Friday/Saturday are the noisy days in Table 1).
+  std::vector<double> day_factors(static_cast<std::size_t>(config.study_days),
+                                  1.0);
+  for (int d = 0; d < config.study_days; ++d) {
+    const auto dow = static_cast<std::size_t>(
+        time::weekday(static_cast<time::Seconds>(d) * time::kSecondsPerDay));
+    const double noise = day_rng.normal(0.0, config.dow_noise_sigma[dow]);
+    day_factors[static_cast<std::size_t>(d)] =
+        std::max(0.2, (1.0 + config.daily_trend * d) * (1.0 + noise));
+  }
+
+  const fleet::ConnectionGenerator generator(topology, config.gen);
+  const time::Seconds study_end =
+      static_cast<time::Seconds>(config.study_days) * time::kSecondsPerDay;
+
+  std::vector<cdr::Connection> records;
+  records.reserve(static_cast<std::size_t>(config.fleet.size) *
+                  static_cast<std::size_t>(config.study_days) * 8);
+
+  for (const fleet::CarProfile& car : cars) {
+    util::Rng car_rng = master.split(0xCACA000000ULL + car.id.value);
+    for (int day = 0; day < config.study_days; ++day) {
+      const fleet::DayContext ctx{day,
+                                  day_factors[static_cast<std::size_t>(day)]};
+      const std::vector<fleet::Trip> trips =
+          fleet::plan_day(car, topology, ctx, car_rng);
+      for (const fleet::Trip& trip : trips) {
+        generator.generate_trip(car, trip, car_rng, records);
+      }
+    }
+  }
+
+  // Right-censor at the study boundary (the export window ends), drop
+  // records that fall outside entirely, and apply the partial-loss days.
+  std::vector<char> lossy_day(static_cast<std::size_t>(config.study_days), 0);
+  for (const int d : config.data_loss_days) {
+    if (d >= 0 && d < config.study_days) {
+      lossy_day[static_cast<std::size_t>(d)] = 1;
+    }
+  }
+
+  cdr::Dataset dataset;
+  dataset.set_fleet_size(static_cast<std::uint32_t>(config.fleet.size));
+  dataset.set_study_days(config.study_days);
+  dataset.reserve(records.size());
+  for (cdr::Connection c : records) {
+    if (c.start >= study_end || c.end() <= 0) continue;
+    if (c.start < 0) {
+      c.duration_s = static_cast<std::int32_t>(c.end());
+      c.start = 0;
+    }
+    if (c.end() > study_end) {
+      c.duration_s = static_cast<std::int32_t>(study_end - c.start);
+    }
+    if (c.duration_s <= 0) continue;
+    // Data loss hits whole reporting chains: either a car's records for a
+    // lossy day all survive or they are all gone - that is what makes "the
+    // number of cars appear smaller" on those days (S4).
+    const auto day = static_cast<std::size_t>(time::day_index(c.start));
+    if (day < lossy_day.size() && lossy_day[day]) {
+      util::Rng chain_rng = master.split(
+          0x1055'0000'0000ULL +
+          static_cast<std::uint64_t>(c.car.value) * 1000003ULL + day);
+      if (chain_rng.bernoulli(config.data_loss_fraction)) continue;
+    }
+    dataset.add(c);
+  }
+  dataset.finalize();
+
+  return Study{config,
+               std::move(topology),
+               std::move(background),
+               std::move(cars),
+               std::move(dataset),
+               std::move(day_factors)};
+}
+
+}  // namespace ccms::sim

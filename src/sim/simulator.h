@@ -1,0 +1,36 @@
+// Study simulation: fleet + topology + 90 days -> CDR dataset.
+//
+// This replaces the paper's proprietary input (anonymized CDRs of 1M cars on
+// a production network) with a synthetic study of identical schema and
+// calibrated statistics; see DESIGN.md for the substitution argument.
+#pragma once
+
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "fleet/car.h"
+#include "net/load.h"
+#include "net/topology.h"
+#include "sim/config.h"
+
+namespace ccms::sim {
+
+/// Everything a simulated study produces. The raw dataset is *uncleaned*:
+/// it still contains the 1-hour artifacts, exactly as the paper's §3 input
+/// does; run cdr::clean before analysis.
+struct Study {
+  SimConfig config;
+  net::Topology topology;
+  net::BackgroundLoad background;
+  std::vector<fleet::CarProfile> fleet;
+  cdr::Dataset raw;
+
+  /// Per-day global activity factors actually used (for tests/diagnostics).
+  std::vector<double> day_factors;
+};
+
+/// Runs the full simulation. Deterministic: equal configs give equal
+/// studies, bit for bit.
+[[nodiscard]] Study simulate(const SimConfig& config);
+
+}  // namespace ccms::sim

@@ -1,0 +1,27 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+namespace ccms::stats {
+
+double Accumulator::stddev() const { return std::sqrt(variance_sample()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n_total = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n_total);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n_total);
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ = n_total;
+}
+
+}  // namespace ccms::stats

@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccms::stats {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || bins < 1) {
+    lo_ = lo;
+    hi_ = lo + 1;
+    bins = 1;
+  }
+  counts_.assign(static_cast<std::size_t>(bins), 0.0);
+}
+
+int Histogram::bin_of(double x) const {
+  const int bins = bin_count();
+  const double f = (x - lo_) / (hi_ - lo_);
+  int b = static_cast<int>(f * bins);
+  return std::clamp(b, 0, bins - 1);
+}
+
+void Histogram::add(double x, double weight) {
+  counts_[static_cast<std::size_t>(bin_of(x))] += weight;
+  total_ += weight;
+}
+
+double Histogram::count(int bin) const {
+  if (bin < 0 || bin >= bin_count()) return 0;
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::lower(int bin) const {
+  return lo_ + (hi_ - lo_) * bin / bin_count();
+}
+
+double Histogram::upper(int bin) const { return lower(bin + 1); }
+
+int Histogram::knee_bin(int smooth_window) const {
+  const int n = bin_count();
+  if (n < 3) return -1;
+  // Centred moving average.
+  std::vector<double> s(static_cast<std::size_t>(n), 0.0);
+  const int hw = std::max(0, smooth_window / 2);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0;
+    int cnt = 0;
+    for (int j = std::max(0, i - hw); j <= std::min(n - 1, i + hw); ++j) {
+      sum += counts_[static_cast<std::size_t>(j)];
+      ++cnt;
+    }
+    s[static_cast<std::size_t>(i)] = sum / cnt;
+  }
+  // First index that is a local minimum and from which the curve rises for at
+  // least two consecutive bins.
+  for (int i = 1; i + 2 < n; ++i) {
+    if (s[static_cast<std::size_t>(i)] <= s[static_cast<std::size_t>(i - 1)] &&
+        s[static_cast<std::size_t>(i + 1)] >= s[static_cast<std::size_t>(i)] &&
+        s[static_cast<std::size_t>(i + 2)] >=
+            s[static_cast<std::size_t>(i + 1)]) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace ccms::stats

@@ -1,0 +1,126 @@
+#include "stats/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccms::stats {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> seed_plus_plus(
+    std::span<const std::vector<double>> points, int k, util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  const auto n = static_cast<std::int64_t>(points.size());
+  centroids.push_back(points[static_cast<std::size_t>(
+      rng.uniform_int(0, n - 1))]);
+
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], centroids.back()));
+    }
+    const std::size_t next = rng.categorical(d2);
+    centroids.push_back(points[next]);
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(std::span<const std::vector<double>> points,
+                   std::vector<std::vector<double>> centroids,
+                   const KMeansOptions& options) {
+  KMeansResult result;
+  result.centroids = std::move(centroids);
+  const auto k = result.centroids.size();
+  const std::size_t dim = points.empty() ? 0 : points[0].size();
+  result.assignment.assign(points.size(), -1);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+      inertia += best_d;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] += points[i][j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty cluster
+      for (std::size_t j = 0; j < dim; ++j) {
+        result.centroids[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (!changed) break;
+    if (prev_inertia < std::numeric_limits<double>::infinity() &&
+        prev_inertia - inertia <= options.tolerance * prev_inertia) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  result.sizes.assign(k, 0);
+  for (const int a : result.assignment) {
+    ++result.sizes[static_cast<std::size_t>(a)];
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const std::vector<double>> points,
+                    const KMeansOptions& options, util::Rng& rng) {
+  KMeansResult best;
+  if (points.empty() || options.k < 1) return best;
+  const int k = std::min<int>(options.k, static_cast<int>(points.size()));
+
+  best.inertia = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, options.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    auto centroids = seed_plus_plus(points, k, rng);
+    KMeansOptions opt = options;
+    opt.k = k;
+    KMeansResult run = lloyd(points, std::move(centroids), opt);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace ccms::stats

@@ -1,0 +1,53 @@
+// k-means clustering (k-means++ seeding + Lloyd iterations).
+//
+// §4.4 / Fig 11: the paper takes every busy cell (weekly average PRB >= 70%),
+// forms a 96-dimensional vector of concurrent-car counts per 15-minute bin of
+// the day, and runs "the classic k-means algorithm", obtaining two clusters —
+// a large cluster of cells with few concurrent cars and a ~4x smaller cluster
+// with ~5x more concurrent cars. This module is that algorithm, deterministic
+// given the caller's Rng.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ccms::stats {
+
+/// Result of one k-means run.
+struct KMeansResult {
+  /// centroids[c] is a vector of the input dimension.
+  std::vector<std::vector<double>> centroids;
+  /// assignment[i] in [0, k) for each input point.
+  std::vector<int> assignment;
+  /// Sum of squared distances of points to their centroids.
+  double inertia = 0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+  /// Points per cluster.
+  std::vector<std::size_t> sizes;
+};
+
+/// Options for `kmeans`.
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 100;
+  /// Stop when no assignment changes (always checked) or when inertia
+  /// improves by less than this relative amount between iterations.
+  double tolerance = 1e-6;
+  /// Number of independent restarts; the best (lowest-inertia) run wins.
+  int restarts = 4;
+};
+
+/// Cluster `points` (all rows must share the same dimension; dimension-0 or
+/// empty input yields an empty result; k is clamped to the number of points).
+[[nodiscard]] KMeansResult kmeans(std::span<const std::vector<double>> points,
+                                  const KMeansOptions& options, util::Rng& rng);
+
+/// Squared Euclidean distance between equal-length vectors.
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace ccms::stats

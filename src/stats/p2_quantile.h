@@ -1,0 +1,46 @@
+// P² streaming quantile estimation (Jain & Chlamtac, 1985).
+//
+// The exact quantiles in stats/quantile.h sort the full sample — fine for
+// the scaled-down synthetic studies, but the paper's real input is 1.1
+// *billion* records. The P² algorithm tracks a single quantile with five
+// markers and O(1) memory per observation, letting the Fig 3/9 percentile
+// analyses stream over arbitrarily large CDR exports. perf_pipeline
+// benchmarks it against the exact path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ccms::stats {
+
+/// Streaming estimator of one quantile q in (0, 1).
+class P2Quantile {
+ public:
+  /// q is clamped to [0.001, 0.999].
+  explicit P2Quantile(double q);
+
+  /// Adds one observation.
+  void add(double x);
+
+  /// Current estimate. Exact while fewer than 5 observations have been
+  /// seen; 0 if none.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  void insert_sorted(double x);
+  [[nodiscard]] double parabolic(int i, int d) const;
+  [[nodiscard]] double linear(int i, int d) const;
+
+  double q_;
+  std::int64_t count_ = 0;
+  // Marker heights, positions (1-based as in the paper's formulation) and
+  // desired positions.
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace ccms::stats

@@ -1,0 +1,59 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ccms::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (sorted_.empty()) return 0;
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
+  const double h = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (sorted_.empty()) return 0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::mean() const {
+  if (sorted_.empty()) return 0;
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<double> EmpiricalDistribution::deciles() const {
+  std::vector<double> d;
+  d.reserve(10);
+  for (int i = 1; i <= 10; ++i) d.push_back(quantile(i / 10.0));
+  return d;
+}
+
+std::vector<EmpiricalDistribution::CdfPoint>
+EmpiricalDistribution::cdf_curve(int points) const {
+  std::vector<CdfPoint> curve;
+  if (sorted_.empty() || points < 2) return curve;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * i / (points - 1);
+    curve.push_back({x, cdf(x)});
+  }
+  return curve;
+}
+
+}  // namespace ccms::stats

@@ -1,0 +1,56 @@
+// Exact quantiles and empirical CDFs.
+//
+// The paper reports specific percentiles throughout: median per-cell session
+// 105 s and "73rd percentile at 600 s" (Fig 9), handover p50/p70/p90 (§4.5),
+// connected-time p99.5 (Fig 3), and deciles of busy-cell time (Fig 7). We
+// compute exact order statistics over the full sample (no sketching): the
+// scaled-down study fits comfortably in memory, matching the paper's own
+// offline batch setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ccms::stats {
+
+/// Empirical distribution over a sample. Construction sorts a copy.
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> sample);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Quantile for q in [0,1], linear interpolation between order statistics
+  /// (type-7, the R/NumPy default). Returns 0 on an empty sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Convenience: quantile(0.5).
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  /// Fraction of the sample <= x (empirical CDF).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Mean of the sample.
+  [[nodiscard]] double mean() const;
+
+  /// The ten deciles q=0.1..1.0 (Fig 7 is a decile plot).
+  [[nodiscard]] std::vector<double> deciles() const;
+
+  /// Sample the CDF at `points` evenly spaced x positions across
+  /// [min, max] — the form the figure benches print.
+  struct CdfPoint {
+    double x = 0;
+    double p = 0;
+  };
+  [[nodiscard]] std::vector<CdfPoint> cdf_curve(int points = 50) const;
+
+  /// Sorted underlying sample (ascending), for custom sweeps.
+  [[nodiscard]] std::span<const double> sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ccms::stats

@@ -1,0 +1,44 @@
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ccms::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  fit.n = static_cast<long long>(n);
+  if (n < 2) return fit;
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0 ? (sxy * sxy) / (sxx * syy) : 0.0;
+  return fit;
+}
+
+LinearFit linear_fit_indexed(std::span<const double> y) {
+  std::vector<double> x(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) x[i] = static_cast<double>(i);
+  return linear_fit(x, y);
+}
+
+}  // namespace ccms::stats

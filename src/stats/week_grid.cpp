@@ -1,0 +1,41 @@
+#include "stats/week_grid.h"
+
+namespace ccms::stats {
+
+std::vector<double> WeekGrid::weekly_means(double fallback) const {
+  std::vector<double> out(time::kBins15PerWeek, fallback);
+  for (int b = 0; b < time::kBins15PerWeek; ++b) {
+    out[static_cast<std::size_t>(b)] = mean(b, fallback);
+  }
+  return out;
+}
+
+std::vector<double> WeekGrid::daily_means(double fallback) const {
+  std::vector<double> out(time::kBins15PerDay, fallback);
+  for (int bin = 0; bin < time::kBins15PerDay; ++bin) {
+    double sum = 0;
+    long long n = 0;
+    for (int day = 0; day < time::kDaysPerWeek; ++day) {
+      const int wb = day * time::kBins15PerDay + bin;
+      const auto i = static_cast<std::size_t>(wb);
+      sum += sums_[i];
+      n += counts_[i];
+    }
+    out[static_cast<std::size_t>(bin)] =
+        n > 0 ? sum / static_cast<double>(n) : fallback;
+  }
+  return out;
+}
+
+double WeekGrid::overall_mean(double fallback) const {
+  double sum = 0;
+  long long n = 0;
+  for (int b = 0; b < time::kBins15PerWeek; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    sum += sums_[i];
+    n += counts_[i];
+  }
+  return n > 0 ? sum / static_cast<double>(n) : fallback;
+}
+
+}  // namespace ccms::stats

@@ -1,0 +1,61 @@
+// Per-bin-of-week accumulation grids.
+//
+// Several analyses reduce a 90-day signal onto a canonical week of
+// 672 fifteen-minute bins (or fold further to 96 bins of the day):
+//   - busy-cell classification averages U_PRB per bin (Table 2, Fig 7),
+//   - Fig 10 plots a week of concurrency vs PRB per cell,
+//   - Fig 11 clusters 96-bin daily concurrency vectors,
+//   - Fig 5's 24x7 matrices are an hourly fold of the same idea.
+// WeekGrid is the shared sum/count accumulator for all of them.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccms::stats {
+
+/// Accumulates (sum, count) per 15-minute bin of the week and reports means.
+class WeekGrid {
+ public:
+  WeekGrid() = default;
+
+  /// Add an observation for the bin containing `t`.
+  void add(time::Seconds t, double value) {
+    add_bin(time::bin15_of_week(t), value);
+  }
+
+  /// Add an observation for an explicit bin-of-week index [0, 672).
+  void add_bin(int bin, double value) {
+    sums_[static_cast<std::size_t>(bin)] += value;
+    ++counts_[static_cast<std::size_t>(bin)];
+  }
+
+  /// Mean of the observations in `bin`; `fallback` if none were recorded.
+  [[nodiscard]] double mean(int bin, double fallback = 0.0) const {
+    const auto i = static_cast<std::size_t>(bin);
+    return counts_[i] > 0 ? sums_[i] / static_cast<double>(counts_[i])
+                          : fallback;
+  }
+
+  [[nodiscard]] long long count(int bin) const {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+
+  /// All 672 means, Monday 00:00 first.
+  [[nodiscard]] std::vector<double> weekly_means(double fallback = 0.0) const;
+
+  /// Fold to 96 bins of the day (mean over the 7 weekdays of each bin),
+  /// the vector form clustered in Fig 11.
+  [[nodiscard]] std::vector<double> daily_means(double fallback = 0.0) const;
+
+  /// Mean over all bins that have data.
+  [[nodiscard]] double overall_mean(double fallback = 0.0) const;
+
+ private:
+  std::array<double, time::kBins15PerWeek> sums_{};
+  std::array<long long, time::kBins15PerWeek> counts_{};
+};
+
+}  // namespace ccms::stats

@@ -1,0 +1,198 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ccms::util {
+
+namespace {
+
+struct Range {
+  double lo = 0;
+  double hi = 1;
+  [[nodiscard]] double span() const { return hi - lo; }
+};
+
+Range x_range(std::span<const Series> series) {
+  Range r{1e300, -1e300};
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      r.lo = std::min(r.lo, p.x);
+      r.hi = std::max(r.hi, p.x);
+    }
+  }
+  if (r.lo > r.hi) return {0, 1};
+  if (r.lo == r.hi) r.hi = r.lo + 1;
+  return r;
+}
+
+Range y_range(std::span<const Series> series, const PlotOptions& options) {
+  if (options.y_min != options.y_max) return {options.y_min, options.y_max};
+  Range r{1e300, -1e300};
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      r.lo = std::min(r.lo, p.y);
+      r.hi = std::max(r.hi, p.y);
+    }
+  }
+  if (r.lo > r.hi) return {0, 1};
+  if (r.lo == r.hi) r.hi = r.lo + 1;
+  return r;
+}
+
+std::string y_tick(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%8.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_lines(std::span<const Series> series,
+                         const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+  const Range xr = x_range(series);
+  const Range yr = y_range(series, options);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      const double fx = (p.x - xr.lo) / xr.span();
+      const double fy = (p.y - yr.lo) / yr.span();
+      if (fx < 0 || fx > 1 || fy < 0 || fy > 1) continue;
+      int col = static_cast<int>(fx * (w - 1) + 0.5);
+      int row = (h - 1) - static_cast<int>(fy * (h - 1) + 0.5);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.y_label.empty()) out += options.y_label + "\n";
+  for (int row = 0; row < h; ++row) {
+    const double v = yr.hi - yr.span() * row / (h - 1);
+    out += y_tick(v);
+    out += " |";
+    out += grid[static_cast<std::size_t>(row)];
+    out += "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%9s%-.6g%*s%.6g\n", " ", xr.lo,
+                  w - 12 > 0 ? w - 12 : 1, " ", xr.hi);
+    out += buf;
+  }
+  if (!options.x_label.empty()) {
+    out += std::string(9 + static_cast<std::size_t>(w) / 2 -
+                           std::min<std::size_t>(options.x_label.size() / 2,
+                                                 static_cast<std::size_t>(w) / 2),
+                       ' ') +
+           options.x_label + "\n";
+  }
+  bool any_named = false;
+  for (const auto& s : series) any_named |= !s.name.empty();
+  if (any_named) {
+    out += "  legend:";
+    for (const auto& s : series) {
+      out += "  ";
+      out.push_back(s.glyph);
+      out += "=" + (s.name.empty() ? std::string("?") : s.name);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_line(std::span<const PlotPoint> points,
+                        const PlotOptions& options) {
+  Series s;
+  s.points.assign(points.begin(), points.end());
+  s.glyph = '*';
+  const std::vector<Series> all = {std::move(s)};
+  return render_lines(all, options);
+}
+
+std::string render_histogram(std::span<const double> counts,
+                             std::span<const std::string> labels, int height) {
+  if (counts.empty()) return "(empty histogram)\n";
+  const double max_count = *std::max_element(counts.begin(), counts.end());
+  const double scale = max_count > 0 ? height / max_count : 0;
+  std::string out;
+  for (int row = height; row >= 1; --row) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%8.3g |", max_count * row / height);
+    out += buf;
+    for (const double c : counts) {
+      out += (c * scale >= row - 0.5) ? " #" : "  ";
+    }
+    out += "\n";
+  }
+  out += std::string(9, ' ') + '+' +
+         std::string(counts.size() * 2, '-') + "\n";
+  if (!labels.empty()) {
+    out += std::string(10, ' ');
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string& l = i < labels.size() ? labels[i] : std::string();
+      out += ' ';
+      out += l.empty() ? "." : l.substr(0, 1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_matrix24x7(std::span<const double> values) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  if (values.size() != 24u * 7u) return "(bad 24x7 matrix)\n";
+  double max_v = 0;
+  for (const double v : values) max_v = std::max(max_v, v);
+  std::string out = "      M  T  W  T  F  S  S\n";
+  for (int hour = 0; hour < 24; ++hour) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%4d ", hour);
+    out += buf;
+    for (int day = 0; day < 7; ++day) {
+      const double v = values[static_cast<std::size_t>(hour * 7 + day)];
+      int level = 0;
+      if (max_v > 0 && v > 0) {
+        level = 1 + static_cast<int>(v / max_v * (kLevels - 1) + 0.5);
+        level = std::min(level, kLevels);
+      }
+      out += ' ';
+      out += kShades[level];
+      out += kShades[level];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_span_rows(std::span<const SpanRow> rows, int width,
+                             std::size_t max_rows) {
+  std::string out;
+  const std::size_t n = std::min(rows.size(), max_rows);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    for (const auto& [a, b] : rows[i].spans) {
+      int c0 = static_cast<int>(std::clamp(a, 0.0, 1.0) * (width - 1));
+      int c1 = static_cast<int>(std::clamp(b, 0.0, 1.0) * (width - 1));
+      for (int c = c0; c <= c1; ++c) line[static_cast<std::size_t>(c)] = '-';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%4zu |", i);
+    out += buf;
+    out += line;
+    out += "\n";
+  }
+  if (rows.size() > n) {
+    out += "     ... (" + std::to_string(rows.size() - n) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace ccms::util

@@ -1,0 +1,66 @@
+// Terminal rendering of the paper's figures.
+//
+// Every figure bench prints the underlying series as CSV-ish rows (so the
+// numbers can be regenerated/compared mechanically) *and* an ASCII rendering
+// so a human can eyeball the shape against the paper: CDFs (Fig 3/9),
+// histograms (Fig 6), 24x7 heatmaps (Fig 4/5), day/week time series
+// (Fig 1/8/10/11) and connection timelines (Fig 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccms::util {
+
+/// One (x, y) point of a curve.
+struct PlotPoint {
+  double x = 0;
+  double y = 0;
+};
+
+/// Options shared by the line/CDF renderers.
+struct PlotOptions {
+  int width = 72;      ///< plot area columns (excluding axis labels)
+  int height = 16;     ///< plot area rows
+  std::string x_label; ///< printed under the x axis
+  std::string y_label; ///< printed above the plot
+  double y_min = 0;    ///< fixed y range; if y_min==y_max, autoscale
+  double y_max = 0;
+};
+
+/// Render one curve. Points must be sorted by x. Autoscales x; y per options.
+[[nodiscard]] std::string render_line(std::span<const PlotPoint> points,
+                                      const PlotOptions& options = {});
+
+/// Render several curves overlaid, each with its own glyph ('*', 'o', ...).
+struct Series {
+  std::vector<PlotPoint> points;
+  char glyph = '*';
+  std::string name;
+};
+[[nodiscard]] std::string render_lines(std::span<const Series> series,
+                                       const PlotOptions& options = {});
+
+/// Render a vertical-bar histogram. `labels[i]` annotates `counts[i]`.
+[[nodiscard]] std::string render_histogram(std::span<const double> counts,
+                                           std::span<const std::string> labels,
+                                           int height = 12);
+
+/// Render a 24x7 matrix (hour-of-day rows x Mon..Sun columns) as a shaded
+/// heatmap, the visual form of the paper's Figs 4 and 5. `values` is
+/// hour-major: values[hour * 7 + day]. Autoscales to the max value.
+[[nodiscard]] std::string render_matrix24x7(std::span<const double> values);
+
+/// Render per-entity horizontal activity spans over a time axis (Fig 8):
+/// each row is one entity; cells covered by any of its [start,end) spans
+/// (expressed as fractions of the axis range) are drawn with '-'.
+struct SpanRow {
+  std::vector<std::pair<double, double>> spans;  ///< fractions in [0,1]
+};
+[[nodiscard]] std::string render_span_rows(std::span<const SpanRow> rows,
+                                           int width = 72,
+                                           std::size_t max_rows = 40);
+
+}  // namespace ccms::util

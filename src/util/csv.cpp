@@ -1,0 +1,111 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace ccms::util {
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) throw CsvError("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path), path_(path) {
+  if (!out_) throw CsvError("cannot open for writing: " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_.put(',');
+    out_ << csv_escape(fields[i]);
+  }
+  out_.put('\n');
+  if (!out_) throw CsvError("write failed: " + path_);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) throw CsvError("flush failed: " + path_);
+    out_.close();
+  }
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path), path_(path) {
+  if (!in_) throw CsvError("cannot open for reading: " + path);
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  if (!std::getline(in_, line_)) return false;
+  fields = split_csv_line(line_);
+  return true;
+}
+
+std::int64_t parse_i64(std::string_view s) {
+  if (s.empty()) throw CsvError("empty integer field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    throw CsvError("bad integer field: " + buf);
+  }
+  return v;
+}
+
+double parse_f64(std::string_view s) {
+  if (s.empty()) throw CsvError("empty float field");
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    throw CsvError("bad float field: " + buf);
+  }
+  return v;
+}
+
+}  // namespace ccms::util

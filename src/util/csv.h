@@ -1,0 +1,69 @@
+// Minimal CSV reading/writing for CDR import/export.
+//
+// The CDR schema is flat and numeric, so this is intentionally a small
+// RFC-4180 subset: comma separator, double-quote escaping, no embedded
+// newlines inside quoted fields on read (CDR exports never contain them).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccms::util {
+
+/// Thrown on malformed input or I/O failure.
+class CsvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Split one CSV line into fields, honouring double-quote escaping
+/// (`"a,b"` is one field; `""` inside quotes is a literal quote).
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Quote a field if it contains comma/quote, doubling interior quotes.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws CsvError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flushes and closes. Called by the destructor; call explicitly to
+  /// observe errors.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Streaming CSV reader.
+class CsvReader {
+ public:
+  /// Opens `path` for reading. Throws CsvError on failure.
+  explicit CsvReader(const std::string& path);
+
+  /// Reads the next row into `fields`. Returns false at EOF.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  std::string line_;
+};
+
+/// strtoll with full-string validation; throws CsvError on garbage.
+[[nodiscard]] std::int64_t parse_i64(std::string_view s);
+
+/// strtod with full-string validation; throws CsvError on garbage.
+[[nodiscard]] double parse_f64(std::string_view s);
+
+}  // namespace ccms::util

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ccms::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zero
+  // outputs in a row, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  // Mix the current state with the tag through SplitMix64 to derive a new
+  // seed; const so parent draws are unaffected.
+  std::uint64_t s = state_[0] ^ rotl(state_[2], 13) ^ (tag * 0xd1342543de82ef95ULL);
+  return Rng(splitmix64(s));
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Debiased modulo (Lemire-style rejection would be faster; the simulator is
+  // not bound by RNG throughput, so keep the simple, obviously-correct form).
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  // Box-Muller, discarding the second value to keep draw counts fixed.
+  double u1 = uniform();
+  while (u1 <= 0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  while (u <= 0) u = uniform();
+  return -mean * std::log(u);
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0) return 0;
+  // Knuth's multiplication method; fine for the small means used in trip
+  // scheduling (< ~30). For larger means, fall back to a rounded normal.
+  if (mean > 30) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  int count = 0;
+  while (product > limit) {
+    product *= uniform();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0;
+  for (const double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0 || weights.empty()) return 0;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ccms::util

@@ -1,0 +1,85 @@
+// Deterministic random number generation for the fleet simulator.
+//
+// Every random draw in CCMS flows from a single user-supplied seed so that
+// simulations, tests and benchmark runs are reproducible bit-for-bit across
+// platforms. We deliberately avoid <random>'s distribution classes, whose
+// outputs are implementation-defined, and implement the handful of
+// distributions the simulator needs on top of xoshiro256** (public-domain
+// algorithm by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccms::util {
+
+/// xoshiro256** PRNG seeded via SplitMix64.
+///
+/// `split(tag)` derives an independent stream, used to give every car its own
+/// generator: changing how many draws one car makes never perturbs another
+/// car's trajectory, which keeps regression tests stable under refactoring.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Derive an independent generator for subsystem/entity `tag`.
+  [[nodiscard]] Rng split(std::uint64_t tag) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (one value per call; cached pair unused
+  /// deliberately so the draw count per event is fixed).
+  double normal();
+
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterised by the *median* and the log-space sigma:
+  /// returns median * exp(sigma * N(0,1)). This parameterisation mirrors how
+  /// the paper reports durations (medians and percentiles).
+  double lognormal_median(double median, double sigma);
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Poisson with the given mean (Knuth's method; suitable for small means).
+  int poisson(double mean);
+
+  /// Sample an index 0..weights.size()-1 proportionally to `weights`.
+  /// Weights need not be normalised; non-positive weights are treated as 0.
+  /// Returns 0 if all weights are 0 or the span is empty... the caller is
+  /// expected to pass at least one positive weight.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ccms::util

@@ -1,0 +1,36 @@
+#include "util/time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ccms::time {
+
+const char* name(Weekday d) {
+  static constexpr std::array<const char*, 7> kNames = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  const auto i = static_cast<std::size_t>(d);
+  return i < kNames.size() ? kNames[i] : "???";
+}
+
+std::string format(Seconds t) {
+  const std::int64_t day = day_index(t);
+  const Seconds sod = second_of_day(t);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "d%02lld %s %02d:%02d:%02d",
+                static_cast<long long>(day), name(weekday(t)),
+                static_cast<int>(sod / kSecondsPerHour),
+                static_cast<int>((sod / kSecondsPerMinute) % 60),
+                static_cast<int>(sod % 60));
+  return buf;
+}
+
+std::string format_hhmm(Seconds t) {
+  const Seconds sod = second_of_day(t);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%02d:%02d",
+                static_cast<int>(sod / kSecondsPerHour),
+                static_cast<int>((sod / kSecondsPerMinute) % 60));
+  return buf;
+}
+
+}  // namespace ccms::time

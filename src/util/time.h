@@ -1,0 +1,136 @@
+// Study-time calendar math.
+//
+// The paper's analyses are all keyed to a small set of calendar coordinates:
+// the study day (0..89), the day of week (Table 1, Fig 2, Fig 10/11), the
+// hour of day (Fig 4/5, the 24x7 matrices) and the 15-minute bin (busy-cell
+// classification, concurrency counting, Fig 1/8/10/11).
+//
+// We represent time as `Seconds` elapsed since the study epoch, which is
+// defined to be *local midnight of a Monday*. Cars in other time zones apply
+// an offset before converting to calendar coordinates (the paper renders the
+// 24x7 matrices "in respective local times").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccms::time {
+
+/// Seconds since the study epoch (local midnight, Monday, day 0).
+using Seconds = std::int64_t;
+
+inline constexpr Seconds kSecondsPerMinute = 60;
+inline constexpr Seconds kSecondsPerHour = 3'600;
+inline constexpr Seconds kSecondsPerDay = 86'400;
+inline constexpr Seconds kSecondsPerWeek = 7 * kSecondsPerDay;
+inline constexpr Seconds kSecondsPerBin15 = 15 * kSecondsPerMinute;
+
+/// Number of 15-minute bins in a day / in a week.
+inline constexpr int kBins15PerDay = 96;
+inline constexpr int kBins15PerWeek = 7 * kBins15PerDay;  // 672
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kHoursPerWeek = 7 * kHoursPerDay;  // 168
+inline constexpr int kDaysPerWeek = 7;
+
+/// Day of week, Monday-first to match the paper's M T W T F S S axes.
+enum class Weekday : int {
+  kMonday = 0,
+  kTuesday = 1,
+  kWednesday = 2,
+  kThursday = 3,
+  kFriday = 4,
+  kSaturday = 5,
+  kSunday = 6,
+};
+
+/// Three-letter English name ("Mon".."Sun").
+[[nodiscard]] const char* name(Weekday d);
+
+/// True for Saturday/Sunday.
+[[nodiscard]] constexpr bool is_weekend(Weekday d) {
+  return d == Weekday::kSaturday || d == Weekday::kSunday;
+}
+
+/// Study day index, 0-based. Negative times round toward negative infinity
+/// so that t = -1 s lands on day -1, not day 0.
+[[nodiscard]] constexpr std::int64_t day_index(Seconds t) {
+  return t >= 0 ? t / kSecondsPerDay : (t - (kSecondsPerDay - 1)) / kSecondsPerDay;
+}
+
+/// Second within the day, 0..86399.
+[[nodiscard]] constexpr Seconds second_of_day(Seconds t) {
+  const Seconds r = t % kSecondsPerDay;
+  return r >= 0 ? r : r + kSecondsPerDay;
+}
+
+/// Day of week (epoch is a Monday).
+[[nodiscard]] constexpr Weekday weekday(Seconds t) {
+  std::int64_t d = day_index(t) % kDaysPerWeek;
+  if (d < 0) d += kDaysPerWeek;
+  return static_cast<Weekday>(d);
+}
+
+/// Hour of day, 0..23.
+[[nodiscard]] constexpr int hour_of_day(Seconds t) {
+  return static_cast<int>(second_of_day(t) / kSecondsPerHour);
+}
+
+/// Hour of week, 0..167 (Monday 00:00 = 0).
+[[nodiscard]] constexpr int hour_of_week(Seconds t) {
+  return static_cast<int>(static_cast<int>(weekday(t)) * kHoursPerDay + hour_of_day(t));
+}
+
+/// 15-minute bin of the day, 0..95.
+[[nodiscard]] constexpr int bin15_of_day(Seconds t) {
+  return static_cast<int>(second_of_day(t) / kSecondsPerBin15);
+}
+
+/// 15-minute bin of the week, 0..671 (Monday 00:00-00:15 = 0).
+[[nodiscard]] constexpr int bin15_of_week(Seconds t) {
+  return static_cast<int>(static_cast<int>(weekday(t)) * kBins15PerDay + bin15_of_day(t));
+}
+
+/// Start time of 15-minute bin-of-week `bin` in week `week`.
+[[nodiscard]] constexpr Seconds bin15_week_start(int week, int bin) {
+  return static_cast<Seconds>(week) * kSecondsPerWeek +
+         static_cast<Seconds>(bin) * kSecondsPerBin15;
+}
+
+/// Construct a time from calendar coordinates within the study.
+[[nodiscard]] constexpr Seconds at(std::int64_t day, int hour, int minute = 0,
+                                   int second = 0) {
+  return day * kSecondsPerDay + hour * kSecondsPerHour +
+         minute * kSecondsPerMinute + second;
+}
+
+/// A half-open time interval [start, end). Used for connections, sessions,
+/// trips and period masks alike.
+struct Interval {
+  Seconds start = 0;
+  Seconds end = 0;
+
+  [[nodiscard]] constexpr Seconds duration() const { return end - start; }
+  [[nodiscard]] constexpr bool empty() const { return end <= start; }
+  [[nodiscard]] constexpr bool contains(Seconds t) const {
+    return t >= start && t < end;
+  }
+  /// True iff the two intervals share at least one instant.
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+  /// Length of the intersection, >= 0.
+  [[nodiscard]] constexpr Seconds overlap_with(const Interval& o) const {
+    const Seconds s = start > o.start ? start : o.start;
+    const Seconds e = end < o.end ? end : o.end;
+    return e > s ? e - s : 0;
+  }
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// "d12 Tue 07:15:00" - compact study timestamp for logs and figures.
+[[nodiscard]] std::string format(Seconds t);
+
+/// "07:15" - time of day only.
+[[nodiscard]] std::string format_hhmm(Seconds t);
+
+}  // namespace ccms::time

@@ -1,0 +1,74 @@
+// Strongly-typed identifiers shared across the CCMS (Connected Car
+// Measurement Study) libraries.
+//
+// The analysis pipeline joins three entity spaces: cars, radio cells and the
+// base-station / sector hierarchy above the cells. Using distinct wrapper
+// types (instead of bare integers) makes it impossible to index a per-cell
+// table with a car id and vice versa, which is the classic bug in columnar
+// trace-processing code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ccms {
+
+/// Identifies one car (one cellular modem). Dense: 0..fleet_size-1.
+struct CarId {
+  std::uint32_t value = 0;
+  friend constexpr bool operator==(CarId, CarId) = default;
+  friend constexpr auto operator<=>(CarId, CarId) = default;
+};
+
+/// Identifies one radio cell: a (base station, sector, carrier) triple.
+/// Dense: 0..cell_count-1; the `net::CellTable` maps it back to the triple.
+struct CellId {
+  std::uint32_t value = 0;
+  friend constexpr bool operator==(CellId, CellId) = default;
+  friend constexpr auto operator<=>(CellId, CellId) = default;
+};
+
+/// Identifies one base station (eNodeB). Dense: 0..station_count-1.
+struct StationId {
+  std::uint32_t value = 0;
+  friend constexpr bool operator==(StationId, StationId) = default;
+  friend constexpr auto operator<=>(StationId, StationId) = default;
+};
+
+/// Index of a directional sector within a base station (typically 0..2).
+struct SectorId {
+  std::uint8_t value = 0;
+  friend constexpr bool operator==(SectorId, SectorId) = default;
+  friend constexpr auto operator<=>(SectorId, SectorId) = default;
+};
+
+/// Radio carrier (frequency band). The paper observes five and names them
+/// C1..C5; we use 0-based indices 0..4 internally.
+struct CarrierId {
+  std::uint8_t value = 0;
+  friend constexpr bool operator==(CarrierId, CarrierId) = default;
+  friend constexpr auto operator<=>(CarrierId, CarrierId) = default;
+};
+
+}  // namespace ccms
+
+template <>
+struct std::hash<ccms::CarId> {
+  std::size_t operator()(ccms::CarId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ccms::CellId> {
+  std::size_t operator()(ccms::CellId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ccms::StationId> {
+  std::size_t operator()(ccms::StationId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,126 @@
+// Calibration guardrails: the headline paper-shape claims of EXPERIMENTS.md,
+// asserted at a moderate scale so a parameter regression cannot slip in
+// silently. Bands are deliberately loose (this is a guardrail, not a vice):
+// each one still pins the qualitative claim the paper makes.
+#include <gtest/gtest.h>
+
+#include "core/load_view.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "sim/simulator.h"
+
+namespace ccms {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static const sim::Study& study() {
+    static const sim::Study s = [] {
+      sim::SimConfig config = sim::SimConfig::paper_default();
+      config.fleet.size = 1200;
+      return sim::simulate(config);
+    }();
+    return s;
+  }
+  static const core::StudyReport& report() {
+    static const core::StudyReport r = [] {
+      const auto load = core::CellLoad::from_background(study().background);
+      return core::run_study(study().raw, study().topology.cells(), load);
+    }();
+    return r;
+  }
+};
+
+TEST_F(CalibrationTest, Fig2PresenceBand) {
+  // Paper: 76.0% of cars on the network per day.
+  EXPECT_NEAR(report().presence.cars_overall.mean, 0.76, 0.05);
+}
+
+TEST_F(CalibrationTest, Table1WeekendDip) {
+  const auto& p = report().presence;
+  const auto wed = static_cast<std::size_t>(time::Weekday::kWednesday);
+  const auto sun = static_cast<std::size_t>(time::Weekday::kSunday);
+  // Paper: ~80% Wednesday vs ~67% Sunday.
+  EXPECT_GT(p.cars_by_weekday[wed].mean - p.cars_by_weekday[sun].mean, 0.06);
+}
+
+TEST_F(CalibrationTest, Fig3ConnectedTimeBands) {
+  // Paper: ~8% full / ~4% truncated.
+  EXPECT_NEAR(report().connected_time.mean_full, 0.08, 0.03);
+  EXPECT_NEAR(report().connected_time.mean_truncated, 0.04, 0.015);
+  EXPECT_GT(report().connected_time.p995_full, 0.2);
+}
+
+TEST_F(CalibrationTest, Fig6RareBands) {
+  // Paper: 2.2% of cars <= 10 days; 9.9% <= 30 days.
+  std::size_t rare10 = 0, rare30 = 0;
+  for (const int d : report().days.days_per_car) {
+    rare10 += d <= 10;
+    rare30 += d <= 30;
+  }
+  const double n = static_cast<double>(report().days.days_per_car.size());
+  EXPECT_NEAR(rare10 / n, 0.022, 0.02);
+  EXPECT_NEAR(rare30 / n, 0.099, 0.035);
+}
+
+TEST_F(CalibrationTest, Fig7BusyTailBand) {
+  // Paper: ~2.4% of cars spend over half their time on busy radios.
+  EXPECT_NEAR(report().busy_time.fraction_over_half, 0.024, 0.02);
+  // And the bulk of the fleet is low: median well under 35%.
+  EXPECT_LT(report().busy_time.shares.median(), 0.35);
+}
+
+TEST_F(CalibrationTest, Fig9DurationShape) {
+  const auto& cs = report().cell_sessions;
+  // Paper: median 105 s; heavy tail (mean >> median); truncation bites.
+  EXPECT_NEAR(cs.median, 105, 30);
+  EXPECT_GT(cs.mean_full, 3.5 * cs.median);
+  EXPECT_NEAR(cs.mean_truncated, 238, 75);
+  EXPECT_NEAR(cs.cdf_at_cap, 0.78, 0.08);
+}
+
+TEST_F(CalibrationTest, Sec45HandoverShape) {
+  const auto& h = report().handovers;
+  EXPECT_GE(h.median, 1);
+  EXPECT_LE(h.median, 3);
+  EXPECT_NEAR(h.p90, 9, 3);
+  EXPECT_GT(h.share(net::HandoverType::kInterStation), 0.85);
+  EXPECT_LT(h.share(net::HandoverType::kInterTechnology), 0.03);
+}
+
+TEST_F(CalibrationTest, Table3CarrierBands) {
+  const auto& c = report().carriers;
+  // Paper cars row: 98.7 / 89.2 / 98.7 / 80.8 / ~0.
+  EXPECT_NEAR(c.cars_fraction[0], 0.987, 0.03);
+  EXPECT_NEAR(c.cars_fraction[1], 0.892, 0.05);
+  EXPECT_NEAR(c.cars_fraction[3], 0.808, 0.05);
+  EXPECT_LT(c.cars_fraction[4], 0.01);
+  // Paper time row: C3 51.9%, C3+C4 ~74%.
+  EXPECT_NEAR(c.time_fraction[2], 0.519, 0.07);
+  EXPECT_NEAR(c.time_fraction[2] + c.time_fraction[3], 0.74, 0.08);
+}
+
+TEST_F(CalibrationTest, Fig11ClusterStructure) {
+  const auto& clusters = report().clusters;
+  ASSERT_EQ(clusters.clusters.size(), 2u);
+  ASSERT_GT(clusters.busy_cells.size(), 20u);
+  // Cluster 2 several-fold the cars of cluster 1; cluster 1 several-fold
+  // the cells (paper: ~5x and ~4x).
+  EXPECT_GT(clusters.clusters[1].mean_cars,
+            3.0 * clusters.clusters[0].mean_cars);
+  EXPECT_GT(clusters.clusters[0].cell_count,
+            3 * clusters.clusters[1].cell_count);
+}
+
+TEST_F(CalibrationTest, Fig2CellsBand) {
+  // Paper: 65.8% of ever-touched cells see cars on a given day. This ratio
+  // is scale-sensitive (the 2,500-car bench default lands on 65.8%
+  // exactly; this 1,200-car guardrail fleet covers less per day), so the
+  // assertion is a sanity corridor: most ever-touched cells are NOT a
+  // one-off (> 1/3 seen daily), yet a clear minority is (< 80%).
+  EXPECT_GT(report().presence.cells_overall.mean, 0.33);
+  EXPECT_LT(report().presence.cells_overall.mean, 0.80);
+}
+
+}  // namespace
+}  // namespace ccms

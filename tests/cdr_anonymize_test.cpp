@@ -1,0 +1,128 @@
+#include "cdr/anonymize.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cell_sessions.h"
+#include "core/connected_time.h"
+#include "test_helpers.h"
+
+namespace ccms::cdr {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+
+Dataset sample(std::uint32_t fleet = 20) {
+  std::vector<Connection> records;
+  for (std::uint32_t car = 0; car < fleet; ++car) {
+    for (int k = 0; k < 5; ++k) {
+      records.push_back(conn(car, car % 3, car * 1000 + k * 100, 60 + k));
+    }
+  }
+  return make_dataset(std::move(records), fleet, 7);
+}
+
+TEST(AnonymizeTest, PseudonymIsABijection) {
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t car = 0; car < 100; ++car) {
+    const CarId p = pseudonym(CarId{car}, 100, 42);
+    EXPECT_LT(p.value, 100u);
+    seen.insert(p.value);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(AnonymizeTest, PseudonymDependsOnSalt) {
+  int moved = 0;
+  int differs = 0;
+  for (std::uint32_t car = 0; car < 50; ++car) {
+    const CarId a = pseudonym(CarId{car}, 50, 1);
+    const CarId b = pseudonym(CarId{car}, 50, 2);
+    moved += a.value != car;
+    differs += a != b;
+  }
+  EXPECT_GT(moved, 40);
+  EXPECT_GT(differs, 40);
+}
+
+TEST(AnonymizeTest, RecordCountAndFleetPreserved) {
+  const Dataset original = sample();
+  const Dataset anon = anonymize(original, {.salt = 7});
+  EXPECT_EQ(anon.size(), original.size());
+  EXPECT_EQ(anon.fleet_size(), original.fleet_size());
+  EXPECT_EQ(anon.study_days(), original.study_days());
+}
+
+TEST(AnonymizeTest, MappingIsStableWithinExport) {
+  const Dataset original = sample();
+  const Dataset anon = anonymize(original, {.salt = 7});
+  // Car 3's five records all map to the same pseudonym, preserving its
+  // longitudinal record set (compare start/duration multisets).
+  const CarId p = pseudonym(CarId{3}, original.fleet_size(), 7);
+  const auto before = original.of_car(CarId{3});
+  const auto after = anon.of_car(p);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].start, before[i].start);
+    EXPECT_EQ(after[i].duration_s, before[i].duration_s);
+    EXPECT_EQ(after[i].cell, before[i].cell);
+  }
+}
+
+TEST(AnonymizeTest, AnalysesInvariantUnderPseudonymization) {
+  const Dataset original = sample();
+  const Dataset anon = anonymize(original, {.salt = 99});
+  const auto ct_a = core::analyze_connected_time(original);
+  const auto ct_b = core::analyze_connected_time(anon);
+  EXPECT_DOUBLE_EQ(ct_a.mean_full, ct_b.mean_full);
+  const auto cs_a = core::analyze_cell_sessions(original);
+  const auto cs_b = core::analyze_cell_sessions(anon);
+  EXPECT_DOUBLE_EQ(cs_a.median, cs_b.median);
+  EXPECT_DOUBLE_EQ(cs_a.mean_full, cs_b.mean_full);
+}
+
+TEST(AnonymizeTest, TimeShiftIsWholeWeeks) {
+  const Dataset original = sample();
+  AnonymizeOptions options;
+  options.salt = 5;
+  options.shift_time = true;
+  options.max_shift_weeks = 3;
+  const Dataset anon = anonymize(original, options);
+
+  // Find car 0's pseudonym and compare first record times.
+  const CarId p = pseudonym(CarId{0}, original.fleet_size(), 5);
+  const auto before = original.of_car(CarId{0});
+  const auto after = anon.of_car(p);
+  ASSERT_FALSE(after.empty());
+  const time::Seconds shift = after[0].start - before[0].start;
+  EXPECT_GE(shift, 0);
+  EXPECT_EQ(shift % time::kSecondsPerWeek, 0);
+  // Bin-of-week invariant: the whole-week shift preserves weekly structure.
+  EXPECT_EQ(time::bin15_of_week(after[0].start),
+            time::bin15_of_week(before[0].start));
+}
+
+TEST(AnonymizeTest, NoShiftByDefault) {
+  const Dataset original = sample();
+  const Dataset anon = anonymize(original, {.salt = 5});
+  time::Seconds min_before = original.all()[0].start;
+  time::Seconds min_after = anon.all()[0].start;
+  for (const auto& c : original.all()) min_before = std::min(min_before, c.start);
+  for (const auto& c : anon.all()) min_after = std::min(min_after, c.start);
+  EXPECT_EQ(min_before, min_after);
+}
+
+TEST(AnonymizeTest, Deterministic) {
+  const Dataset original = sample();
+  const Dataset a = anonymize(original, {.salt = 7});
+  const Dataset b = anonymize(original, {.salt = 7});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.all()[i], b.all()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ccms::cdr

@@ -1,0 +1,114 @@
+#include "cdr/clean.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::cdr {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+
+TEST(CleanTest, RemovesExactHourArtifacts) {
+  // S3: "remove erroneous records, such as the ones where connections
+  // appear to have lasted exactly 1 hour."
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 3600),
+      conn(0, 0, 5000, 120),
+      conn(1, 0, 0, 3599),
+      conn(1, 0, 5000, 3601),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, {}, report);
+  EXPECT_EQ(report.input_records, 4u);
+  EXPECT_EQ(report.hour_artifacts_removed, 1u);
+  EXPECT_EQ(cleaned.size(), 3u);
+  for (const Connection& c : cleaned.all()) {
+    EXPECT_NE(c.duration_s, 3600);
+  }
+}
+
+TEST(CleanTest, RemovesNonPositiveDurations) {
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 0),
+      conn(0, 0, 100, -5),
+      conn(0, 0, 200, 10),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, {}, report);
+  EXPECT_EQ(report.nonpositive_removed, 2u);
+  EXPECT_EQ(cleaned.size(), 1u);
+}
+
+TEST(CleanTest, RemovesImplausiblyLong) {
+  CleanOptions options;
+  options.max_plausible_duration_s = 1000;
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 1000),
+      conn(0, 0, 2000, 1001),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, options, report);
+  EXPECT_EQ(report.implausible_removed, 1u);
+  EXPECT_EQ(cleaned.size(), 1u);
+}
+
+TEST(CleanTest, DisabledFiltersKeepEverythingPositive) {
+  CleanOptions options;
+  options.artifact_duration_s = 0;
+  options.max_plausible_duration_s = 0;
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 3600),
+      conn(0, 0, 5000, 1000000),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, options, report);
+  EXPECT_EQ(cleaned.size(), 2u);
+  EXPECT_EQ(report.total_removed(), 0u);
+}
+
+TEST(CleanTest, PreservesMetadata) {
+  const Dataset raw = make_dataset({conn(0, 0, 0, 10)}, 500, 90);
+  CleanReport report;
+  const Dataset cleaned = clean(raw, {}, report);
+  EXPECT_EQ(cleaned.fleet_size(), 500u);
+  EXPECT_EQ(cleaned.study_days(), 90);
+}
+
+TEST(CleanTest, TotalRemovedSums) {
+  CleanReport report;
+  report.hour_artifacts_removed = 2;
+  report.nonpositive_removed = 3;
+  report.implausible_removed = 5;
+  EXPECT_EQ(report.total_removed(), 10u);
+}
+
+TEST(TruncateTest, TruncatedDurationHelper) {
+  EXPECT_EQ(truncated_duration(599), 599);
+  EXPECT_EQ(truncated_duration(600), 600);
+  EXPECT_EQ(truncated_duration(601), 600);
+  EXPECT_EQ(truncated_duration(100000), 600);
+  EXPECT_EQ(truncated_duration(1000, 500), 500);
+}
+
+TEST(TruncateTest, TruncateDatasetCopies) {
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 1000),
+      conn(0, 0, 5000, 100),
+  });
+  const Dataset truncated = truncate_durations(raw);
+  EXPECT_EQ(truncated.all()[0].duration_s, 600);
+  EXPECT_EQ(truncated.all()[1].duration_s, 100);
+  // Original untouched.
+  EXPECT_EQ(raw.all()[0].duration_s, 1000);
+}
+
+TEST(TruncateTest, CapIsConfigurable) {
+  const Dataset raw = make_dataset({conn(0, 0, 0, 1000)});
+  const Dataset truncated = truncate_durations(raw, 200);
+  EXPECT_EQ(truncated.all()[0].duration_s, 200);
+}
+
+}  // namespace
+}  // namespace ccms::cdr

@@ -1,0 +1,139 @@
+#include "cdr/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_helpers.h"
+#include "util/csv.h"
+
+namespace ccms::cdr {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void TearDown() override {
+    std::remove(path("ccms_io.csv").c_str());
+    std::remove(path("ccms_io.bin").c_str());
+  }
+
+  Dataset sample() {
+    return make_dataset(
+        {
+            conn(0, 10, 0, 15),
+            conn(0, 11, 200, 600),
+            conn(3, 10, 86400, 3600),
+        },
+        /*fleet_size=*/10, /*study_days=*/90);
+  }
+};
+
+TEST_F(IoTest, CsvRoundTrip) {
+  const Dataset original = sample();
+  write_csv(original, path("ccms_io.csv"));
+  const Dataset loaded = read_csv(path("ccms_io.csv"));
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.fleet_size(), original.fleet_size());
+  EXPECT_EQ(loaded.study_days(), original.study_days());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.all()[i], original.all()[i]);
+  }
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const Dataset original = sample();
+  write_binary(original, path("ccms_io.bin"));
+  const Dataset loaded = read_binary(path("ccms_io.bin"));
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.fleet_size(), original.fleet_size());
+  EXPECT_EQ(loaded.study_days(), original.study_days());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.all()[i], original.all()[i]);
+  }
+}
+
+TEST_F(IoTest, CsvHasHeaderAndMetadata) {
+  write_csv(sample(), path("ccms_io.csv"));
+  std::ifstream in(path("ccms_io.csv"));
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("#fleet_size=10"), std::string::npos);
+  EXPECT_NE(line.find("study_days=90"), std::string::npos);
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "car,cell,start_s,duration_s");
+}
+
+TEST_F(IoTest, ReadCsvWithoutMetadataStillWorks) {
+  {
+    std::ofstream out(path("ccms_io.csv"));
+    out << "car,cell,start_s,duration_s\n";
+    out << "1,2,300,45\n";
+  }
+  const Dataset d = read_csv(path("ccms_io.csv"));
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.all()[0].car.value, 1u);
+  EXPECT_EQ(d.all()[0].duration_s, 45);
+}
+
+TEST_F(IoTest, ReadCsvRejectsGarbage) {
+  {
+    std::ofstream out(path("ccms_io.csv"));
+    out << "car,cell,start_s,duration_s\n";
+    out << "1,2,xyz,45\n";
+  }
+  EXPECT_THROW((void)read_csv(path("ccms_io.csv")), util::CsvError);
+}
+
+TEST_F(IoTest, ReadCsvRejectsShortRow) {
+  {
+    std::ofstream out(path("ccms_io.csv"));
+    out << "1,2\n";
+  }
+  EXPECT_THROW((void)read_csv(path("ccms_io.csv")), util::CsvError);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  {
+    std::ofstream out(path("ccms_io.bin"), std::ios::binary);
+    out << "NOTCCDR1 garbage garbage garbage";
+  }
+  EXPECT_THROW((void)read_binary(path("ccms_io.bin")), util::CsvError);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  write_binary(sample(), path("ccms_io.bin"));
+  // Chop the file.
+  const auto full = std::filesystem::file_size(path("ccms_io.bin"));
+  std::filesystem::resize_file(path("ccms_io.bin"), full - 10);
+  EXPECT_THROW((void)read_binary(path("ccms_io.bin")), util::CsvError);
+}
+
+TEST_F(IoTest, MissingFilesThrow) {
+  EXPECT_THROW((void)read_csv("/nonexistent/x.csv"), util::CsvError);
+  EXPECT_THROW((void)read_binary("/nonexistent/x.bin"), util::CsvError);
+}
+
+TEST_F(IoTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  empty.set_fleet_size(5);
+  empty.set_study_days(7);
+  empty.finalize();
+  write_binary(empty, path("ccms_io.bin"));
+  const Dataset loaded = read_binary(path("ccms_io.bin"));
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.fleet_size(), 5u);
+  EXPECT_EQ(loaded.study_days(), 7);
+}
+
+}  // namespace
+}  // namespace ccms::cdr

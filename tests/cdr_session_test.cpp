@@ -1,0 +1,170 @@
+#include "cdr/session.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::cdr {
+namespace {
+
+using test::conn;
+
+TEST(SessionTest, EmptyInput) {
+  EXPECT_TRUE(aggregate_sessions({}).empty());
+}
+
+TEST(SessionTest, SingleConnection) {
+  const std::vector<Connection> conns = {conn(0, 1, 100, 50)};
+  const auto sessions = aggregate_sessions(conns);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].span.start, 100);
+  EXPECT_EQ(sessions[0].span.end, 150);
+  EXPECT_EQ(sessions[0].connection_count(), 1u);
+}
+
+TEST(SessionTest, GapWithinThresholdMerges) {
+  // S3: connections up to 30 s apart concatenate.
+  const std::vector<Connection> conns = {
+      conn(0, 1, 100, 50),   // ends 150
+      conn(0, 2, 180, 50),   // gap 30 -> merges
+  };
+  const auto sessions = aggregate_sessions(conns, 30);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].legs.size(), 2u);
+  EXPECT_EQ(sessions[0].span.end, 230);
+}
+
+TEST(SessionTest, GapBeyondThresholdSplits) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 100, 50),   // ends 150
+      conn(0, 2, 181, 50),   // gap 31 -> splits
+  };
+  const auto sessions = aggregate_sessions(conns, 30);
+  ASSERT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionTest, OverlappingConnectionsMerge) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 100, 100),  // ends 200
+      conn(0, 2, 150, 100),  // overlaps
+  };
+  const auto sessions = aggregate_sessions(conns);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].span.end, 250);
+}
+
+TEST(SessionTest, ContainedConnectionDoesNotShrinkSpan) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 100, 1000),  // ends 1100
+      conn(0, 2, 200, 50),    // contained, ends 250
+      conn(0, 3, 1110, 50),   // gap 10 from 1100 -> merges
+  };
+  const auto sessions = aggregate_sessions(conns);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].legs.size(), 3u);
+}
+
+TEST(SessionTest, JourneyGapIsLooser) {
+  // S4.5: 10-minute gaps for handover accounting.
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 20),
+      conn(0, 2, 500, 20),   // gap 480 -> splits at 30 s, merges at 600 s
+  };
+  EXPECT_EQ(aggregate_sessions(conns, kSessionGap).size(), 2u);
+  EXPECT_EQ(aggregate_sessions(conns, kJourneyGap).size(), 1u);
+}
+
+TEST(SessionTest, LegsPreserveCellAndOrder) {
+  const std::vector<Connection> conns = {
+      conn(0, 7, 0, 20),
+      conn(0, 8, 25, 20),
+      conn(0, 9, 50, 20),
+  };
+  const auto sessions = aggregate_sessions(conns);
+  ASSERT_EQ(sessions.size(), 1u);
+  ASSERT_EQ(sessions[0].legs.size(), 3u);
+  EXPECT_EQ(sessions[0].legs[0].cell.value, 7u);
+  EXPECT_EQ(sessions[0].legs[1].cell.value, 8u);
+  EXPECT_EQ(sessions[0].legs[2].cell.value, 9u);
+}
+
+TEST(SessionTest, CarIdPropagates) {
+  const std::vector<Connection> conns = {conn(42, 1, 0, 10)};
+  const auto sessions = aggregate_sessions(conns);
+  EXPECT_EQ(sessions[0].car.value, 42u);
+}
+
+TEST(UnionTimeTest, EmptyIsZero) {
+  EXPECT_EQ(union_connected_time({}), 0);
+}
+
+TEST(UnionTimeTest, DisjointSums) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 100),
+      conn(0, 2, 1000, 200),
+  };
+  EXPECT_EQ(union_connected_time(conns), 300);
+}
+
+TEST(UnionTimeTest, OverlapNotDoubleCounted) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 100),
+      conn(0, 2, 50, 100),  // overlaps 50
+  };
+  EXPECT_EQ(union_connected_time(conns), 150);
+}
+
+TEST(UnionTimeTest, ContainedIntervalIgnored) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 1000),
+      conn(0, 2, 100, 50),
+  };
+  EXPECT_EQ(union_connected_time(conns), 1000);
+}
+
+TEST(UnionTimeTest, TouchingIntervalsMerge) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 100),
+      conn(0, 2, 100, 100),
+  };
+  EXPECT_EQ(union_connected_time(conns), 200);
+}
+
+TEST(UnionTimeTest, ZeroDurationIgnored) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 0),
+      conn(0, 2, 10, 5),
+  };
+  EXPECT_EQ(union_connected_time(conns), 5);
+}
+
+TEST(UnionTimeTest, TruncatedVariantCapsEachConnection) {
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 5000),    // truncates to 600
+      conn(0, 2, 10000, 100),
+  };
+  EXPECT_EQ(union_connected_time_truncated(conns, 600), 700);
+  EXPECT_EQ(union_connected_time(conns), 5100);
+}
+
+TEST(UnionTimeTest, TruncationCanRemoveOverlap) {
+  // Full durations overlap; truncated ones do not.
+  const std::vector<Connection> conns = {
+      conn(0, 1, 0, 5000),
+      conn(0, 2, 1000, 100),
+  };
+  EXPECT_EQ(union_connected_time(conns), 5000);
+  EXPECT_EQ(union_connected_time_truncated(conns, 600), 700);
+}
+
+TEST(UnionTimeTest, UnsortedInputHandled) {
+  // of_car spans are sorted, but union should not rely on it.
+  const std::vector<Connection> conns = {
+      conn(0, 2, 1000, 100),
+      conn(0, 1, 0, 100),
+  };
+  EXPECT_EQ(union_connected_time(conns), 200);
+}
+
+}  // namespace
+}  // namespace ccms::cdr

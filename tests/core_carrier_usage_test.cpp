@@ -1,0 +1,83 @@
+#include "core/carrier_usage.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+
+/// Cells 0..4 on carriers C1..C5 respectively.
+net::CellTable test_cells() {
+  net::CellTable table;
+  for (std::uint8_t k = 0; k < net::kCarrierCount; ++k) {
+    table.add(StationId{0}, SectorId{0}, CarrierId{k},
+              net::GeoClass::kSuburban);
+  }
+  return table;
+}
+
+TEST(CarrierUsageTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.finalize();
+  const CarrierUsage usage = analyze_carrier_usage(d, test_cells());
+  EXPECT_EQ(usage.car_count, 0u);
+  for (const double f : usage.time_fraction) EXPECT_EQ(f, 0.0);
+}
+
+TEST(CarrierUsageTest, CarsFractionCountsEverUsed) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 100),     // car 0 on C1
+      conn(0, 0, 500, 100),   // again C1: still one car
+      conn(1, 0, 0, 100),     // car 1 on C1
+      conn(1, 2, 500, 100),   // car 1 also C3
+  });
+  const CarrierUsage usage = analyze_carrier_usage(d, test_cells());
+  EXPECT_EQ(usage.car_count, 2u);
+  EXPECT_DOUBLE_EQ(usage.cars_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(usage.cars_fraction[2], 0.5);
+  EXPECT_DOUBLE_EQ(usage.cars_fraction[4], 0.0);
+}
+
+TEST(CarrierUsageTest, TimeFractionWeightsDurations) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 300),    // C1: 300 s
+      conn(0, 2, 500, 700),  // C3: 700 s
+  });
+  const CarrierUsage usage = analyze_carrier_usage(d, test_cells());
+  EXPECT_DOUBLE_EQ(usage.time_fraction[0], 0.3);
+  EXPECT_DOUBLE_EQ(usage.time_fraction[2], 0.7);
+  EXPECT_DOUBLE_EQ(usage.seconds[0], 300.0);
+  EXPECT_DOUBLE_EQ(usage.seconds[2], 700.0);
+}
+
+TEST(CarrierUsageTest, TimeFractionsSumToOne) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 123),
+      conn(1, 1, 0, 456),
+      conn(2, 3, 0, 789),
+  });
+  const CarrierUsage usage = analyze_carrier_usage(d, test_cells());
+  double total = 0;
+  for (const double f : usage.time_fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CarrierUsageTest, MultipleCarsAggregate) {
+  std::vector<cdr::Connection> records;
+  for (std::uint32_t car = 0; car < 10; ++car) {
+    records.push_back(conn(car, car % 2 == 0 ? 0 : 2, car * 1000, 100));
+  }
+  const auto d = make_dataset(std::move(records));
+  const CarrierUsage usage = analyze_carrier_usage(d, test_cells());
+  EXPECT_EQ(usage.car_count, 10u);
+  EXPECT_DOUBLE_EQ(usage.cars_fraction[0], 0.5);
+  EXPECT_DOUBLE_EQ(usage.cars_fraction[2], 0.5);
+  EXPECT_DOUBLE_EQ(usage.time_fraction[0], 0.5);
+}
+
+}  // namespace
+}  // namespace ccms::core

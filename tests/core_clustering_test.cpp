@@ -1,0 +1,119 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+/// Builds a study where cells 0..11 are busy (high load), cells 0..9 see one
+/// car per evening bin and cells 10..11 see five cars; cell 20 is quiet.
+struct ClusterFixture {
+  cdr::Dataset dataset;
+  CellLoad load;
+
+  ClusterFixture() {
+    std::vector<cdr::Connection> records;
+    std::uint32_t car = 0;
+    for (int day = 0; day < 7; ++day) {
+      for (std::uint32_t cell = 0; cell < 10; ++cell) {
+        records.push_back(conn(car++ % 60, cell, at(day, 19), 900));
+      }
+      for (std::uint32_t cell = 10; cell < 12; ++cell) {
+        for (int k = 0; k < 5; ++k) {
+          records.push_back(conn(60 + static_cast<std::uint32_t>(k), cell,
+                                 at(day, 19) + k, 900));
+        }
+      }
+      records.push_back(conn(99, 20, at(day, 19), 900));
+    }
+    dataset = make_dataset(std::move(records), 100, 7);
+
+    std::vector<std::vector<float>> profiles(21);
+    for (std::uint32_t cell = 0; cell < 21; ++cell) {
+      profiles[cell].assign(time::kBins15PerWeek, cell < 12 ? 0.85f : 0.2f);
+    }
+    load = CellLoad::from_profiles(std::move(profiles));
+  }
+};
+
+TEST(ClusteringTest, FiltersByLoadThreshold) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result = cluster_busy_cells(grid, fx.load, 0.7, 2);
+  EXPECT_EQ(result.busy_cells.size(), 12u);  // cell 20 excluded (quiet)
+  for (const CellId cell : result.busy_cells) {
+    EXPECT_LT(cell.value, 12u);
+  }
+}
+
+TEST(ClusteringTest, TwoClustersWithExpectedSizes) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result = cluster_busy_cells(grid, fx.load, 0.7, 2);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  // Cluster 0 (low concurrency): the 10 one-car cells; cluster 1: the 2
+  // five-car cells.
+  EXPECT_EQ(result.clusters[0].cell_count, 10u);
+  EXPECT_EQ(result.clusters[1].cell_count, 2u);
+  EXPECT_GT(result.clusters[1].mean_cars, 3.0 * result.clusters[0].mean_cars);
+}
+
+TEST(ClusteringTest, ClustersOrderedByMeanCars) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result = cluster_busy_cells(grid, fx.load, 0.7, 2);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_LE(result.clusters[0].mean_cars, result.clusters[1].mean_cars);
+}
+
+TEST(ClusteringTest, AssignmentsMatchClusters) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result = cluster_busy_cells(grid, fx.load, 0.7, 2);
+  ASSERT_EQ(result.assignment.size(), result.busy_cells.size());
+  std::array<std::size_t, 2> counts{};
+  for (const int a : result.assignment) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 2);
+    ++counts[static_cast<std::size_t>(a)];
+  }
+  EXPECT_EQ(counts[0], result.clusters[0].cell_count);
+  EXPECT_EQ(counts[1], result.clusters[1].cell_count);
+}
+
+TEST(ClusteringTest, CentroidsHave96Bins) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result = cluster_busy_cells(grid, fx.load, 0.7, 2);
+  for (const ConcurrencyCluster& cluster : result.clusters) {
+    EXPECT_EQ(cluster.centroid.size(),
+              static_cast<std::size_t>(time::kBins15PerDay));
+    EXPECT_GE(cluster.peak_cars, cluster.mean_cars);
+  }
+}
+
+TEST(ClusteringTest, NoBusyCellsYieldsEmptyResult) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const ConcurrencyClusters result =
+      cluster_busy_cells(grid, fx.load, 0.99, 2);
+  EXPECT_TRUE(result.busy_cells.empty());
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+TEST(ClusteringTest, DeterministicGivenSeed) {
+  ClusterFixture fx;
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(fx.dataset);
+  const auto a = cluster_busy_cells(grid, fx.load, 0.7, 2, 5);
+  const auto b = cluster_busy_cells(grid, fx.load, 0.7, 2, 5);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,154 @@
+#include "core/concurrency.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+TEST(ConcurrencyTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.set_study_days(7);
+  d.finalize();
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  EXPECT_TRUE(grid.cells().empty());
+  EXPECT_EQ(grid.find(CellId{0}), nullptr);
+}
+
+TEST(ConcurrencyTest, SingleCarSingleBin) {
+  // One week study; one car connected 08:00-08:10 Monday on cell 3.
+  const auto d = make_dataset({conn(0, 3, at(0, 8), 600)}, 1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  ASSERT_EQ(grid.cells().size(), 1u);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  ASSERT_NE(profile, nullptr);
+  const int bin = time::bin15_of_week(at(0, 8));
+  // One observation in one occurrence of that bin -> average 1.0.
+  EXPECT_DOUBLE_EQ(profile->weekly[static_cast<std::size_t>(bin)], 1.0);
+  EXPECT_EQ(profile->observations, 1u);
+  EXPECT_DOUBLE_EQ(profile->peak, 1.0);
+}
+
+TEST(ConcurrencyTest, TwoCarsStraddlingSameBin) {
+  const auto d = make_dataset(
+      {
+          conn(0, 3, at(0, 8, 2), 300),
+          conn(1, 3, at(0, 8, 9), 300),
+      },
+      2, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  ASSERT_NE(profile, nullptr);
+  const int bin = time::bin15_of_week(at(0, 8));
+  EXPECT_DOUBLE_EQ(profile->weekly[static_cast<std::size_t>(bin)], 2.0);
+}
+
+TEST(ConcurrencyTest, SameCarCountedOncePerBin) {
+  // The paper counts cars whose *aggregated sessions* straddle a bin: two
+  // short connections of one car inside one bin count once.
+  const auto d = make_dataset(
+      {
+          conn(0, 3, at(0, 8, 1), 60),
+          conn(0, 3, at(0, 8, 10), 60),
+      },
+      1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const int bin = time::bin15_of_week(at(0, 8));
+  EXPECT_DOUBLE_EQ(
+      grid.find(CellId{3})->weekly[static_cast<std::size_t>(bin)], 1.0);
+}
+
+TEST(ConcurrencyTest, ConnectionSpanningBinsCountsEach) {
+  // 08:10 + 10 min straddles bins 32 and 33.
+  const auto d = make_dataset({conn(0, 3, at(0, 8, 10), 600)}, 1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  EXPECT_DOUBLE_EQ(profile->weekly[32], 1.0);
+  EXPECT_DOUBLE_EQ(profile->weekly[33], 1.0);
+  EXPECT_EQ(profile->observations, 2u);
+}
+
+TEST(ConcurrencyTest, AveragesOverWeeks) {
+  // 14-day study: car present in the Monday 08:00 bin only in week 0.
+  const auto d = make_dataset({conn(0, 3, at(0, 8), 600)}, 1, 14);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const int bin = time::bin15_of_week(at(0, 8));
+  EXPECT_DOUBLE_EQ(
+      grid.find(CellId{3})->weekly[static_cast<std::size_t>(bin)], 0.5);
+}
+
+TEST(ConcurrencyTest, DailyFoldAveragesDays) {
+  // 7-day study: Monday and Tuesday 08:00 bins occupied -> daily[32] = 2/7.
+  const auto d = make_dataset(
+      {
+          conn(0, 3, at(0, 8), 600),
+          conn(0, 3, at(1, 8), 600),
+      },
+      1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  EXPECT_NEAR(profile->daily[32], 2.0 / 7.0, 1e-9);
+}
+
+TEST(ConcurrencyTest, CellsSortedAscending) {
+  const auto d = make_dataset(
+      {
+          conn(0, 9, at(0, 8), 60),
+          conn(0, 2, at(0, 9), 60),
+          conn(0, 5, at(0, 10), 60),
+      },
+      1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  ASSERT_EQ(grid.cells().size(), 3u);
+  EXPECT_EQ(grid.cells()[0].cell.value, 2u);
+  EXPECT_EQ(grid.cells()[1].cell.value, 5u);
+  EXPECT_EQ(grid.cells()[2].cell.value, 9u);
+  EXPECT_NE(grid.find(CellId{5}), nullptr);
+  EXPECT_EQ(grid.find(CellId{7}), nullptr);
+}
+
+TEST(ConcurrencyTest, MeanAndPeakConsistent) {
+  const auto d = make_dataset(
+      {
+          conn(0, 3, at(0, 8), 600),
+          conn(1, 3, at(0, 8), 600),
+          conn(0, 3, at(2, 20), 600),
+      },
+      2, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  EXPECT_DOUBLE_EQ(profile->peak, 2.0);
+  EXPECT_GT(profile->mean, 0.0);
+  EXPECT_LT(profile->mean, profile->peak);
+}
+
+TEST(ConcurrencyTest, SessionGapMergesAcrossBins) {
+  // Two connections 20 s apart around a bin boundary: the aggregated
+  // session covers both bins even though neither connection alone does...
+  // actually each leg is marked individually; the gap lies inside the
+  // session but no leg covers it. Verify both covered bins count once.
+  const auto d = make_dataset(
+      {
+          conn(0, 3, at(0, 8, 13), 100),   // bin 32
+          conn(0, 3, at(0, 8, 16), 100),   // bin 33 (gap ~80 s)
+      },
+      1, 7);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  const CellConcurrency* profile = grid.find(CellId{3});
+  EXPECT_DOUBLE_EQ(profile->weekly[32], 1.0);
+  EXPECT_DOUBLE_EQ(profile->weekly[33], 1.0);
+}
+
+TEST(ConcurrencyTest, StudyDaysRecorded) {
+  const auto d = make_dataset({conn(0, 3, at(0, 8), 60)}, 1, 21);
+  const ConcurrencyGrid grid = ConcurrencyGrid::build(d);
+  EXPECT_EQ(grid.study_days(), 21);
+}
+
+}  // namespace
+}  // namespace ccms::core

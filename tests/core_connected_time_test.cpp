@@ -1,0 +1,95 @@
+#include "core/connected_time.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+using time::kSecondsPerDay;
+
+TEST(ConnectedTimeTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.set_study_days(90);
+  d.finalize();
+  const ConnectedTime ct = analyze_connected_time(d);
+  EXPECT_TRUE(ct.full.empty());
+  EXPECT_EQ(ct.mean_full, 0.0);
+}
+
+TEST(ConnectedTimeTest, SingleCarFraction) {
+  // 1 day of 10 days connected => 10%.
+  const auto d =
+      make_dataset({conn(0, 0, 0, static_cast<std::int32_t>(kSecondsPerDay))},
+                   1, 10);
+  const ConnectedTime ct = analyze_connected_time(d);
+  ASSERT_EQ(ct.full.size(), 1u);
+  EXPECT_NEAR(ct.mean_full, 0.1, 1e-9);
+}
+
+TEST(ConnectedTimeTest, TruncationReducesFraction) {
+  const auto d = make_dataset({conn(0, 0, 0, 6000)}, 1, 1);
+  const ConnectedTime ct = analyze_connected_time(d, 600);
+  EXPECT_NEAR(ct.mean_full, 6000.0 / kSecondsPerDay, 1e-9);
+  EXPECT_NEAR(ct.mean_truncated, 600.0 / kSecondsPerDay, 1e-9);
+}
+
+TEST(ConnectedTimeTest, TruncatedNeverExceedsFull) {
+  // Property over a mixed dataset.
+  std::vector<cdr::Connection> records;
+  for (std::uint32_t car = 0; car < 20; ++car) {
+    for (int k = 0; k < 10; ++k) {
+      records.push_back(conn(car, k, at(k, 8) + car * 977, 30 + k * 200));
+    }
+  }
+  const auto d = make_dataset(std::move(records), 20, 10);
+  const ConnectedTime ct = analyze_connected_time(d);
+  ASSERT_EQ(ct.full.size(), ct.truncated.size());
+  for (std::size_t i = 0; i < ct.full.size(); ++i) {
+    // Distributions are sorted individually; compare via quantiles.
+    const double q = static_cast<double>(i) / ct.full.size();
+    EXPECT_LE(ct.truncated.quantile(q), ct.full.quantile(q) + 1e-12);
+  }
+  EXPECT_LE(ct.mean_truncated, ct.mean_full);
+  EXPECT_LE(ct.p995_truncated, ct.p995_full);
+}
+
+TEST(ConnectedTimeTest, OverlappingRecordsNotDoubleCounted) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, 1000, 600),
+          conn(0, 1, 1200, 600),  // overlaps by 400
+      },
+      1, 1);
+  const ConnectedTime ct = analyze_connected_time(d);
+  EXPECT_NEAR(ct.full.quantile(0.5) * kSecondsPerDay, 800.0, 1e-6);
+}
+
+TEST(ConnectedTimeTest, OnlyCarsWithRecordsCounted) {
+  const auto d = make_dataset({conn(5, 0, 0, 60)}, 100, 1);
+  const ConnectedTime ct = analyze_connected_time(d);
+  EXPECT_EQ(ct.full.size(), 1u);  // 99 silent cars are not in the CDF
+}
+
+TEST(ConnectedTimeTest, ToHoursConversion) {
+  ConnectedTime ct;
+  ct.study_days = 90;
+  EXPECT_DOUBLE_EQ(ct.to_hours(0.08), 0.08 * 90 * 24);
+}
+
+TEST(ConnectedTimeTest, P995IsUpperTail) {
+  std::vector<cdr::Connection> records;
+  for (std::uint32_t car = 0; car < 200; ++car) {
+    records.push_back(conn(car, 0, 0, car < 5 ? 40000 : 100));
+  }
+  const auto d = make_dataset(std::move(records), 200, 1);
+  const ConnectedTime ct = analyze_connected_time(d);
+  EXPECT_GT(ct.p995_full, ct.mean_full);
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,106 @@
+#include "core/days_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+TEST(DaysHistogramTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.set_study_days(90);
+  d.finalize();
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  EXPECT_TRUE(result.days_per_car.empty());
+}
+
+TEST(DaysHistogramTest, CountsDistinctDays) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 0, at(0, 18), 60),  // same day, counted once
+          conn(0, 0, at(5, 8), 60),
+          conn(1, 0, at(2, 8), 60),
+      },
+      2, 90);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  ASSERT_EQ(result.days_per_car.size(), 2u);
+  EXPECT_EQ(result.cars[0].value, 0u);
+  EXPECT_EQ(result.days_per_car[0], 2);
+  EXPECT_EQ(result.days_per_car[1], 1);
+}
+
+TEST(DaysHistogramTest, MultiDayConnectionCountsBothDays) {
+  const auto d =
+      make_dataset({conn(0, 0, at(0, 23, 30), 2 * 3600)}, 1, 90);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  EXPECT_EQ(result.days_per_car[0], 2);
+}
+
+TEST(DaysHistogramTest, HistogramBinsByDays) {
+  std::vector<cdr::Connection> records;
+  // Car 0: 3 days; car 1: 3 days; car 2: 7 days.
+  for (int k = 0; k < 3; ++k) records.push_back(conn(0, 0, at(k, 8), 60));
+  for (int k = 0; k < 3; ++k) records.push_back(conn(1, 0, at(k * 2, 8), 60));
+  for (int k = 0; k < 7; ++k) records.push_back(conn(2, 0, at(k, 12), 60));
+  const auto d = make_dataset(std::move(records), 3, 30);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  EXPECT_DOUBLE_EQ(result.histogram.count(3), 2.0);
+  EXPECT_DOUBLE_EQ(result.histogram.count(7), 1.0);
+  EXPECT_DOUBLE_EQ(result.histogram.total(), 3.0);
+}
+
+TEST(DaysHistogramTest, CarsAlignedAscending) {
+  const auto d = make_dataset(
+      {
+          conn(9, 0, at(0, 8), 60),
+          conn(3, 0, at(0, 8), 60),
+          conn(7, 0, at(0, 8), 60),
+      },
+      10, 30);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  ASSERT_EQ(result.cars.size(), 3u);
+  EXPECT_EQ(result.cars[0].value, 3u);
+  EXPECT_EQ(result.cars[1].value, 7u);
+  EXPECT_EQ(result.cars[2].value, 9u);
+}
+
+TEST(DaysHistogramTest, DaysNeverExceedStudyLength) {
+  std::vector<cdr::Connection> records;
+  for (int day = 0; day < 30; ++day) {
+    records.push_back(conn(0, 0, at(day, 8), 60));
+  }
+  const auto d = make_dataset(std::move(records), 1, 30);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  EXPECT_EQ(result.days_per_car[0], 30);
+}
+
+TEST(DaysHistogramTest, KneeFoundOnBimodalFleet) {
+  // 60 rare cars (1-6 days), a gap, 200 common cars (20-29 days).
+  std::vector<cdr::Connection> records;
+  std::uint32_t car = 0;
+  for (int i = 0; i < 60; ++i, ++car) {
+    const int days = 1 + i % 6;
+    for (int k = 0; k < days; ++k) {
+      records.push_back(conn(car, 0, at(k * 3, 8), 60));
+    }
+  }
+  for (int i = 0; i < 200; ++i, ++car) {
+    const int days = 20 + i % 10;
+    for (int k = 0; k < days; ++k) {
+      records.push_back(conn(car, 0, at(k, 8), 60));
+    }
+  }
+  const auto d = make_dataset(std::move(records), car, 30);
+  const DaysOnNetwork result = analyze_days_on_network(d);
+  EXPECT_GE(result.knee_days, 5);
+  EXPECT_LE(result.knee_days, 20);
+}
+
+}  // namespace
+}  // namespace ccms::core

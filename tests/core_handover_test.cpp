@@ -1,0 +1,157 @@
+#include "core/handover.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+
+/// Hand-built cell table:
+///   cell 0: station 0, sector 0, carrier 0, 4G
+///   cell 1: station 0, sector 0, carrier 2, 4G   (inter-carrier vs 0)
+///   cell 2: station 0, sector 1, carrier 0, 4G   (inter-sector vs 0)
+///   cell 3: station 1, sector 0, carrier 0, 4G   (inter-station vs 0)
+///   cell 4: station 2, sector 0, carrier 1, 3G   (inter-technology vs all)
+net::CellTable test_cells() {
+  net::CellTable table;
+  table.add(StationId{0}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  table.add(StationId{0}, SectorId{0}, CarrierId{2}, net::GeoClass::kSuburban);
+  table.add(StationId{0}, SectorId{1}, CarrierId{0}, net::GeoClass::kSuburban);
+  table.add(StationId{1}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  table.add(StationId{2}, SectorId{0}, CarrierId{1}, net::GeoClass::kRural,
+            net::Technology::k3G);
+  return table;
+}
+
+TEST(HandoverTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.finalize();
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 0u);
+  EXPECT_EQ(stats.total_handovers(), 0u);
+}
+
+TEST(HandoverTest, SingleConnectionNoHandover) {
+  const auto d = make_dataset({conn(0, 0, 0, 60)});
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 1u);
+  EXPECT_EQ(stats.total_handovers(), 0u);
+  EXPECT_EQ(stats.median, 0.0);
+}
+
+TEST(HandoverTest, InterStationCounted) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 60),
+      conn(0, 3, 100, 60),  // gap 40 s < 600 -> same journey
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 1u);
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(
+                net::HandoverType::kInterStation)],
+            1u);
+  EXPECT_EQ(stats.total_handovers(), 1u);
+}
+
+TEST(HandoverTest, AllTypesClassified) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),
+      conn(0, 1, 100, 50),   // inter-carrier
+      conn(0, 2, 200, 50),   // cell1 -> cell2: same station, sector differs
+      conn(0, 3, 300, 50),   // inter-station
+      conn(0, 4, 400, 50),   // inter-technology
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(
+                net::HandoverType::kInterCarrier)],
+            1u);
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(
+                net::HandoverType::kInterSector)],
+            1u);
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(
+                net::HandoverType::kInterStation)],
+            1u);
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(
+                net::HandoverType::kInterTechnology)],
+            1u);
+  EXPECT_EQ(stats.total_handovers(), 4u);
+}
+
+TEST(HandoverTest, SameCellReconnectionIsNotAHandover) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),
+      conn(0, 0, 100, 50),
+      conn(0, 0, 200, 50),
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 1u);
+  EXPECT_EQ(stats.total_handovers(), 0u);
+  EXPECT_EQ(stats.counts[static_cast<std::size_t>(net::HandoverType::kNone)],
+            2u);
+}
+
+TEST(HandoverTest, GapBeyondJourneySplits) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),
+      conn(0, 3, 1000, 50),  // gap 950 s > 600 -> new journey, no handover
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 2u);
+  EXPECT_EQ(stats.total_handovers(), 0u);
+}
+
+TEST(HandoverTest, CustomJourneyGap) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),
+      conn(0, 3, 1000, 50),
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells(), 2000);
+  EXPECT_EQ(stats.session_count, 1u);
+  EXPECT_EQ(stats.total_handovers(), 1u);
+}
+
+TEST(HandoverTest, PercentilesOverSessions) {
+  // Three journeys with 0, 2 and 4 handovers.
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),                               // journey A: 0
+      conn(1, 0, 0, 50), conn(1, 3, 100, 50),
+      conn(1, 0, 200, 50),                             // journey B: 2
+      conn(2, 0, 0, 50), conn(2, 3, 100, 50),
+      conn(2, 0, 200, 50), conn(2, 3, 300, 50),
+      conn(2, 0, 400, 50),                             // journey C: 4
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_EQ(stats.session_count, 3u);
+  EXPECT_DOUBLE_EQ(stats.median, 2.0);
+  EXPECT_DOUBLE_EQ(stats.per_session.quantile(1.0), 4.0);
+}
+
+TEST(HandoverTest, StationsPerSessionCountsDistinct) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),    // station 0
+      conn(0, 3, 100, 50),  // station 1
+      conn(0, 0, 200, 50),  // station 0 again
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  EXPECT_DOUBLE_EQ(stats.stations_per_session.quantile(0.5), 2.0);
+}
+
+TEST(HandoverTest, ShareComputation) {
+  const auto d = make_dataset({
+      conn(0, 0, 0, 50),
+      conn(0, 3, 100, 50),
+      conn(0, 0, 200, 50),
+      conn(0, 1, 300, 50),
+  });
+  const HandoverStats stats = analyze_handovers(d, test_cells());
+  // 2 inter-station + 1 inter-carrier.
+  EXPECT_NEAR(stats.share(net::HandoverType::kInterStation), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(stats.share(net::HandoverType::kInterCarrier), 1.0 / 3, 1e-9);
+  EXPECT_EQ(stats.share(net::HandoverType::kInterSector), 0.0);
+}
+
+}  // namespace
+}  // namespace ccms::core

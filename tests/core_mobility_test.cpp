@@ -1,0 +1,116 @@
+#include "core/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+/// Cells 0..3 on stations 0,0,1,2.
+net::CellTable test_cells() {
+  net::CellTable cells;
+  cells.add(StationId{0}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  cells.add(StationId{0}, SectorId{1}, CarrierId{0}, net::GeoClass::kSuburban);
+  cells.add(StationId{1}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  cells.add(StationId{2}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  return cells;
+}
+
+TEST(MobilityTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.finalize();
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  EXPECT_TRUE(stats.per_car.empty());
+}
+
+TEST(MobilityTest, StaticDeviceProfile) {
+  // Same cell every day: 1 station/day, novelty 0.
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 0, at(1, 8), 60),
+          conn(0, 0, at(2, 8), 60),
+      },
+      1, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  ASSERT_EQ(stats.per_car.size(), 1u);
+  const CarMobility& m = stats.per_car[0];
+  EXPECT_EQ(m.active_days, 3);
+  EXPECT_EQ(m.distinct_cells, 1u);
+  EXPECT_EQ(m.distinct_stations, 1u);
+  EXPECT_DOUBLE_EQ(m.stations_per_day, 1.0);
+  EXPECT_DOUBLE_EQ(m.novelty, 0.0);
+}
+
+TEST(MobilityTest, RoamerProfile) {
+  // Fresh cell every day: novelty 1 on every day after the first.
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 2, at(1, 8), 60),
+          conn(0, 3, at(2, 8), 60),
+      },
+      1, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  const CarMobility& m = stats.per_car[0];
+  EXPECT_EQ(m.distinct_cells, 3u);
+  EXPECT_EQ(m.distinct_stations, 3u);
+  EXPECT_DOUBLE_EQ(m.novelty, 1.0);
+}
+
+TEST(MobilityTest, MixedDayNovelty) {
+  // Day 0: cell 0. Day 1: cells 0 and 2 -> half novel.
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 0, at(1, 8), 60),
+          conn(0, 2, at(1, 9), 60),
+      },
+      1, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  EXPECT_DOUBLE_EQ(stats.per_car[0].novelty, 0.5);
+}
+
+TEST(MobilityTest, StationsPerDayCountsDistinctStationsNotCells) {
+  // Two cells of the same station on one day: 1 station.
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 1, at(0, 9), 60),
+          conn(0, 2, at(0, 10), 60),
+      },
+      1, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  EXPECT_DOUBLE_EQ(stats.per_car[0].stations_per_day, 2.0);
+  EXPECT_EQ(stats.per_car[0].distinct_cells, 3u);
+}
+
+TEST(MobilityTest, SingleActiveDayHasZeroNovelty) {
+  const auto d = make_dataset({conn(0, 0, at(0, 8), 60)}, 1, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  EXPECT_DOUBLE_EQ(stats.per_car[0].novelty, 0.0);
+  EXPECT_EQ(stats.per_car[0].active_days, 1);
+}
+
+TEST(MobilityTest, DistributionsCoverFleet) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(1, 2, at(0, 8), 60),
+          conn(1, 3, at(1, 8), 60),
+      },
+      2, 7);
+  const MobilityStats stats = analyze_mobility(d, test_cells());
+  EXPECT_EQ(stats.per_car.size(), 2u);
+  EXPECT_EQ(stats.stations_per_day.size(), 2u);
+  EXPECT_EQ(stats.novelty.size(), 2u);
+  EXPECT_EQ(stats.distinct_cells.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,159 @@
+#include "core/predictability.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+TEST(BehaviorTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.set_study_days(28);
+  d.finalize();
+  EXPECT_TRUE(extract_behavior(d).empty());
+}
+
+TEST(BehaviorTest, FeaturesInUnitInterval) {
+  std::vector<cdr::Connection> records;
+  util::Rng rng(3);
+  for (std::uint32_t car = 0; car < 30; ++car) {
+    for (int k = 0; k < 40; ++k) {
+      records.push_back(conn(car, k % 5,
+                             at(rng.uniform_int(0, 27),
+                                static_cast<int>(rng.uniform_int(0, 23))),
+                             static_cast<std::int32_t>(rng.uniform_int(10, 900))));
+    }
+  }
+  const auto d = make_dataset(std::move(records), 30, 28);
+  const auto features = extract_behavior(d);
+  ASSERT_EQ(features.size(), 30u);
+  for (const CarBehavior& f : features) {
+    EXPECT_GE(f.regularity, 0.0);
+    EXPECT_LE(f.regularity, 1.0);
+    EXPECT_GT(f.days_fraction, 0.0);
+    EXPECT_LE(f.days_fraction, 1.0);
+    EXPECT_GE(f.commute_fraction, 0.0);
+    EXPECT_LE(f.commute_fraction, 1.0);
+    EXPECT_GE(f.peak_fraction, 0.0);
+    EXPECT_LE(f.peak_fraction, 1.0);
+    EXPECT_GE(f.weekend_fraction, 0.0);
+    EXPECT_LE(f.weekend_fraction, 1.0);
+  }
+}
+
+TEST(BehaviorTest, CommuterFeaturesReadCorrectly) {
+  // A strict commuter: 08:00 and 17:00 every weekday for 4 weeks.
+  std::vector<cdr::Connection> records;
+  for (int week = 0; week < 4; ++week) {
+    for (int dow = 0; dow < 5; ++dow) {
+      records.push_back(conn(0, 0, at(week * 7 + dow, 8), 600));
+      records.push_back(conn(0, 0, at(week * 7 + dow, 17), 600));
+    }
+  }
+  const auto d = make_dataset(std::move(records), 1, 28);
+  const auto features = extract_behavior(d);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_DOUBLE_EQ(features[0].regularity, 1.0);
+  EXPECT_NEAR(features[0].days_fraction, 20.0 / 28, 1e-9);
+  EXPECT_DOUBLE_EQ(features[0].commute_fraction, 1.0);  // 8 & 17 both inside
+  EXPECT_DOUBLE_EQ(features[0].weekend_fraction, 0.0);
+}
+
+TEST(BehaviorTest, WeekendDriverFeatures) {
+  std::vector<cdr::Connection> records;
+  for (int week = 0; week < 4; ++week) {
+    records.push_back(conn(0, 0, at(week * 7 + 5, 11), 600));  // Saturdays
+  }
+  const auto d = make_dataset(std::move(records), 1, 28);
+  const auto features = extract_behavior(d);
+  EXPECT_DOUBLE_EQ(features[0].weekend_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(features[0].commute_fraction, 0.0);
+}
+
+TEST(BehaviorTest, TimezoneOffsetsApplied) {
+  // Reference 11:00 = local 08:00 at offset -3 -> inside the commute mask.
+  const auto d = make_dataset({conn(0, 0, at(0, 11), 600)}, 1, 7);
+  const std::vector<int> tz = {-3};
+  const auto shifted = extract_behavior(d, tz);
+  const auto unshifted = extract_behavior(d);
+  EXPECT_DOUBLE_EQ(shifted[0].commute_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(unshifted[0].commute_fraction, 0.0);
+}
+
+TEST(ClusterBehaviorTest, EmptyInput) {
+  const auto result = cluster_behavior({});
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(ClusterBehaviorTest, SeparatesCommutersFromWeekenders) {
+  std::vector<CarBehavior> features;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    CarBehavior f;
+    f.car = CarId{i};
+    if (i < 20) {  // predictable commuters
+      f.regularity = 0.9;
+      f.days_fraction = 0.8;
+      f.commute_fraction = 0.7;
+      f.peak_fraction = 0.4;
+      f.weekend_fraction = 0.05;
+    } else {  // weekenders
+      f.regularity = 0.3;
+      f.days_fraction = 0.3;
+      f.commute_fraction = 0.05;
+      f.peak_fraction = 0.5;
+      f.weekend_fraction = 0.8;
+    }
+    features.push_back(f);
+  }
+  const auto result = cluster_behavior(features, 2);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  // Cluster 0 is the most regular one (ordering contract).
+  EXPECT_GT(result.clusters[0].centroid.regularity,
+            result.clusters[1].centroid.regularity);
+  EXPECT_EQ(result.clusters[0].size, 20u);
+  EXPECT_EQ(result.clusters[1].size, 10u);
+  // Assignments consistent.
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    EXPECT_EQ(result.assignment[i], i < 20 ? 0 : 1);
+  }
+}
+
+TEST(ClusterBehaviorTest, DeterministicGivenSeed) {
+  std::vector<CarBehavior> features;
+  util::Rng rng(11);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    CarBehavior f;
+    f.car = CarId{i};
+    f.regularity = rng.uniform();
+    f.days_fraction = rng.uniform();
+    f.commute_fraction = rng.uniform();
+    f.peak_fraction = rng.uniform();
+    f.weekend_fraction = rng.uniform();
+    features.push_back(f);
+  }
+  const auto a = cluster_behavior(features, 3, 7);
+  const auto b = cluster_behavior(features, 3, 7);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ClusterBehaviorTest, VectorRoundTrip) {
+  CarBehavior f;
+  f.regularity = 0.1;
+  f.days_fraction = 0.2;
+  f.commute_fraction = 0.3;
+  f.peak_fraction = 0.4;
+  f.weekend_fraction = 0.5;
+  const auto v = f.vector();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 0.1);
+  EXPECT_EQ(v[4], 0.5);
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,133 @@
+// Unit tests of the report printers on hand-built results: each section
+// must render its numbers (not just not-crash, which core_study_test
+// already covers end to end).
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccms::core {
+namespace {
+
+TEST(ReportPrintTest, Table1RendersPercentages) {
+  DailyPresence presence;
+  presence.cars_by_weekday[0] = {0.781, 0.008};
+  presence.cells_by_weekday[0] = {0.672, 0.011};
+  presence.cars_overall = {0.760, 0.056};
+  presence.cells_overall = {0.658, 0.041};
+  std::ostringstream out;
+  print_table1(out, presence);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("78.1%"), std::string::npos);
+  EXPECT_NE(s.find("67.2%"), std::string::npos);
+  EXPECT_NE(s.find("Overall"), std::string::npos);
+  EXPECT_NE(s.find("76.0%"), std::string::npos);
+}
+
+TEST(ReportPrintTest, ConnectedTimeRendersBothVariants) {
+  ConnectedTime ct;
+  ct.study_days = 90;
+  ct.mean_full = 0.08;
+  ct.mean_truncated = 0.04;
+  ct.p995_full = 0.27;
+  ct.p995_truncated = 0.15;
+  std::ostringstream out;
+  print_connected_time(out, ct);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("8.0%"), std::string::npos);
+  EXPECT_NE(s.find("4.0%"), std::string::npos);
+  EXPECT_NE(s.find("27.0%"), std::string::npos);
+  // Hours derived from the fraction: 0.08 * 90 * 24 = 173 h.
+  EXPECT_NE(s.find("173"), std::string::npos);
+}
+
+TEST(ReportPrintTest, SegmentationRendersRows) {
+  Segmentation seg;
+  seg.car_count = 1000;
+  seg.rare_a = {0.004, 0.009, 0.009};
+  seg.common_a = {0.013, 0.590, 0.375};
+  std::ostringstream out;
+  print_segmentation(out, seg);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("59.0%"), std::string::npos);
+  EXPECT_NE(s.find("37.5%"), std::string::npos);
+  EXPECT_NE(s.find("97.8%"), std::string::npos);  // row total
+}
+
+TEST(ReportPrintTest, CellSessionsRendersStats) {
+  CellSessionStats stats;
+  stats.median = 105;
+  stats.mean_full = 625;
+  stats.mean_truncated = 238;
+  stats.cdf_at_cap = 0.73;
+  stats.cap = 600;
+  std::ostringstream out;
+  print_cell_sessions(out, stats);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("105 s"), std::string::npos);
+  EXPECT_NE(s.find("625 s"), std::string::npos);
+  EXPECT_NE(s.find("73.0%"), std::string::npos);
+}
+
+TEST(ReportPrintTest, HandoversRendersTypesAndPercentiles) {
+  HandoverStats h;
+  h.session_count = 100;
+  h.median = 2;
+  h.p70 = 4;
+  h.p90 = 9;
+  h.counts[static_cast<std::size_t>(net::HandoverType::kInterStation)] = 90;
+  h.counts[static_cast<std::size_t>(net::HandoverType::kInterCarrier)] = 10;
+  std::ostringstream out;
+  print_handovers(out, h);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("inter-station 90.0%"), std::string::npos);
+  EXPECT_NE(s.find("inter-carrier 10.0%"), std::string::npos);
+  EXPECT_NE(s.find("median 2"), std::string::npos);
+}
+
+TEST(ReportPrintTest, CarriersRendersAllFive) {
+  CarrierUsage usage;
+  usage.car_count = 500;
+  usage.cars_fraction = {0.987, 0.892, 0.987, 0.808, 0.00006};
+  usage.time_fraction = {0.186, 0.074, 0.519, 0.221, 0.0};
+  std::ostringstream out;
+  print_carriers(out, usage);
+  const std::string s = out.str();
+  for (const char* needle : {"C1", "C5", "98.7%", "51.9%", "22.1%"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ReportPrintTest, ClustersRendersRatios) {
+  ConcurrencyClusters clusters;
+  clusters.load_threshold = 0.70;
+  clusters.busy_cells.resize(50);
+  clusters.clusters.resize(2);
+  clusters.clusters[0].cell_count = 40;
+  clusters.clusters[0].mean_cars = 2.0;
+  clusters.clusters[1].cell_count = 10;
+  clusters.clusters[1].mean_cars = 10.0;
+  std::ostringstream out;
+  print_clusters(out, clusters);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("busy radios: 50"), std::string::npos);
+  EXPECT_NE(s.find("5.0x"), std::string::npos);  // cars ratio
+  EXPECT_NE(s.find("4.0x"), std::string::npos);  // size ratio
+}
+
+TEST(ReportPrintTest, BusyTimeRendersDecilesAndTail) {
+  BusyTime busy;
+  busy.per_car = {{CarId{0}, 0.1, 100}, {CarId{1}, 0.9, 100}};
+  busy.shares = stats::EmpiricalDistribution({0.1, 0.9});
+  busy.fraction_over_half = 0.5;
+  busy.fraction_all = 0.0;
+  std::ostringstream out;
+  print_busy_time(out, busy);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("deciles:"), std::string::npos);
+  EXPECT_NE(s.find("50.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,86 @@
+#include "core/signaling.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+net::CellTable two_station_cells() {
+  net::CellTable cells;
+  cells.add(StationId{0}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  cells.add(StationId{1}, SectorId{0}, CarrierId{0}, net::GeoClass::kSuburban);
+  return cells;
+}
+
+TEST(SignalingTest, EmptyDataset) {
+  cdr::Dataset d;
+  d.finalize();
+  const SignalingStats stats = analyze_signaling(d, two_station_cells());
+  EXPECT_EQ(stats.connections, 0u);
+  EXPECT_EQ(stats.setups_per_device_day(), 0.0);
+  EXPECT_EQ(stats.events_per_connected_hour(), 0.0);
+}
+
+TEST(SignalingTest, CountsConnectionsAndDeviceDays) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 600),
+          conn(0, 0, at(0, 18), 600),   // same day
+          conn(0, 0, at(2, 8), 600),    // second active day
+          conn(1, 1, at(0, 8), 600),
+      },
+      2, 7);
+  const SignalingStats stats = analyze_signaling(d, two_station_cells());
+  EXPECT_EQ(stats.connections, 4u);
+  EXPECT_DOUBLE_EQ(stats.device_days, 3.0);
+  EXPECT_NEAR(stats.setups_per_device_day(), 4.0 / 3.0, 1e-9);
+}
+
+TEST(SignalingTest, ConnectedHoursUseUnion) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 3600),
+          conn(0, 1, at(0, 8, 30), 3600),  // overlaps 30 min
+      },
+      1, 7);
+  const SignalingStats stats = analyze_signaling(d, two_station_cells());
+  EXPECT_NEAR(stats.connected_hours, 1.5, 1e-9);
+}
+
+TEST(SignalingTest, HandoversCounted) {
+  const auto d = make_dataset(
+      {
+          conn(0, 0, at(0, 8), 60),
+          conn(0, 1, at(0, 8, 2), 60),   // inter-station within journey
+          conn(0, 1, at(0, 8, 4), 60),   // same cell: not a handover
+      },
+      1, 7);
+  const SignalingStats stats = analyze_signaling(d, two_station_cells());
+  EXPECT_EQ(stats.handovers, 1u);
+  // events = 2 * 3 setups + 1 handover = 7.
+  EXPECT_NEAR(stats.events_per_connected_hour() * stats.connected_hours, 7.0,
+              1e-9);
+}
+
+TEST(SignalingTest, ShortSessionsRaiseIntensity) {
+  // Same total connected time, different fragmentation.
+  std::vector<cdr::Connection> fragmented;
+  for (int k = 0; k < 60; ++k) {
+    fragmented.push_back(conn(0, 0, at(0, 8) + k * 3000, 60));
+  }
+  const auto frag = make_dataset(std::move(fragmented), 1, 7);
+  const auto monolithic = make_dataset({conn(0, 0, at(0, 8), 3600)}, 1, 7);
+  const auto cells = two_station_cells();
+  EXPECT_GT(analyze_signaling(frag, cells).events_per_connected_hour(),
+            10 * analyze_signaling(monolithic, cells)
+                     .events_per_connected_hour());
+}
+
+}  // namespace
+}  // namespace ccms::core

@@ -1,0 +1,144 @@
+#include "core/usage_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::core {
+namespace {
+
+using test::conn;
+using time::at;
+
+TEST(UsageMatrixTest, EmptyConnections) {
+  const Matrix24x7 m = usage_matrix({});
+  EXPECT_EQ(m.sum(), 0.0);
+  EXPECT_EQ(m.max(), 0.0);
+}
+
+TEST(UsageMatrixTest, SingleConnectionSingleBox) {
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(2, 7, 10), 600)};
+  const Matrix24x7 m = usage_matrix(conns);
+  EXPECT_EQ(m.at(7, 2), 1.0);  // Wednesday 07:xx
+  EXPECT_EQ(m.sum(), 1.0);
+}
+
+TEST(UsageMatrixTest, ConnectionSpanningHoursCountsEach) {
+  // 07:50 + 30 min touches hours 7 and 8.
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(0, 7, 50), 1800)};
+  const Matrix24x7 m = usage_matrix(conns);
+  EXPECT_EQ(m.at(7, 0), 1.0);
+  EXPECT_EQ(m.at(8, 0), 1.0);
+  EXPECT_EQ(m.sum(), 2.0);
+}
+
+TEST(UsageMatrixTest, MidnightWrapHitsNextDay) {
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(0, 23, 50), 1200)};
+  const Matrix24x7 m = usage_matrix(conns);
+  EXPECT_EQ(m.at(23, 0), 1.0);  // Monday 23:xx
+  EXPECT_EQ(m.at(0, 1), 1.0);   // Tuesday 00:xx
+}
+
+TEST(UsageMatrixTest, WeeksAccumulate) {
+  const std::vector<cdr::Connection> conns = {
+      conn(0, 0, at(0, 9), 60),
+      conn(0, 0, at(7, 9), 60),
+      conn(0, 0, at(14, 9), 60),
+  };
+  const Matrix24x7 m = usage_matrix(conns);
+  EXPECT_EQ(m.at(9, 0), 3.0);
+  EXPECT_EQ(m.max(), 3.0);
+}
+
+TEST(UsageMatrixTest, TimezoneShiftsHours) {
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(0, 12), 60)};
+  const Matrix24x7 shifted = usage_matrix(conns, -3);
+  EXPECT_EQ(shifted.at(9, 0), 1.0);
+  EXPECT_EQ(shifted.at(12, 0), 0.0);
+}
+
+TEST(UsageMatrixTest, TimezoneCanWrapWeekday) {
+  // Monday 01:00 reference = Sunday 22:00 local at UTC-3.
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(0, 1), 60)};
+  const Matrix24x7 shifted = usage_matrix(conns, -3);
+  EXPECT_EQ(shifted.at(22, 6), 1.0);
+}
+
+TEST(MaskTest, CommutePeakShape) {
+  const Matrix24x7 m = commute_peak_mask();
+  EXPECT_EQ(m.at(7, 0), 1.0);
+  EXPECT_EQ(m.at(8, 4), 1.0);
+  EXPECT_EQ(m.at(16, 2), 1.0);
+  EXPECT_EQ(m.at(17, 3), 1.0);
+  EXPECT_EQ(m.at(7, 5), 0.0);   // not on Saturday
+  EXPECT_EQ(m.at(12, 1), 0.0);  // not midday
+  EXPECT_EQ(m.sum(), 4.0 * 5);
+}
+
+TEST(MaskTest, NetworkPeakShape) {
+  const Matrix24x7 m = network_peak_mask();
+  EXPECT_EQ(m.at(14, 0), 1.0);
+  EXPECT_EQ(m.at(23, 6), 1.0);
+  EXPECT_EQ(m.at(13, 0), 0.0);
+  EXPECT_EQ(m.sum(), 10.0 * 7);
+}
+
+TEST(MaskTest, WeekendShape) {
+  const Matrix24x7 m = weekend_mask();
+  EXPECT_EQ(m.at(10, 5), 1.0);
+  EXPECT_EQ(m.at(10, 6), 1.0);
+  EXPECT_EQ(m.at(10, 0), 0.0);
+  EXPECT_EQ(m.at(3, 5), 0.0);  // early morning excluded
+}
+
+TEST(MaskTest, FractionIn) {
+  Matrix24x7 usage;
+  usage.at(7, 0) = 3.0;   // inside commute mask
+  usage.at(12, 0) = 1.0;  // outside
+  EXPECT_DOUBLE_EQ(usage.fraction_in(commute_peak_mask()), 0.75);
+}
+
+TEST(MaskTest, FractionInEmptyUsage) {
+  const Matrix24x7 usage;
+  EXPECT_EQ(usage.fraction_in(network_peak_mask()), 0.0);
+}
+
+TEST(RegularityTest, EmptyIsZero) {
+  EXPECT_EQ(regularity_score({}, 90), 0.0);
+}
+
+TEST(RegularityTest, PerfectCommuterIsOne) {
+  // Same hour every Monday for 4 weeks.
+  std::vector<cdr::Connection> conns;
+  for (int w = 0; w < 4; ++w) {
+    conns.push_back(conn(0, 0, at(w * 7, 8), 600));
+  }
+  EXPECT_DOUBLE_EQ(regularity_score(conns, 28), 1.0);
+}
+
+TEST(RegularityTest, OneOffIsOneOverWeeks) {
+  const std::vector<cdr::Connection> conns = {conn(0, 0, at(0, 8), 600)};
+  EXPECT_NEAR(regularity_score(conns, 28), 0.25, 1e-9);
+}
+
+TEST(RegularityTest, MixedPattern) {
+  // One perfectly regular box + one one-off box over 2 weeks -> (1+0.5)/2.
+  const std::vector<cdr::Connection> conns = {
+      conn(0, 0, at(0, 8), 600),
+      conn(0, 0, at(7, 8), 600),
+      conn(0, 0, at(3, 19), 600),
+  };
+  EXPECT_NEAR(regularity_score(conns, 14), 0.75, 1e-9);
+}
+
+TEST(RegularityTest, RegularBeatsErratic) {
+  std::vector<cdr::Connection> regular, erratic;
+  for (int w = 0; w < 8; ++w) {
+    regular.push_back(conn(0, 0, at(w * 7 + 1, 8), 600));
+    erratic.push_back(conn(0, 0, at(w * 7 + w % 5, 3 + w * 2), 600));
+  }
+  EXPECT_GT(regularity_score(regular, 56), regularity_score(erratic, 56));
+}
+
+}  // namespace
+}  // namespace ccms::core

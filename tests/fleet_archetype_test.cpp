@@ -1,0 +1,86 @@
+#include "fleet/archetype.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace ccms::fleet {
+namespace {
+
+TEST(ArchetypeTest, CatalogueComplete) {
+  const auto catalogue = archetype_catalogue();
+  ASSERT_EQ(catalogue.size(), static_cast<std::size_t>(kArchetypeCount));
+  for (int i = 0; i < kArchetypeCount; ++i) {
+    EXPECT_EQ(static_cast<int>(catalogue[static_cast<std::size_t>(i)].archetype),
+              i);
+  }
+}
+
+TEST(ArchetypeTest, SharesSumToOne) {
+  double total = 0;
+  for (const ArchetypeSpec& spec : archetype_catalogue()) {
+    total += spec.population_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ArchetypeTest, ProbabilitiesValid) {
+  for (const ArchetypeSpec& spec : archetype_catalogue()) {
+    for (const double p : spec.day_activity) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.1);  // rare drivers use >1 before per-car scaling
+    }
+    EXPECT_GE(spec.hotspot_prob, 0.0);
+    EXPECT_LE(spec.hotspot_prob, 1.0);
+    EXPECT_GE(spec.local_errand_prob, 0.0);
+    EXPECT_LE(spec.local_errand_prob, 1.0);
+    EXPECT_GT(spec.errand_radius, 0);
+    EXPECT_GT(spec.activity_scale_max, 0.0);
+    EXPECT_LE(spec.activity_scale_min, spec.activity_scale_max);
+  }
+}
+
+TEST(ArchetypeTest, CommutersCommute) {
+  EXPECT_TRUE(archetype_spec(Archetype::kRegularCommuter).commutes);
+  EXPECT_TRUE(archetype_spec(Archetype::kFlexCommuter).commutes);
+  EXPECT_FALSE(archetype_spec(Archetype::kWeekendDriver).commutes);
+  EXPECT_FALSE(archetype_spec(Archetype::kRareDriver).commutes);
+}
+
+TEST(ArchetypeTest, WeekendDriverIsWeekendSkewed) {
+  const ArchetypeSpec& spec = archetype_spec(Archetype::kWeekendDriver);
+  const auto sat = static_cast<std::size_t>(time::Weekday::kSaturday);
+  const auto wed = static_cast<std::size_t>(time::Weekday::kWednesday);
+  EXPECT_GT(spec.day_activity[sat], 2.0 * spec.day_activity[wed]);
+}
+
+TEST(ArchetypeTest, CommuterIsWeekdaySkewed) {
+  const ArchetypeSpec& spec = archetype_spec(Archetype::kRegularCommuter);
+  const auto sun = static_cast<std::size_t>(time::Weekday::kSunday);
+  const auto mon = static_cast<std::size_t>(time::Weekday::kMonday);
+  EXPECT_GT(spec.day_activity[mon], spec.day_activity[sun]);
+}
+
+TEST(ArchetypeTest, RareDriverHasLowActivityScale) {
+  const ArchetypeSpec& spec = archetype_spec(Archetype::kRareDriver);
+  // Rare drivers must be able to land under 10 active days of 90
+  // (Table 2's rare row needs ~2% of the fleet there).
+  EXPECT_LT(spec.activity_scale_min * 90, 10);
+  EXPECT_LT(spec.activity_scale_max, 0.5);
+}
+
+TEST(ArchetypeTest, HeavyUserHasMostTrips) {
+  const double heavy = archetype_spec(Archetype::kHeavyUser).extra_trips_weekday;
+  for (const ArchetypeSpec& spec : archetype_catalogue()) {
+    if (spec.archetype == Archetype::kHeavyUser) continue;
+    EXPECT_GT(heavy, spec.extra_trips_weekday);
+  }
+}
+
+TEST(ArchetypeTest, Names) {
+  EXPECT_STREQ(name(Archetype::kRegularCommuter), "regular-commuter");
+  EXPECT_STREQ(name(Archetype::kRareDriver), "rare-driver");
+}
+
+}  // namespace
+}  // namespace ccms::fleet

@@ -1,0 +1,178 @@
+#include "fleet/fleet_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::fleet {
+namespace {
+
+class FleetBuilderTest : public ::testing::Test {
+ protected:
+  FleetBuilderTest() : topo_(test::small_topology()) {}
+  net::Topology topo_;
+};
+
+TEST_F(FleetBuilderTest, BuildsRequestedSize) {
+  FleetConfig config;
+  config.size = 123;
+  util::Rng rng(1);
+  const auto fleet = build_fleet(topo_, config, rng);
+  EXPECT_EQ(fleet.size(), 123u);
+}
+
+TEST_F(FleetBuilderTest, IdsAreDense) {
+  FleetConfig config;
+  config.size = 50;
+  util::Rng rng(2);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].id.value, i);
+  }
+}
+
+TEST_F(FleetBuilderTest, ArchetypeQuotasRespected) {
+  FleetConfig config;
+  config.size = 1000;
+  util::Rng rng(3);
+  const auto fleet = build_fleet(topo_, config, rng);
+  const auto counts = archetype_counts(fleet);
+  const auto catalogue = archetype_catalogue();
+  for (int a = 0; a < kArchetypeCount; ++a) {
+    const auto i = static_cast<std::size_t>(a);
+    const double expected = catalogue[i].population_share * 1000;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 1.0)
+        << catalogue[i].name;
+  }
+}
+
+TEST_F(FleetBuilderTest, ArchetypesAreShuffled) {
+  FleetConfig config;
+  config.size = 200;
+  util::Rng rng(4);
+  const auto fleet = build_fleet(topo_, config, rng);
+  // The first 90 cars (0.45 quota) must NOT all be regular commuters.
+  int same = 0;
+  for (int i = 0; i < 90; ++i) {
+    same += fleet[static_cast<std::size_t>(i)].archetype ==
+            Archetype::kRegularCommuter;
+  }
+  EXPECT_LT(same, 80);
+  EXPECT_GT(same, 10);
+}
+
+TEST_F(FleetBuilderTest, CommutersHaveDistinctWork) {
+  FleetConfig config;
+  config.size = 400;
+  util::Rng rng(5);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (const CarProfile& car : fleet) {
+    if (archetype_spec(car.archetype).commutes) {
+      EXPECT_NE(car.home, car.work) << "car " << car.id.value;
+    } else {
+      EXPECT_EQ(car.home, car.work);
+    }
+  }
+}
+
+TEST_F(FleetBuilderTest, DepartureTimesPlausible) {
+  FleetConfig config;
+  config.size = 200;
+  util::Rng rng(6);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (const CarProfile& car : fleet) {
+    EXPECT_GE(car.depart_am, 6 * time::kSecondsPerHour);
+    EXPECT_LE(car.depart_am, 9 * time::kSecondsPerHour);
+    EXPECT_GE(car.depart_pm, 15 * time::kSecondsPerHour);
+    EXPECT_LE(car.depart_pm, 19 * time::kSecondsPerHour);
+    EXPECT_LT(car.depart_am, car.depart_pm);
+  }
+}
+
+TEST_F(FleetBuilderTest, EveryCarSupportsABaselineCarrier) {
+  FleetConfig config;
+  config.size = 2000;
+  util::Rng rng(7);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (const CarProfile& car : fleet) {
+    EXPECT_TRUE(car.carrier_support[0] || car.carrier_support[2]);
+    // Preferred carrier must be supported.
+    EXPECT_TRUE(car.carrier_support[car.preferred_carrier.value]);
+  }
+}
+
+TEST_F(FleetBuilderTest, CarrierSupportTracksTable3) {
+  FleetConfig config;
+  config.size = 5000;
+  util::Rng rng(8);
+  const auto fleet = build_fleet(topo_, config, rng);
+  std::array<int, net::kCarrierCount> support{};
+  for (const CarProfile& car : fleet) {
+    for (int k = 0; k < net::kCarrierCount; ++k) {
+      support[static_cast<std::size_t>(k)] +=
+          car.carrier_support[static_cast<std::size_t>(k)];
+    }
+  }
+  EXPECT_NEAR(support[0] / 5000.0, 0.987, 0.02);
+  EXPECT_NEAR(support[1] / 5000.0, 0.892, 0.02);
+  EXPECT_NEAR(support[3] / 5000.0, 0.808, 0.02);
+  EXPECT_LE(support[4], 5);  // C5 is vanishingly rare
+}
+
+TEST_F(FleetBuilderTest, StuckMultiplierBounded) {
+  FleetConfig config;
+  config.size = 1000;
+  util::Rng rng(9);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (const CarProfile& car : fleet) {
+    EXPECT_GT(car.stuck_multiplier, 0.0);
+    EXPECT_LE(car.stuck_multiplier, 2.0);
+  }
+}
+
+TEST_F(FleetBuilderTest, ActivityScaleWithinArchetypeRange) {
+  FleetConfig config;
+  config.size = 1000;
+  util::Rng rng(10);
+  const auto fleet = build_fleet(topo_, config, rng);
+  for (const CarProfile& car : fleet) {
+    const ArchetypeSpec& spec = archetype_spec(car.archetype);
+    EXPECT_GE(car.activity_scale, spec.activity_scale_min);
+    EXPECT_LE(car.activity_scale, spec.activity_scale_max);
+  }
+}
+
+TEST_F(FleetBuilderTest, DeterministicGivenSeed) {
+  FleetConfig config;
+  config.size = 100;
+  util::Rng rng1(11);
+  util::Rng rng2(11);
+  const auto a = build_fleet(topo_, config, rng1);
+  const auto b = build_fleet(topo_, config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].archetype, b[i].archetype);
+    EXPECT_EQ(a[i].home, b[i].home);
+    EXPECT_EQ(a[i].work, b[i].work);
+    EXPECT_EQ(a[i].depart_am, b[i].depart_am);
+    EXPECT_EQ(a[i].preferred_carrier, b[i].preferred_carrier);
+  }
+}
+
+TEST_F(FleetBuilderTest, HomesSpreadAcrossClasses) {
+  FleetConfig config;
+  config.size = 2000;
+  util::Rng rng(12);
+  const auto fleet = build_fleet(topo_, config, rng);
+  std::array<int, net::kGeoClassCount> homes{};
+  for (const CarProfile& car : fleet) {
+    ++homes[static_cast<std::size_t>(topo_.station_class(car.home))];
+  }
+  // Suburban dominates; every class is represented.
+  EXPECT_GT(homes[1], homes[0]);
+  EXPECT_GT(homes[1], homes[3]);
+  for (const int h : homes) EXPECT_GT(h, 0);
+}
+
+}  // namespace
+}  // namespace ccms::fleet

@@ -1,0 +1,199 @@
+#include "fleet/connection_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fleet/fleet_builder.h"
+#include "test_helpers.h"
+
+namespace ccms::fleet {
+namespace {
+
+class ConnGenTest : public ::testing::Test {
+ protected:
+  ConnGenTest() : topo_(test::small_topology()) {
+    FleetConfig config;
+    config.size = 100;
+    util::Rng rng(42);
+    fleet_ = build_fleet(topo_, config, rng);
+    gen_ = std::make_unique<ConnectionGenerator>(topo_);
+  }
+
+  /// A fixed medium trip across the grid.
+  Trip sample_trip(const CarProfile& /*car*/) const {
+    return Trip{time::at(1, 8), topo_.station_at({1, 1}),
+                topo_.station_at({5, 4})};
+  }
+
+  net::Topology topo_;
+  std::vector<CarProfile> fleet_;
+  std::unique_ptr<ConnectionGenerator> gen_;
+};
+
+TEST_F(ConnGenTest, ProducesRecordsForATrip) {
+  util::Rng rng(1);
+  std::vector<cdr::Connection> out;
+  gen_->generate_trip(fleet_[0], sample_trip(fleet_[0]), rng, out);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(ConnGenTest, ArrivalAfterDeparture) {
+  util::Rng rng(2);
+  std::vector<cdr::Connection> out;
+  const Trip trip = sample_trip(fleet_[0]);
+  const time::Seconds arrival =
+      gen_->generate_trip(fleet_[0], trip, rng, out);
+  EXPECT_GT(arrival, trip.depart);
+  // 7 grid steps at >= 20 s per station.
+  EXPECT_GE(arrival - trip.depart, 7 * 20);
+}
+
+TEST_F(ConnGenTest, RecordsCarryTheCarId) {
+  util::Rng rng(3);
+  std::vector<cdr::Connection> out;
+  gen_->generate_trip(fleet_[7], sample_trip(fleet_[7]), rng, out);
+  for (const auto& c : out) EXPECT_EQ(c.car, fleet_[7].id);
+}
+
+TEST_F(ConnGenTest, DurationsPositive) {
+  util::Rng rng(4);
+  std::vector<cdr::Connection> out;
+  for (int i = 0; i < 50; ++i) {
+    gen_->generate_trip(fleet_[static_cast<std::size_t>(i % 100)],
+                        sample_trip(fleet_[0]), rng, out);
+  }
+  for (const auto& c : out) EXPECT_GT(c.duration_s, 0);
+}
+
+TEST_F(ConnGenTest, CellsBelongToRouteStations) {
+  util::Rng rng(5);
+  std::vector<cdr::Connection> out;
+  const Trip trip = sample_trip(fleet_[0]);
+  gen_->generate_trip(fleet_[0], trip, rng, out);
+  const auto route = topo_.route(trip.from, trip.to);
+  for (const auto& c : out) {
+    const StationId station = topo_.cells().info(c.cell).station;
+    EXPECT_NE(std::find(route.begin(), route.end(), station), route.end())
+        << "record on station off the route";
+  }
+}
+
+TEST_F(ConnGenTest, OnlySupportedCarriersUsed) {
+  util::Rng rng(6);
+  for (const CarProfile& car : fleet_) {
+    std::vector<cdr::Connection> out;
+    gen_->generate_trip(car, sample_trip(car), rng, out);
+    for (const auto& c : out) {
+      const CarrierId carrier = topo_.cells().info(c.cell).carrier;
+      EXPECT_TRUE(car.carrier_support[carrier.value]);
+    }
+  }
+}
+
+TEST_F(ConnGenTest, ManyTripsProduceHeavyTailDurations) {
+  util::Rng rng(7);
+  std::vector<cdr::Connection> out;
+  for (int i = 0; i < 400; ++i) {
+    gen_->generate_trip(fleet_[static_cast<std::size_t>(i % 100)],
+                        sample_trip(fleet_[0]), rng, out);
+  }
+  int shorts = 0, longs = 0;
+  for (const auto& c : out) {
+    shorts += c.duration_s <= 90;
+    longs += c.duration_s >= 600;
+  }
+  // Fig 9's bimodal shape: a big short mass AND a substantial >= 600 s mass.
+  EXPECT_GT(shorts, static_cast<int>(out.size() / 5));
+  EXPECT_GT(longs, static_cast<int>(out.size() / 20));
+}
+
+TEST_F(ConnGenTest, SomeHourArtifactsAppear) {
+  GenConfig config;
+  config.hour_artifact_per_trip = 1.0;  // force
+  const ConnectionGenerator gen(topo_, config);
+  util::Rng rng(8);
+  std::vector<cdr::Connection> out;
+  gen.generate_trip(fleet_[0], sample_trip(fleet_[0]), rng, out);
+  int artifacts = 0;
+  for (const auto& c : out) artifacts += c.duration_s == 3600;
+  EXPECT_EQ(artifacts, 1);
+}
+
+TEST_F(ConnGenTest, NoArtifactsWhenDisabled) {
+  GenConfig config;
+  config.hour_artifact_per_trip = 0.0;
+  config.idle_max_s = 3000;  // keep idles away from 3600 too
+  const ConnectionGenerator gen(topo_, config);
+  util::Rng rng(9);
+  std::vector<cdr::Connection> out;
+  for (int i = 0; i < 200; ++i) {
+    gen.generate_trip(fleet_[static_cast<std::size_t>(i % 100)],
+                      sample_trip(fleet_[0]), rng, out);
+  }
+  for (const auto& c : out) EXPECT_NE(c.duration_s, 3600);
+}
+
+TEST_F(ConnGenTest, SingleStationTripWorks) {
+  // Local errand: from == to.
+  util::Rng rng(10);
+  std::vector<cdr::Connection> out;
+  const StationId home = fleet_[0].home;
+  const Trip trip{time::at(0, 10), home, home};
+  const time::Seconds arrival =
+      gen_->generate_trip(fleet_[0], trip, rng, out);
+  EXPECT_GE(arrival, trip.depart);
+  for (const auto& c : out) {
+    EXPECT_EQ(topo_.cells().info(c.cell).station, home);
+  }
+}
+
+TEST_F(ConnGenTest, CarrierPersistsAcrossMostLegs) {
+  util::Rng rng(11);
+  int transitions = 0;
+  int carrier_changes = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<cdr::Connection> out;
+    gen_->generate_trip(fleet_[static_cast<std::size_t>(i)],
+                        sample_trip(fleet_[0]), rng, out);
+    std::sort(out.begin(), out.end(), cdr::ByCarThenStart{});
+    for (std::size_t j = 1; j < out.size(); ++j) {
+      ++transitions;
+      carrier_changes += topo_.cells().info(out[j].cell).carrier !=
+                         topo_.cells().info(out[j - 1].cell).carrier;
+    }
+  }
+  ASSERT_GT(transitions, 0);
+  // Carrier stickiness + camping: changes are the minority.
+  EXPECT_LT(carrier_changes, transitions / 3);
+}
+
+TEST_F(ConnGenTest, DeterministicGivenRng) {
+  util::Rng rng1(12);
+  util::Rng rng2(12);
+  std::vector<cdr::Connection> a, b;
+  gen_->generate_trip(fleet_[5], sample_trip(fleet_[5]), rng1, a);
+  gen_->generate_trip(fleet_[5], sample_trip(fleet_[5]), rng2, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(ConnGenTest, WarmupMayPrecedeDeparture) {
+  GenConfig config;
+  config.warmup_prob = 1.0;
+  const ConnectionGenerator gen(topo_, config);
+  util::Rng rng(13);
+  std::vector<cdr::Connection> out;
+  const Trip trip = sample_trip(fleet_[0]);
+  gen.generate_trip(fleet_[0], trip, rng, out);
+  const auto earliest =
+      std::min_element(out.begin(), out.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.start < y.start;
+                       });
+  ASSERT_NE(earliest, out.end());
+  EXPECT_LT(earliest->start, trip.depart);
+}
+
+}  // namespace
+}  // namespace ccms::fleet

@@ -1,0 +1,144 @@
+// Parameterized sweeps over the connection generator's knobs: each knob
+// must move the produced CDR stream in the predicted direction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fleet/connection_gen.h"
+#include "fleet/fleet_builder.h"
+#include "test_helpers.h"
+
+namespace ccms::fleet {
+namespace {
+
+class GenSweep : public ::testing::Test {
+ protected:
+  GenSweep() : topo_(test::small_topology()) {
+    FleetConfig config;
+    config.size = 120;
+    util::Rng rng(21);
+    fleet_ = build_fleet(topo_, config, rng);
+  }
+
+  /// Generates many trips under `config` and returns all records.
+  std::vector<cdr::Connection> generate(const GenConfig& config,
+                                        std::uint64_t seed = 5) const {
+    const ConnectionGenerator gen(topo_, config);
+    util::Rng rng(seed);
+    std::vector<cdr::Connection> out;
+    const Trip trip{time::at(1, 9), topo_.station_at({1, 1}),
+                    topo_.station_at({6, 5})};
+    for (int i = 0; i < 300; ++i) {
+      gen.generate_trip(fleet_[static_cast<std::size_t>(i) % fleet_.size()],
+                        trip, rng, out);
+    }
+    return out;
+  }
+
+  static double mean_duration(const std::vector<cdr::Connection>& records) {
+    double sum = 0;
+    for (const auto& c : records) sum += c.duration_s;
+    return records.empty() ? 0 : sum / static_cast<double>(records.size());
+  }
+
+  net::Topology topo_;
+  std::vector<CarProfile> fleet_;
+};
+
+TEST_F(GenSweep, ShorterTelemetryIntervalYieldsMoreRecords) {
+  GenConfig sparse;
+  sparse.telemetry_interval_s = 2000;
+  GenConfig dense;
+  dense.telemetry_interval_s = 250;
+  EXPECT_GT(generate(dense).size(), generate(sparse).size());
+}
+
+TEST_F(GenSweep, LongerStuckRecordsRaiseMeanDuration) {
+  GenConfig short_stuck;
+  short_stuck.stuck_min_s = 700;
+  short_stuck.stuck_max_s = 900;
+  GenConfig long_stuck;
+  long_stuck.stuck_min_s = 4000;
+  long_stuck.stuck_max_s = 6000;
+  EXPECT_GT(mean_duration(generate(long_stuck)),
+            mean_duration(generate(short_stuck)));
+}
+
+TEST_F(GenSweep, IdleCapBoundsDurations) {
+  GenConfig config;
+  config.idle_max_s = 1000;
+  config.stuck_min_s = 0;   // disable the other long source...
+  config.stuck_max_s = 0;
+  config.hour_artifact_per_trip = 0;
+  for (const auto& c : generate(config)) {
+    EXPECT_LE(c.duration_s, 1000 + 12);  // + RRC tail on pings only
+  }
+}
+
+TEST_F(GenSweep, RrcTimeoutExtendsPings) {
+  GenConfig short_tail;
+  short_tail.rrc.timeout_min_s = 1;
+  short_tail.rrc.timeout_max_s = 1;
+  GenConfig long_tail;
+  long_tail.rrc.timeout_min_s = 30;
+  long_tail.rrc.timeout_max_s = 30;
+  // Compare the short-record mass (pings dominate it).
+  auto count_short = [&](const GenConfig& config) {
+    int n = 0;
+    for (const auto& c : generate(config)) n += c.duration_s <= 20;
+    return n;
+  };
+  EXPECT_GT(count_short(short_tail), count_short(long_tail));
+}
+
+TEST_F(GenSweep, CampingConcentratesCarriers) {
+  GenConfig camping;
+  camping.camping_prob = 1.0;
+  camping.carrier_stickiness = 1.0;
+  GenConfig roaming;
+  roaming.camping_prob = 0.0;
+  roaming.carrier_stickiness = 0.0;
+
+  auto distinct_cells = [&](const GenConfig& config) {
+    std::vector<std::uint32_t> cells;
+    for (const auto& c : generate(config)) cells.push_back(c.cell.value);
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+    return cells.size();
+  };
+  EXPECT_LT(distinct_cells(camping), distinct_cells(roaming));
+}
+
+TEST_F(GenSweep, SlowerSpeedsLengthenTrips) {
+  GenConfig fast;
+  fast.speed_kmh = {60, 80, 120, 100};
+  GenConfig slow;
+  slow.speed_kmh = {15, 20, 30, 25};
+
+  const ConnectionGenerator gen_fast(topo_, fast);
+  const ConnectionGenerator gen_slow(topo_, slow);
+  util::Rng rng1(9), rng2(9);
+  std::vector<cdr::Connection> sink;
+  const Trip trip{time::at(1, 9), topo_.station_at({0, 0}),
+                  topo_.station_at({7, 7})};
+  const auto arrive_fast = gen_fast.generate_trip(fleet_[0], trip, rng1, sink);
+  const auto arrive_slow = gen_slow.generate_trip(fleet_[0], trip, rng2, sink);
+  EXPECT_LT(arrive_fast, arrive_slow);
+}
+
+TEST_F(GenSweep, ZeroWarmupMeansNoPreDepartureRecords) {
+  GenConfig config;
+  config.warmup_prob = 0.0;
+  const Trip trip{time::at(1, 9), topo_.station_at({1, 1}),
+                  topo_.station_at({6, 5})};
+  const ConnectionGenerator gen(topo_, config);
+  util::Rng rng(11);
+  std::vector<cdr::Connection> out;
+  for (int i = 0; i < 100; ++i) {
+    gen.generate_trip(fleet_[static_cast<std::size_t>(i)], trip, rng, out);
+  }
+  for (const auto& c : out) EXPECT_GE(c.start, trip.depart);
+}
+
+}  // namespace
+}  // namespace ccms::fleet

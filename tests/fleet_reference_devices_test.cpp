@@ -1,0 +1,134 @@
+#include "fleet/reference_devices.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_helpers.h"
+
+namespace ccms::fleet {
+namespace {
+
+class ReferenceDevicesTest : public ::testing::Test {
+ protected:
+  ReferenceDevicesTest() : topo_(test::small_topology()) {}
+  net::Topology topo_;
+};
+
+TEST_F(ReferenceDevicesTest, SmartphonesProduceRecords) {
+  SmartphoneConfig config;
+  config.count = 20;
+  config.study_days = 7;
+  util::Rng rng(1);
+  const auto records = generate_smartphones(topo_, config, rng);
+  EXPECT_GT(records.size(), 20u * 7u * 5u);  // >> a few sessions/day
+  for (const auto& c : records) {
+    EXPECT_LT(c.car.value, 20u);
+    EXPECT_GE(c.start, 0);
+    EXPECT_LE(c.end(), 7 * time::kSecondsPerDay);
+    EXPECT_GT(c.duration_s, 0);
+    EXPECT_LT(c.cell.value, topo_.cells().size());
+  }
+}
+
+TEST_F(ReferenceDevicesTest, SmartphonesAreLowMobility) {
+  SmartphoneConfig config;
+  config.count = 30;
+  config.study_days = 14;
+  util::Rng rng(2);
+  const auto records = generate_smartphones(topo_, config, rng);
+  // Each phone touches at most a handful of cells (home + work).
+  std::array<std::unordered_set<std::uint32_t>, 30> cells_per_device;
+  for (const auto& c : records) {
+    cells_per_device[c.car.value].insert(c.cell.value);
+  }
+  for (const auto& cells : cells_per_device) {
+    EXPECT_LE(cells.size(), 3u);
+  }
+}
+
+TEST_F(ReferenceDevicesTest, SmartphonesRespectWakingWindow) {
+  SmartphoneConfig config;
+  config.count = 10;
+  config.study_days = 7;
+  config.wake_hour = 8;
+  config.sleep_hour = 22;
+  util::Rng rng(3);
+  for (const auto& c : generate_smartphones(topo_, config, rng)) {
+    const int hour = time::hour_of_day(c.start);
+    EXPECT_GE(hour, 8);
+    EXPECT_LT(hour, 22);
+  }
+}
+
+TEST_F(ReferenceDevicesTest, SmartphonesWorkdayLocationDiffers) {
+  SmartphoneConfig config;
+  config.count = 40;
+  config.study_days = 7;
+  util::Rng rng(4);
+  const auto records = generate_smartphones(topo_, config, rng);
+  // Most devices use a different cell at Tuesday 11:00 than Tuesday 20:00.
+  int differs = 0, total = 0;
+  for (std::uint32_t device = 0; device < 40; ++device) {
+    std::uint32_t midday_cell = UINT32_MAX, evening_cell = UINT32_MAX;
+    for (const auto& c : records) {
+      if (c.car.value != device) continue;
+      if (time::weekday(c.start) != time::Weekday::kTuesday) continue;
+      const int hour = time::hour_of_day(c.start);
+      if (hour >= 9 && hour < 17) midday_cell = c.cell.value;
+      if (hour >= 18) evening_cell = c.cell.value;
+    }
+    if (midday_cell != UINT32_MAX && evening_cell != UINT32_MAX) {
+      ++total;
+      differs += midday_cell != evening_cell;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(differs * 10, total * 8);  // >80% have distinct home/work cells
+}
+
+TEST_F(ReferenceDevicesTest, IotMetersAreStatic) {
+  IotMeterConfig config;
+  config.count = 25;
+  config.study_days = 14;
+  util::Rng rng(5);
+  const auto records = generate_iot_meters(topo_, config, rng);
+  std::array<std::unordered_set<std::uint32_t>, 25> cells_per_device;
+  for (const auto& c : records) {
+    cells_per_device[c.car.value].insert(c.cell.value);
+  }
+  for (const auto& cells : cells_per_device) {
+    EXPECT_LE(cells.size(), 1u);
+  }
+}
+
+TEST_F(ReferenceDevicesTest, IotReportCadence) {
+  IotMeterConfig config;
+  config.count = 10;
+  config.study_days = 30;
+  config.reports_per_day = 4;
+  util::Rng rng(6);
+  const auto records = generate_iot_meters(topo_, config, rng);
+  // ~4 reports/day/device within jitter.
+  const double per_day = static_cast<double>(records.size()) / (10 * 30);
+  EXPECT_NEAR(per_day, 4.0, 0.5);
+  for (const auto& c : records) {
+    EXPECT_GE(c.duration_s, 5);
+    EXPECT_LE(c.duration_s, 18);
+  }
+}
+
+TEST_F(ReferenceDevicesTest, Deterministic) {
+  SmartphoneConfig config;
+  config.count = 5;
+  config.study_days = 3;
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const auto a = generate_smartphones(topo_, config, rng1);
+  const auto b = generate_smartphones(topo_, config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace ccms::fleet

@@ -1,0 +1,166 @@
+#include "fleet/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_builder.h"
+#include "test_helpers.h"
+
+namespace ccms::fleet {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest() : topo_(test::small_topology()) {
+    FleetConfig config;
+    config.size = 300;
+    util::Rng rng(42);
+    fleet_ = build_fleet(topo_, config, rng);
+  }
+
+  const CarProfile* find(Archetype a) {
+    for (const CarProfile& car : fleet_) {
+      if (car.archetype == a) return &car;
+    }
+    return nullptr;
+  }
+
+  net::Topology topo_;
+  std::vector<CarProfile> fleet_;
+};
+
+TEST_F(ScheduleTest, InactiveDayYieldsNoTrips) {
+  const CarProfile* car = find(Archetype::kRegularCommuter);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng(1);
+  const DayContext ctx{0, 0.0};  // activity factor 0 => never active
+  EXPECT_TRUE(plan_day(*car, topo_, ctx, rng).empty());
+}
+
+TEST_F(ScheduleTest, CommuterWeekdayHasCommutePair) {
+  const CarProfile* car = find(Archetype::kRegularCommuter);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng(2);
+  // Try a few seeds/days until an active weekday with no errands shows the
+  // bare commute structure.
+  for (int day = 0; day < 5; ++day) {
+    const auto trips = plan_day(*car, topo_, {day, 1.0}, rng);
+    if (trips.size() < 2) continue;
+    EXPECT_EQ(trips[0].from, car->home);
+    EXPECT_EQ(trips[0].to, car->work);
+    // Somewhere later the car returns home.
+    bool returns = false;
+    for (const Trip& t : trips) {
+      returns = returns || (t.from == car->work && t.to == car->home);
+    }
+    EXPECT_TRUE(returns);
+    return;
+  }
+  FAIL() << "commuter never active on any weekday";
+}
+
+TEST_F(ScheduleTest, TripsSortedAndSpaced) {
+  for (const CarProfile& car : fleet_) {
+    util::Rng rng(car.id.value);
+    for (int day = 0; day < 7; ++day) {
+      const auto trips = plan_day(car, topo_, {day, 1.0}, rng);
+      for (std::size_t i = 1; i < trips.size(); ++i) {
+        EXPECT_GE(trips[i].depart, trips[i - 1].depart);
+        // Spacing: next departs after previous arrival estimate.
+        const auto est = estimate_trip_seconds(topo_, trips[i - 1].from,
+                                               trips[i - 1].to);
+        EXPECT_GE(trips[i].depart, trips[i - 1].depart + est);
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, TripsStayWithinPlausibleHours) {
+  for (const CarProfile& car : fleet_) {
+    util::Rng rng(car.id.value + 1000);
+    for (int day = 0; day < 14; ++day) {
+      const time::Seconds day_start = day * time::kSecondsPerDay;
+      for (const Trip& t : plan_day(car, topo_, {day, 1.0}, rng)) {
+        EXPECT_GE(t.depart, day_start);
+        // Generous bound: trips can push into the late evening after
+        // spacing, but not into the following afternoon.
+        EXPECT_LT(t.depart, day_start + 30 * time::kSecondsPerHour);
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, WeekendDriverMoreActiveOnWeekend) {
+  const CarProfile* car = find(Archetype::kWeekendDriver);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng(3);
+  int weekday_active = 0, weekend_active = 0;
+  for (int week = 0; week < 30; ++week) {
+    for (int day = 0; day < 7; ++day) {
+      const auto trips = plan_day(*car, topo_, {week * 7 + day, 1.0}, rng);
+      if (trips.empty()) continue;
+      if (day >= 5) {
+        ++weekend_active;
+      } else {
+        ++weekday_active;
+      }
+    }
+  }
+  // Rates: weekday has 5 slots/week, weekend 2.
+  EXPECT_GT(weekend_active / 2.0, weekday_active / 5.0);
+}
+
+TEST_F(ScheduleTest, RareDriverRarelyActive) {
+  const CarProfile* car = find(Archetype::kRareDriver);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng(4);
+  int active = 0;
+  for (int day = 0; day < 90; ++day) {
+    active += !plan_day(*car, topo_, {day, 1.0}, rng).empty();
+  }
+  EXPECT_LT(active, 45);
+}
+
+TEST_F(ScheduleTest, RoundTripsReturnHome) {
+  const CarProfile* car = find(Archetype::kWeekendDriver);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng(5);
+  for (int day = 5; day < 90; day += 7) {  // Saturdays
+    const auto trips = plan_day(*car, topo_, {day, 1.0}, rng);
+    if (trips.empty()) continue;
+    int leaves = 0, returns = 0;
+    for (const Trip& t : trips) {
+      leaves += t.from == car->home;
+      returns += t.to == car->home;
+    }
+    EXPECT_GT(leaves + returns, 0);
+  }
+}
+
+TEST_F(ScheduleTest, EstimateMonotoneInDistance) {
+  const StationId a = topo_.station_at({0, 0});
+  const StationId near = topo_.station_at({1, 0});
+  const StationId far = topo_.station_at({6, 6});
+  EXPECT_LT(estimate_trip_seconds(topo_, a, near),
+            estimate_trip_seconds(topo_, a, far));
+  EXPECT_GT(estimate_trip_seconds(topo_, a, a), 0);
+}
+
+TEST_F(ScheduleTest, DeterministicGivenRng) {
+  const CarProfile* car = find(Archetype::kFlexCommuter);
+  ASSERT_NE(car, nullptr);
+  util::Rng rng1(6);
+  util::Rng rng2(6);
+  for (int day = 0; day < 10; ++day) {
+    const auto a = plan_day(*car, topo_, {day, 1.0}, rng1);
+    const auto b = plan_day(*car, topo_, {day, 1.0}, rng2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].depart, b[i].depart);
+      EXPECT_EQ(a[i].from, b[i].from);
+      EXPECT_EQ(a[i].to, b[i].to);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccms::fleet

@@ -1,0 +1,192 @@
+#include "fota/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace ccms::fota {
+namespace {
+
+using test::conn;
+using test::make_dataset;
+using time::at;
+
+/// One cell on carrier C3 (32 Mbit/s peak), always 50% loaded => a full-
+/// share download runs at 2 MB/s, a half-share one at 1 MB/s.
+struct Fixture {
+  net::CellTable cells;
+  core::CellLoad load;
+
+  Fixture() {
+    cells.add(StationId{0}, SectorId{0}, CarrierId{2},
+              net::GeoClass::kSuburban);
+    std::vector<std::vector<float>> profiles(1);
+    profiles[0].assign(time::kBins15PerWeek, 0.5f);
+    load = core::CellLoad::from_profiles(std::move(profiles));
+  }
+};
+
+TEST(BinMaskTest, AllDay) {
+  const BinMask mask = all_day();
+  for (const bool b : mask) EXPECT_TRUE(b);
+}
+
+TEST(BinMaskTest, SimpleWindow) {
+  const BinMask mask = window(8, 12);
+  EXPECT_FALSE(mask[7]);
+  EXPECT_TRUE(mask[8]);
+  EXPECT_TRUE(mask[12]);
+  EXPECT_FALSE(mask[13]);
+}
+
+TEST(BinMaskTest, WrappingWindow) {
+  const BinMask mask = window(92, 4);
+  EXPECT_TRUE(mask[92]);
+  EXPECT_TRUE(mask[95]);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[4]);
+  EXPECT_FALSE(mask[5]);
+  EXPECT_FALSE(mask[91]);
+}
+
+TEST(BinMaskTest, OffPeakExcludesNetworkPeak) {
+  const BinMask mask = off_peak_only();
+  EXPECT_TRUE(mask[0]);            // midnight
+  EXPECT_TRUE(mask[14 * 4 - 1]);   // 13:45
+  EXPECT_FALSE(mask[14 * 4]);      // 14:00
+  EXPECT_FALSE(mask[95]);          // 23:45
+}
+
+TEST(CampaignTest, CompletesWithEnoughConnectedTime) {
+  Fixture fx;
+  // Car connected 1 hour on campaign day 0 at 10:00: 0.5 share x 2 MB/s
+  // x 3600 s = 3600 MB >> 500 MB.
+  const auto d = make_dataset({conn(0, 0, at(45, 10), 3600)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  const auto outcome = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_EQ(outcome.never_connected, 0u);
+  EXPECT_DOUBLE_EQ(outcome.days_to_complete.quantile(0.5), 0.0);
+  EXPECT_EQ(outcome.completions_per_day[0], 1);
+}
+
+TEST(CampaignTest, DeliveredBytesMatchRate) {
+  Fixture fx;
+  // 500 MB at 1 MB/s (half share of 2 MB/s) needs 500 s: a 400 s
+  // connection leaves it incomplete, a 600 s one completes it.
+  const auto d_short = make_dataset({conn(0, 0, at(45, 10), 400)}, 1, 90);
+  const auto d_long = make_dataset({conn(0, 0, at(45, 10), 600)}, 1, 90);
+  CampaignConfig config;
+  config.start_day = 45;
+  config.update_mb = 500;
+  config.download_share = 0.5;
+
+  const CampaignSimulator sim_short(d_short, fx.load, fx.cells);
+  const auto a = sim_short.run(sim_short.uniform_assignment(all_day()), config);
+  EXPECT_EQ(a.completed, 0u);
+
+  const CampaignSimulator sim_long(d_long, fx.load, fx.cells);
+  const auto b = sim_long.run(sim_long.uniform_assignment(all_day()), config);
+  EXPECT_EQ(b.completed, 1u);
+}
+
+TEST(CampaignTest, AccumulatesAcrossDays) {
+  Fixture fx;
+  // 300 s per day at 1 MB/s -> 300 MB/day: a 500 MB update completes on
+  // the second campaign day.
+  const auto d = make_dataset(
+      {conn(0, 0, at(45, 10), 300), conn(0, 0, at(46, 10), 300)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  config.download_share = 0.5;
+  const auto outcome = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_EQ(outcome.completed, 1u);
+  EXPECT_EQ(outcome.completions_per_day[1], 1);
+}
+
+TEST(CampaignTest, MaskBlocksDelivery) {
+  Fixture fx;
+  // Connected only at 15:00 (network peak); off-peak-only mask blocks it.
+  const auto d = make_dataset({conn(0, 0, at(45, 15), 3600)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  const auto blocked = sim.run(sim.uniform_assignment(off_peak_only()), config);
+  EXPECT_EQ(blocked.completed, 0u);
+  EXPECT_EQ(blocked.never_connected, 1u);
+  const auto open = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_EQ(open.completed, 1u);
+}
+
+TEST(CampaignTest, RecordsBeforeCampaignIgnored) {
+  Fixture fx;
+  const auto d = make_dataset({conn(0, 0, at(10, 10), 36000)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  const auto outcome = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_EQ(outcome.never_connected, 1u);
+}
+
+TEST(CampaignTest, PeakOffpeakSplit) {
+  Fixture fx;
+  // 400 s at 10:00 (off-peak) + 400 s at 15:00 (peak), huge update so both
+  // count fully: 400 MB each at 1 MB/s... (half share of 2 MB/s = 1 MB/s).
+  const auto d = make_dataset(
+      {conn(0, 0, at(45, 10), 400), conn(0, 0, at(45, 15), 400)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  config.update_mb = 100000;
+  config.download_share = 0.5;
+  const auto outcome = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_NEAR(outcome.offpeak_mb, 400.0, 1.0);
+  EXPECT_NEAR(outcome.peak_mb, 400.0, 1.0);
+}
+
+TEST(CampaignTest, SaturatedCellDeliversNothing) {
+  net::CellTable cells;
+  cells.add(StationId{0}, SectorId{0}, CarrierId{2}, net::GeoClass::kDowntown);
+  std::vector<std::vector<float>> profiles(1);
+  profiles[0].assign(time::kBins15PerWeek, 1.0f);
+  const auto load = core::CellLoad::from_profiles(std::move(profiles));
+  const auto d = make_dataset({conn(0, 0, at(45, 10), 36000)}, 1, 90);
+  const CampaignSimulator sim(d, load, cells);
+  CampaignConfig config;
+  config.start_day = 45;
+  const auto outcome = sim.run(sim.uniform_assignment(all_day()), config);
+  EXPECT_EQ(outcome.completed, 0u);
+  EXPECT_NEAR(outcome.peak_mb + outcome.offpeak_mb, 0.0, 1e-9);
+}
+
+TEST(CampaignTest, UniformAssignmentCoversCarsWithRecords) {
+  Fixture fx;
+  const auto d = make_dataset(
+      {conn(0, 0, at(45, 10), 60), conn(5, 0, at(45, 11), 60)}, 10, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  const auto assignments = sim.uniform_assignment(all_day());
+  ASSERT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(assignments[0].car.value, 0u);
+  EXPECT_EQ(assignments[1].car.value, 5u);
+}
+
+TEST(CampaignTest, HigherShareCompletesFaster) {
+  Fixture fx;
+  const auto d = make_dataset({conn(0, 0, at(45, 10), 400)}, 1, 90);
+  const CampaignSimulator sim(d, fx.load, fx.cells);
+  CampaignConfig slow;
+  slow.start_day = 45;
+  slow.update_mb = 500;
+  slow.download_share = 0.5;  // 1 MB/s -> 400 MB < 500: incomplete
+  CampaignConfig fast = slow;
+  fast.download_share = 1.0;  // 2 MB/s -> completes
+  EXPECT_EQ(sim.run(sim.uniform_assignment(all_day()), slow).completed, 0u);
+  EXPECT_EQ(sim.run(sim.uniform_assignment(all_day()), fast).completed, 1u);
+}
+
+}  // namespace
+}  // namespace ccms::fota

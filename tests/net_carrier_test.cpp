@@ -1,0 +1,74 @@
+#include "net/carrier.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::net {
+namespace {
+
+TEST(CarrierTest, CatalogueHasFiveCarriers) {
+  const auto catalogue = carrier_catalogue();
+  ASSERT_EQ(catalogue.size(), static_cast<std::size_t>(kCarrierCount));
+  for (int i = 0; i < kCarrierCount; ++i) {
+    EXPECT_EQ(catalogue[static_cast<std::size_t>(i)].id.value, i);
+  }
+}
+
+TEST(CarrierTest, NamesArePaperNames) {
+  EXPECT_STREQ(carrier_spec(CarrierId{0}).name, "C1");
+  EXPECT_STREQ(carrier_spec(CarrierId{4}).name, "C5");
+}
+
+TEST(CarrierTest, DeploymentProbabilitiesValid) {
+  for (const CarrierSpec& spec : carrier_catalogue()) {
+    for (const double p : spec.deployment_by_class) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    EXPECT_GT(spec.selection_weight, 0.0);
+    EXPECT_GE(spec.modem_support_fraction, 0.0);
+    EXPECT_LE(spec.modem_support_fraction, 1.0);
+  }
+}
+
+TEST(CarrierTest, C1IsUniversalCoverage) {
+  const CarrierSpec& c1 = carrier_spec(CarrierId{0});
+  for (const double p : c1.deployment_by_class) EXPECT_EQ(p, 1.0);
+}
+
+TEST(CarrierTest, C5IsNearlyUnsupported) {
+  // Table 3: 0.006% of cars ever connect to C5.
+  const CarrierSpec& c5 = carrier_spec(CarrierId{4});
+  EXPECT_LT(c5.modem_support_fraction, 0.001);
+  EXPECT_EQ(c5.deployment_by_class[1], 0.0);  // suburban: none
+  EXPECT_EQ(c5.deployment_by_class[3], 0.0);  // rural: none
+}
+
+TEST(CarrierTest, C3IsThePreferredWorkhorse) {
+  // Table 3: C3 carries 51.9% of connected time; its selection weight must
+  // dominate every other carrier's.
+  const double c3 = carrier_spec(CarrierId{2}).selection_weight;
+  for (int i = 0; i < kCarrierCount; ++i) {
+    if (i == 2) continue;
+    EXPECT_GT(c3, carrier_spec(CarrierId{static_cast<std::uint8_t>(i)})
+                      .selection_weight);
+  }
+}
+
+TEST(CarrierTest, ModemSupportMatchesTable3CarsRow) {
+  EXPECT_NEAR(carrier_spec(CarrierId{0}).modem_support_fraction, 0.987, 1e-9);
+  EXPECT_NEAR(carrier_spec(CarrierId{1}).modem_support_fraction, 0.892, 1e-9);
+  EXPECT_NEAR(carrier_spec(CarrierId{2}).modem_support_fraction, 0.987, 1e-9);
+  EXPECT_NEAR(carrier_spec(CarrierId{3}).modem_support_fraction, 0.808, 1e-9);
+}
+
+TEST(CarrierTest, ThroughputScalesWithBandwidth) {
+  // Wider channels => higher peak throughput ("higher frequency bands allow
+  // for wider bandwidth ... higher data throughput", S4.6).
+  EXPECT_GT(peak_throughput_mbps(CarrierId{2}), peak_throughput_mbps(CarrierId{0}));
+  EXPECT_GT(peak_throughput_mbps(CarrierId{0}), peak_throughput_mbps(CarrierId{1}));
+  EXPECT_DOUBLE_EQ(peak_throughput_mbps(CarrierId{2}),
+                   carrier_spec(CarrierId{2}).bandwidth_mhz * 1.6);
+}
+
+}  // namespace
+}  // namespace ccms::net

@@ -1,0 +1,97 @@
+#include "net/cell.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::net {
+namespace {
+
+CellInfo make_cell(std::uint32_t id, std::uint32_t station,
+                   std::uint8_t sector, std::uint8_t carrier,
+                   Technology tech = Technology::k4G) {
+  return CellInfo{CellId{id}, StationId{station}, SectorId{sector},
+                  CarrierId{carrier}, GeoClass::kSuburban, tech};
+}
+
+TEST(CellTableTest, AddAssignsSequentialIds) {
+  CellTable table;
+  const CellId a = table.add(StationId{0}, SectorId{0}, CarrierId{0},
+                             GeoClass::kDowntown);
+  const CellId b = table.add(StationId{0}, SectorId{1}, CarrierId{2},
+                             GeoClass::kDowntown);
+  EXPECT_EQ(a.value, 0u);
+  EXPECT_EQ(b.value, 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(CellTableTest, InfoRoundTrip) {
+  CellTable table;
+  const CellId id = table.add(StationId{5}, SectorId{2}, CarrierId{3},
+                              GeoClass::kHighway, Technology::k3G);
+  const CellInfo& info = table.info(id);
+  EXPECT_EQ(info.station.value, 5u);
+  EXPECT_EQ(info.sector.value, 2);
+  EXPECT_EQ(info.carrier.value, 3);
+  EXPECT_EQ(info.geo, GeoClass::kHighway);
+  EXPECT_EQ(info.technology, Technology::k3G);
+}
+
+TEST(CellTableTest, CellsOfStation) {
+  CellTable table;
+  table.add(StationId{0}, SectorId{0}, CarrierId{0}, GeoClass::kRural);
+  table.add(StationId{1}, SectorId{0}, CarrierId{0}, GeoClass::kRural);
+  table.add(StationId{1}, SectorId{1}, CarrierId{2}, GeoClass::kRural);
+  EXPECT_EQ(table.cells_of(StationId{0}).size(), 1u);
+  EXPECT_EQ(table.cells_of(StationId{1}).size(), 2u);
+  EXPECT_TRUE(table.cells_of(StationId{99}).empty());
+  EXPECT_EQ(table.station_count(), 2u);
+}
+
+TEST(HandoverClassifyTest, SameCellIsNone) {
+  const CellInfo a = make_cell(1, 10, 0, 0);
+  EXPECT_EQ(classify_handover(a, a), HandoverType::kNone);
+}
+
+TEST(HandoverClassifyTest, DifferentStation) {
+  const CellInfo a = make_cell(1, 10, 0, 0);
+  const CellInfo b = make_cell(2, 11, 0, 0);
+  EXPECT_EQ(classify_handover(a, b), HandoverType::kInterStation);
+}
+
+TEST(HandoverClassifyTest, SameStationDifferentSector) {
+  const CellInfo a = make_cell(1, 10, 0, 0);
+  const CellInfo b = make_cell(2, 10, 1, 0);
+  EXPECT_EQ(classify_handover(a, b), HandoverType::kInterSector);
+}
+
+TEST(HandoverClassifyTest, SameSectorDifferentCarrier) {
+  const CellInfo a = make_cell(1, 10, 0, 0);
+  const CellInfo b = make_cell(2, 10, 0, 2);
+  EXPECT_EQ(classify_handover(a, b), HandoverType::kInterCarrier);
+}
+
+TEST(HandoverClassifyTest, TechnologyTakesPrecedence) {
+  // A 3G<->4G transition is inter-technology even across stations.
+  const CellInfo a = make_cell(1, 10, 0, 1, Technology::k3G);
+  const CellInfo b = make_cell(2, 11, 1, 2, Technology::k4G);
+  EXPECT_EQ(classify_handover(a, b), HandoverType::kInterTechnology);
+}
+
+TEST(HandoverClassifyTest, StationTakesPrecedenceOverSector) {
+  const CellInfo a = make_cell(1, 10, 0, 0);
+  const CellInfo b = make_cell(2, 11, 1, 2);
+  EXPECT_EQ(classify_handover(a, b), HandoverType::kInterStation);
+}
+
+TEST(HandoverClassifyTest, Names) {
+  EXPECT_STREQ(name(HandoverType::kInterStation), "inter-station");
+  EXPECT_STREQ(name(HandoverType::kInterTechnology), "inter-technology");
+  EXPECT_STREQ(name(HandoverType::kNone), "none");
+}
+
+TEST(GeoClassTest, Names) {
+  EXPECT_STREQ(name(GeoClass::kDowntown), "downtown");
+  EXPECT_STREQ(name(GeoClass::kRural), "rural");
+}
+
+}  // namespace
+}  // namespace ccms::net

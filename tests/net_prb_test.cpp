@@ -1,0 +1,124 @@
+#include "net/prb.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccms::net {
+namespace {
+
+std::vector<double> flat_background(double level) {
+  return std::vector<double>(96, level);
+}
+
+TEST(PrbTest, GreedyFlowSaturatesItsWindow) {
+  // Fig 1: the test curve pins at ~100% for the duration of the download.
+  const auto bg = flat_background(0.4);
+  const GreedyFlow flow{83, 16, 1.0};
+  const auto result =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{2});
+  ASSERT_EQ(result.utilization.size(), 96u);
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_NEAR(result.utilization[static_cast<std::size_t>((83 + k) % 96)],
+                1.0, 1e-9);
+  }
+  // The window wraps past midnight (83 + 16 = 99 -> bins 0..2 covered);
+  // outside of it, background only.
+  EXPECT_NEAR(result.utilization[2], 1.0, 1e-9);
+  EXPECT_NEAR(result.utilization[3], 0.4, 1e-9);
+  EXPECT_NEAR(result.utilization[82], 0.4, 1e-9);
+}
+
+TEST(PrbTest, FlowWrapsAcrossMidnight) {
+  const auto bg = flat_background(0.2);
+  const GreedyFlow flow{90, 12, 1.0};  // 22:30 + 3 h wraps to 01:30
+  const auto result =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{0});
+  EXPECT_NEAR(result.utilization[95], 1.0, 1e-9);
+  EXPECT_NEAR(result.utilization[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.utilization[5], 1.0, 1e-9);
+  EXPECT_NEAR(result.utilization[6], 0.2, 1e-9);
+}
+
+TEST(PrbTest, PartialDemand) {
+  const auto bg = flat_background(0.5);
+  const GreedyFlow flow{10, 4, 0.5};  // absorbs half the free capacity
+  const auto result =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{0});
+  EXPECT_NEAR(result.utilization[10], 0.75, 1e-9);
+}
+
+TEST(PrbTest, NoFlowsMeansBackground) {
+  const auto bg = flat_background(0.33);
+  const auto result = simulate_day(bg, {}, CarrierId{0});
+  for (const double u : result.utilization) EXPECT_NEAR(u, 0.33, 1e-9);
+  EXPECT_EQ(result.delivered_mb, 0.0);
+}
+
+TEST(PrbTest, ThroughputHigherOnWiderCarrier) {
+  const auto bg = flat_background(0.4);
+  const GreedyFlow flow{0, 8, 1.0};
+  const auto narrow =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{1});
+  const auto wide =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{2});
+  EXPECT_GT(wide.delivered_mb, narrow.delivered_mb);
+}
+
+TEST(PrbTest, DeliveredMbMatchesHandComputation) {
+  // Free capacity 0.6, C3 peak = 20 MHz * 1.6 = 32 Mbit/s -> 19.2 Mbit/s
+  // for 8 bins of 900 s = 138240 Mbit / 8 = 17280 MB... per-bin:
+  // 19.2 * 900 / 8 = 2160 MB per bin, 8 bins = 17280 MB.
+  const auto bg = flat_background(0.4);
+  const GreedyFlow flow{0, 8, 1.0};
+  const auto result =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{2});
+  EXPECT_NEAR(result.delivered_mb, 17280.0, 1.0);
+}
+
+TEST(PrbTest, SaturatedCellDeliversNothing) {
+  const auto bg = flat_background(1.0);
+  const GreedyFlow flow{0, 96, 1.0};
+  const auto result =
+      simulate_day(bg, std::span<const GreedyFlow>(&flow, 1), CarrierId{2});
+  EXPECT_NEAR(result.delivered_mb, 0.0, 1e-9);
+}
+
+TEST(DownloadTimeTest, ZeroBytesIsInstant) {
+  const auto bg = flat_background(0.5);
+  EXPECT_EQ(download_time_seconds(0.0, bg, 0, CarrierId{2}), 0.0);
+}
+
+TEST(DownloadTimeTest, KnownRate) {
+  // Free 0.5 on C3: 16 Mbit/s = 2 MB/s. 1800 MB -> 900 s.
+  const auto bg = flat_background(0.5);
+  const double t = download_time_seconds(1800.0, bg, 0, CarrierId{2});
+  EXPECT_NEAR(t, 900.0, 1.0);
+}
+
+TEST(DownloadTimeTest, BusyCellSlower) {
+  const auto quiet = flat_background(0.2);
+  const auto busy = flat_background(0.9);
+  const double t_quiet = download_time_seconds(500.0, quiet, 0, CarrierId{2});
+  const double t_busy = download_time_seconds(500.0, busy, 0, CarrierId{2});
+  EXPECT_GT(t_busy, t_quiet * 4);
+}
+
+TEST(DownloadTimeTest, SaturatedNeverFinishes) {
+  const auto bg = flat_background(1.0);
+  EXPECT_LT(download_time_seconds(100.0, bg, 0, CarrierId{2}), 0.0);
+}
+
+TEST(DownloadTimeTest, StartBinAffectsDuration) {
+  // Diurnal background: starting in the quiet night is faster.
+  std::vector<double> bg(96);
+  for (int b = 0; b < 96; ++b) {
+    bg[static_cast<std::size_t>(b)] = (b >= 56 && b < 96) ? 0.9 : 0.2;
+  }
+  const double at_night = download_time_seconds(2000.0, bg, 8, CarrierId{2});
+  const double at_peak = download_time_seconds(2000.0, bg, 60, CarrierId{2});
+  EXPECT_LT(at_night, at_peak);
+}
+
+}  // namespace
+}  // namespace ccms::net

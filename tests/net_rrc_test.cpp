@@ -1,0 +1,100 @@
+#include "net/rrc.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::net {
+namespace {
+
+RrcConfig fixed_timeout() {
+  // Degenerate range => deterministic timeout of 10 s.
+  return RrcConfig{10, 10};
+}
+
+TEST(RrcTest, SingleBurst) {
+  util::Rng rng(1);
+  RrcMachine machine(fixed_timeout(), rng);
+  EXPECT_FALSE(machine.on_activity({100, 105}).has_value());
+  const auto conn = machine.flush();
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(conn->start, 100);
+  EXPECT_EQ(conn->end, 115);  // 105 + 10 s timeout
+}
+
+TEST(RrcTest, BurstsWithinTimeoutShareAConnection) {
+  util::Rng rng(2);
+  RrcMachine machine(fixed_timeout(), rng);
+  EXPECT_FALSE(machine.on_activity({0, 5}).has_value());
+  EXPECT_FALSE(machine.on_activity({12, 14}).has_value());  // 12 < 5+10
+  const auto conn = machine.flush();
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(conn->start, 0);
+  EXPECT_EQ(conn->end, 24);  // 14 + 10
+}
+
+TEST(RrcTest, GapBeyondTimeoutSplits) {
+  util::Rng rng(3);
+  RrcMachine machine(fixed_timeout(), rng);
+  EXPECT_FALSE(machine.on_activity({0, 5}).has_value());
+  const auto first = machine.on_activity({100, 102});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->start, 0);
+  EXPECT_EQ(first->end, 15);
+  const auto second = machine.flush();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->start, 100);
+  EXPECT_EQ(second->end, 112);
+}
+
+TEST(RrcTest, InstantEventPromotes) {
+  util::Rng rng(4);
+  RrcMachine machine(fixed_timeout(), rng);
+  machine.on_activity({50, 50});  // zero-length: treated as 1 s
+  const auto conn = machine.flush();
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(conn->start, 50);
+  EXPECT_EQ(conn->end, 61);
+}
+
+TEST(RrcTest, ConnectedAt) {
+  util::Rng rng(5);
+  RrcMachine machine(fixed_timeout(), rng);
+  machine.on_activity({100, 105});
+  EXPECT_TRUE(machine.connected_at(100));
+  EXPECT_TRUE(machine.connected_at(110));  // inside timeout tail
+  EXPECT_FALSE(machine.connected_at(115));
+  EXPECT_FALSE(machine.connected_at(99));
+  machine.flush();
+  EXPECT_FALSE(machine.connected_at(100));
+}
+
+TEST(RrcTest, FlushOnIdleIsEmpty) {
+  util::Rng rng(6);
+  RrcMachine machine(fixed_timeout(), rng);
+  EXPECT_FALSE(machine.flush().has_value());
+}
+
+TEST(RrcTest, TimeoutDrawnFromRange) {
+  util::Rng rng(7);
+  RrcConfig config{10, 12};
+  for (int i = 0; i < 50; ++i) {
+    RrcMachine machine(config, rng);
+    machine.on_activity({0, 1});
+    const auto conn = machine.flush();
+    ASSERT_TRUE(conn.has_value());
+    EXPECT_GE(conn->end, 11);  // 1 + 10
+    EXPECT_LE(conn->end, 13);  // 1 + 12
+  }
+}
+
+TEST(RrcTest, OverlappingActivitiesExtend) {
+  util::Rng rng(8);
+  RrcMachine machine(fixed_timeout(), rng);
+  machine.on_activity({0, 100});
+  machine.on_activity({50, 60});  // contained: release stays at 110
+  const auto conn = machine.flush();
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(conn->end, 110);
+}
+
+}  // namespace
+}  // namespace ccms::net

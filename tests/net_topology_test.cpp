@@ -1,0 +1,209 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.h"
+
+namespace ccms::net {
+namespace {
+
+TEST(TopologyTest, StationCountMatchesGrid) {
+  const Topology topo = test::small_topology();
+  EXPECT_EQ(topo.station_count(), 64u);
+}
+
+TEST(TopologyTest, CoordRoundTrip) {
+  const Topology topo = test::small_topology();
+  for (std::uint32_t s = 0; s < topo.station_count(); ++s) {
+    const GridCoord c = topo.station_coord(StationId{s});
+    EXPECT_EQ(topo.station_at(c).value, s);
+  }
+}
+
+TEST(TopologyTest, StationAtClamps) {
+  const Topology topo = test::small_topology();
+  EXPECT_EQ(topo.station_at({-5, -5}), topo.station_at({0, 0}));
+  EXPECT_EQ(topo.station_at({100, 100}), topo.station_at({7, 7}));
+}
+
+TEST(TopologyTest, PositionsUseSpacing) {
+  const Topology topo = test::small_topology();
+  const Position p = topo.station_position(StationId{1});
+  EXPECT_DOUBLE_EQ(p.x, topo.config().spacing_km);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(TopologyTest, NearestStationInverse) {
+  const Topology topo = test::small_topology();
+  for (std::uint32_t s = 0; s < topo.station_count(); s += 7) {
+    const Position p = topo.station_position(StationId{s});
+    EXPECT_EQ(topo.nearest_station(p).value, s);
+  }
+}
+
+TEST(TopologyTest, CentreIsDowntownEdgeIsRural) {
+  const Topology topo = test::small_topology();
+  // 8x8 grid: centre around (3.5, 3.5).
+  EXPECT_EQ(topo.station_class(topo.station_at({3, 3})), GeoClass::kDowntown);
+  EXPECT_EQ(topo.station_class(topo.station_at({0, 0})), GeoClass::kRural);
+  EXPECT_EQ(topo.station_class(topo.station_at({7, 7})), GeoClass::kRural);
+}
+
+TEST(TopologyTest, AllClassesPresent) {
+  const Topology topo = test::small_topology();
+  const auto counts = topo.class_counts();
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, topo.station_count());
+  EXPECT_GT(counts[static_cast<std::size_t>(GeoClass::kDowntown)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(GeoClass::kSuburban)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(GeoClass::kHighway)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(GeoClass::kRural)], 0u);
+}
+
+TEST(TopologyTest, EveryStationHasCells) {
+  const Topology topo = test::small_topology();
+  for (std::uint32_t s = 0; s < topo.station_count(); ++s) {
+    const auto cells = topo.cells().cells_of(StationId{s});
+    // At least C1 on 3 sectors.
+    EXPECT_GE(cells.size(), 3u);
+    // Cells per station = sectors * deployed carriers.
+    EXPECT_EQ(cells.size(),
+              topo.carriers_at(StationId{s}).size() * kSectorsPerStation);
+  }
+}
+
+TEST(TopologyTest, EveryStationDeploysC1) {
+  const Topology topo = test::small_topology();
+  for (std::uint32_t s = 0; s < topo.station_count(); ++s) {
+    bool has_c1 = false;
+    for (const CarrierId c : topo.carriers_at(StationId{s})) {
+      has_c1 = has_c1 || c.value == 0;
+    }
+    EXPECT_TRUE(has_c1) << "station " << s;
+  }
+}
+
+TEST(TopologyTest, CellAtConsistentWithTable) {
+  const Topology topo = test::small_topology();
+  for (const CellInfo& info : topo.cells().all()) {
+    const auto found = topo.cell_at(info.station, info.sector, info.carrier);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, info.id);
+  }
+}
+
+TEST(TopologyTest, CellAtMissingCarrier) {
+  const Topology topo = test::small_topology();
+  // C5 is not deployed outside downtown; find a rural station.
+  for (std::uint32_t s = 0; s < topo.station_count(); ++s) {
+    if (topo.station_class(StationId{s}) == GeoClass::kRural) {
+      EXPECT_FALSE(
+          topo.cell_at(StationId{s}, SectorId{0}, CarrierId{4}).has_value());
+      return;
+    }
+  }
+  FAIL() << "no rural station found";
+}
+
+TEST(TopologyTest, CellAtRejectsBadArgs) {
+  const Topology topo = test::small_topology();
+  EXPECT_FALSE(topo.cell_at(StationId{9999}, SectorId{0}, CarrierId{0}));
+  EXPECT_FALSE(topo.cell_at(StationId{0}, SectorId{7}, CarrierId{0}));
+  EXPECT_FALSE(topo.cell_at(StationId{0}, SectorId{0}, CarrierId{200}));
+}
+
+TEST(TopologyTest, SectorTowardsEast) {
+  const Topology topo = test::small_topology();
+  const StationId s = topo.station_at({4, 4});
+  const Position p = topo.station_position(s);
+  EXPECT_EQ(topo.sector_towards(s, {p.x + 1.0, p.y}).value, 0);  // east
+}
+
+TEST(TopologyTest, SectorsPartitionDirections) {
+  const Topology topo = test::small_topology();
+  const StationId s = topo.station_at({4, 4});
+  const Position p = topo.station_position(s);
+  std::array<int, kSectorsPerStation> seen{};
+  for (int angle = 0; angle < 360; angle += 10) {
+    const double rad = angle * 3.14159265 / 180.0;
+    const SectorId sec =
+        topo.sector_towards(s, {p.x + std::cos(rad), p.y + std::sin(rad)});
+    ASSERT_LT(sec.value, kSectorsPerStation);
+    ++seen[sec.value];
+  }
+  // Each 120-degree sector should cover a third of the circle.
+  for (const int count : seen) EXPECT_EQ(count, 12);
+}
+
+TEST(TopologyTest, RouteEndpointsInclusive) {
+  const Topology topo = test::small_topology();
+  const StationId from = topo.station_at({0, 0});
+  const StationId to = topo.station_at({3, 2});
+  const auto route = topo.route(from, to);
+  ASSERT_GE(route.size(), 2u);
+  EXPECT_EQ(route.front(), from);
+  EXPECT_EQ(route.back(), to);
+}
+
+TEST(TopologyTest, RouteLengthIsManhattanPlusOne) {
+  const Topology topo = test::small_topology();
+  const auto route = topo.route(topo.station_at({1, 1}), topo.station_at({4, 3}));
+  EXPECT_EQ(route.size(), static_cast<std::size_t>(3 + 2 + 1));
+}
+
+TEST(TopologyTest, RouteStepsAreAdjacent) {
+  const Topology topo = test::small_topology();
+  const auto route = topo.route(topo.station_at({0, 5}), topo.station_at({6, 0}));
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const auto a = topo.station_coord(route[i - 1]);
+    const auto b = topo.station_coord(route[i]);
+    EXPECT_EQ(std::abs(a.ix - b.ix) + std::abs(a.iy - b.iy), 1);
+  }
+}
+
+TEST(TopologyTest, RouteToSelf) {
+  const Topology topo = test::small_topology();
+  const StationId s = topo.station_at({2, 2});
+  const auto route = topo.route(s, s);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], s);
+}
+
+TEST(TopologyTest, RouteIsDeterministic) {
+  const Topology topo = test::small_topology();
+  const auto a = topo.route(topo.station_at({0, 0}), topo.station_at({5, 5}));
+  const auto b = topo.route(topo.station_at({0, 0}), topo.station_at({5, 5}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(TopologyTest, DeterministicGivenSeed) {
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  TopologyConfig config;
+  config.grid_width = 6;
+  config.grid_height = 6;
+  const Topology a(config, rng1);
+  const Topology b(config, rng2);
+  EXPECT_EQ(a.cells().size(), b.cells().size());
+  for (std::uint32_t s = 0; s < a.station_count(); ++s) {
+    EXPECT_EQ(a.carriers_at(StationId{s}).size(),
+              b.carriers_at(StationId{s}).size());
+  }
+}
+
+TEST(TopologyTest, DegenerateOneByOne) {
+  TopologyConfig config;
+  config.grid_width = 1;
+  config.grid_height = 1;
+  util::Rng rng(1);
+  const Topology topo(config, rng);
+  EXPECT_EQ(topo.station_count(), 1u);
+  const auto route = topo.route(StationId{0}, StationId{0});
+  EXPECT_EQ(route.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccms::net

@@ -1,0 +1,112 @@
+// Parameterized sweeps over configuration knobs: the analyses must respond
+// to each knob in the predicted direction, for any seed.
+#include <gtest/gtest.h>
+
+#include "cdr/clean.h"
+#include "core/busy_time.h"
+#include "core/days_histogram.h"
+#include "core/load_view.h"
+#include "core/presence.h"
+#include "core/segmentation.h"
+#include "sim/simulator.h"
+
+namespace ccms {
+namespace {
+
+sim::SimConfig sweep_base(std::uint64_t seed) {
+  sim::SimConfig config = sim::SimConfig::quick();
+  config.seed = seed;
+  config.fleet.size = 250;
+  config.study_days = 21;
+  return config;
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, DataLossReducesPresenceOnLossDaysOnly) {
+  sim::SimConfig lossless = sweep_base(GetParam());
+  lossless.data_loss_days = {};
+  sim::SimConfig lossy = sweep_base(GetParam());
+  lossy.data_loss_days = {10, 11};
+  lossy.data_loss_fraction = 0.6;
+
+  const auto p_clean = core::analyze_presence(sim::simulate(lossless).raw);
+  const auto p_lossy = core::analyze_presence(sim::simulate(lossy).raw);
+  // Losing 60% of records thins car presence on the loss days...
+  EXPECT_LT(p_lossy.cars_fraction[10], p_clean.cars_fraction[10]);
+  EXPECT_LT(p_lossy.cars_fraction[11], p_clean.cars_fraction[11]);
+  // ...and nowhere else (identical record stream otherwise).
+  EXPECT_EQ(p_lossy.cars_fraction[5], p_clean.cars_fraction[5]);
+  EXPECT_EQ(p_lossy.cars_fraction[15], p_clean.cars_fraction[15]);
+}
+
+TEST_P(SeedSweep, StrongTrendIsDetectedByRegression) {
+  sim::SimConfig flat = sweep_base(GetParam());
+  flat.daily_trend = 0;
+  flat.dow_noise_sigma = {};
+  sim::SimConfig growing = flat;
+  growing.daily_trend = 0.02;
+
+  // The trend scales rare/flex activity, so the fitted slope must be
+  // clearly larger under growth.
+  const auto p_flat = core::analyze_presence(sim::simulate(flat).raw);
+  const auto p_grow = core::analyze_presence(sim::simulate(growing).raw);
+  EXPECT_GT(p_grow.cars_trend.slope, p_flat.cars_trend.slope);
+}
+
+TEST_P(SeedSweep, ArtifactFilterRemovesExactlyTheArtifacts) {
+  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  std::size_t artifacts = 0;
+  for (const auto& c : study.raw.all()) artifacts += c.duration_s == 3600;
+
+  cdr::CleanReport report;
+  const cdr::Dataset cleaned = cdr::clean(study.raw, {}, report);
+  EXPECT_EQ(report.hour_artifacts_removed, artifacts);
+  EXPECT_EQ(cleaned.size(), study.raw.size() - report.total_removed());
+}
+
+TEST_P(SeedSweep, BusyThresholdMonotone) {
+  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  const auto load = core::CellLoad::from_background(study.background);
+  const auto strict = core::analyze_busy_time(study.raw, load, 0.9);
+  const auto loose = core::analyze_busy_time(study.raw, load, 0.6);
+  // A looser busy definition can only increase each car's busy share.
+  ASSERT_EQ(strict.per_car.size(), loose.per_car.size());
+  for (std::size_t i = 0; i < strict.per_car.size(); ++i) {
+    EXPECT_LE(strict.per_car[i].share, loose.per_car[i].share + 1e-12);
+  }
+  EXPECT_LE(strict.fraction_over_half, loose.fraction_over_half);
+}
+
+TEST_P(SeedSweep, RareBoundaryMonotone) {
+  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  const auto load = core::CellLoad::from_background(study.background);
+  const auto days = core::analyze_days_on_network(study.raw);
+  const auto busy = core::analyze_busy_time(study.raw, load);
+
+  core::SegmentationConfig narrow;
+  narrow.rare_days_a = 3;
+  core::SegmentationConfig wide;
+  wide.rare_days_a = 15;
+  const auto seg_narrow = core::segment_cars(days, busy, narrow);
+  const auto seg_wide = core::segment_cars(days, busy, wide);
+  EXPECT_LE(seg_narrow.rare_a.total(), seg_wide.rare_a.total() + 1e-12);
+}
+
+TEST_P(SeedSweep, BiggerFleetScalesRecordsRoughlyLinearly) {
+  sim::SimConfig small = sweep_base(GetParam());
+  small.fleet.size = 150;
+  sim::SimConfig big = sweep_base(GetParam());
+  big.fleet.size = 450;
+  const auto n_small = sim::simulate(small).raw.size();
+  const auto n_big = sim::simulate(big).raw.size();
+  const double ratio = static_cast<double>(n_big) / static_cast<double>(n_small);
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace ccms

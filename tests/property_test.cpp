@@ -1,0 +1,242 @@
+// Property-based tests: invariants that must hold for ANY simulated study,
+// swept across seeds and scales with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cdr/clean.h"
+#include "cdr/session.h"
+#include "core/busy_time.h"
+#include "core/concurrency.h"
+#include "core/connected_time.h"
+#include "core/days_histogram.h"
+#include "core/load_view.h"
+#include "core/presence.h"
+#include "sim/simulator.h"
+
+namespace ccms {
+namespace {
+
+struct SimParams {
+  std::uint64_t seed;
+  int fleet;
+  int days;
+  int grid;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SimParams>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_cars" +
+         std::to_string(info.param.fleet) + "_days" +
+         std::to_string(info.param.days);
+}
+
+class SimProperty : public ::testing::TestWithParam<SimParams> {
+ protected:
+  static const sim::Study& study() {
+    static std::map<std::uint64_t, sim::Study> cache;
+    const SimParams p = GetParam();
+    const std::uint64_t key =
+        p.seed * 1000003 + static_cast<std::uint64_t>(p.fleet) * 131 +
+        static_cast<std::uint64_t>(p.days);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      sim::SimConfig config;
+      config.seed = p.seed;
+      config.fleet.size = p.fleet;
+      config.study_days = p.days;
+      config.topology.grid_width = p.grid;
+      config.topology.grid_height = p.grid;
+      it = cache.emplace(key, sim::simulate(config)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(SimProperty, RecordsAreWellFormed) {
+  const auto& s = study();
+  const time::Seconds end =
+      static_cast<time::Seconds>(s.config.study_days) * time::kSecondsPerDay;
+  for (const cdr::Connection& c : s.raw.all()) {
+    EXPECT_LT(c.car.value, s.raw.fleet_size());
+    EXPECT_LT(c.cell.value, s.topology.cells().size());
+    EXPECT_GE(c.start, 0);
+    EXPECT_GT(c.duration_s, 0);
+    EXPECT_LE(c.end(), end);
+  }
+}
+
+TEST_P(SimProperty, DatasetSortedByCarThenStart) {
+  const auto all = study().raw.all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(cdr::ByCarThenStart{}(all[i], all[i - 1]));
+  }
+}
+
+TEST_P(SimProperty, UnionTimeNeverExceedsSumOrStudy) {
+  const auto& s = study();
+  const double study_seconds =
+      static_cast<double>(s.config.study_days) * time::kSecondsPerDay;
+  s.raw.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
+    const auto u = cdr::union_connected_time(conns);
+    double sum = 0;
+    for (const auto& c : conns) sum += c.duration_s;
+    EXPECT_LE(static_cast<double>(u), sum + 1e-9);
+    EXPECT_LE(static_cast<double>(u), study_seconds);
+    EXPECT_GE(u, 0);
+  });
+}
+
+TEST_P(SimProperty, SessionsPartitionConnections) {
+  const auto& s = study();
+  s.raw.for_each_car([&](CarId car, std::span<const cdr::Connection> conns) {
+    const auto sessions = cdr::aggregate_sessions(conns, cdr::kSessionGap);
+    std::size_t legs = 0;
+    for (const auto& session : sessions) {
+      EXPECT_EQ(session.car, car);
+      EXPECT_FALSE(session.legs.empty());
+      legs += session.legs.size();
+      // The span covers all legs.
+      for (const auto& leg : session.legs) {
+        EXPECT_GE(leg.when.start, session.span.start);
+        EXPECT_LE(leg.when.end, session.span.end);
+      }
+    }
+    EXPECT_EQ(legs, conns.size());
+    // Consecutive sessions are separated by more than the gap.
+    for (std::size_t i = 1; i < sessions.size(); ++i) {
+      EXPECT_GT(sessions[i].span.start - sessions[i - 1].span.end,
+                cdr::kSessionGap);
+    }
+  });
+}
+
+TEST_P(SimProperty, LooserGapNeverIncreasesSessionCount) {
+  const auto& s = study();
+  s.raw.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
+    const auto tight = cdr::aggregate_sessions(conns, cdr::kSessionGap);
+    const auto loose = cdr::aggregate_sessions(conns, cdr::kJourneyGap);
+    EXPECT_LE(loose.size(), tight.size());
+  });
+}
+
+TEST_P(SimProperty, CleaningIsIdempotent) {
+  const auto& s = study();
+  cdr::CleanReport first_report;
+  const cdr::Dataset once = cdr::clean(s.raw, {}, first_report);
+  cdr::CleanReport second_report;
+  const cdr::Dataset twice = cdr::clean(once, {}, second_report);
+  EXPECT_EQ(twice.size(), once.size());
+  EXPECT_EQ(second_report.total_removed(), 0u);
+}
+
+TEST_P(SimProperty, PresenceFractionsBounded) {
+  const auto& s = study();
+  const auto p = core::analyze_presence(s.raw);
+  for (std::size_t d = 0; d < p.cars_fraction.size(); ++d) {
+    EXPECT_GE(p.cars_fraction[d], 0.0);
+    EXPECT_LE(p.cars_fraction[d], 1.0);
+    EXPECT_GE(p.cells_fraction[d], 0.0);
+    EXPECT_LE(p.cells_fraction[d], 1.0);
+  }
+  EXPECT_EQ(p.cars_fraction.size(),
+            static_cast<std::size_t>(s.config.study_days));
+}
+
+TEST_P(SimProperty, DaysPerCarMatchesPresenceTotal) {
+  // Sum over cars of active days == sum over days of active cars.
+  const auto& s = study();
+  const auto p = core::analyze_presence(s.raw);
+  const auto days = core::analyze_days_on_network(s.raw);
+  double lhs = 0;
+  for (const int d : days.days_per_car) lhs += d;
+  double rhs = 0;
+  for (const double f : p.cars_fraction) rhs += f * s.raw.fleet_size();
+  EXPECT_NEAR(lhs, rhs, 0.5);
+}
+
+TEST_P(SimProperty, BusySharesInUnitInterval) {
+  const auto& s = study();
+  const auto load = core::CellLoad::from_background(s.background);
+  const auto busy = core::analyze_busy_time(s.raw, load);
+  for (const auto& entry : busy.per_car) {
+    EXPECT_GE(entry.share, 0.0);
+    EXPECT_LE(entry.share, 1.0);
+    EXPECT_GT(entry.connected, 0);
+  }
+}
+
+TEST_P(SimProperty, ConcurrencyObservationsConsistent) {
+  const auto& s = study();
+  const auto grid = core::ConcurrencyGrid::build(s.raw);
+  for (const auto& profile : grid.cells()) {
+    EXPECT_GT(profile.observations, 0u);
+    EXPECT_GE(profile.peak, profile.mean);
+    for (const double v : profile.weekly) {
+      EXPECT_GE(v, 0.0);
+      // Average concurrent cars cannot exceed the fleet.
+      EXPECT_LE(v, static_cast<double>(s.raw.fleet_size()));
+    }
+  }
+}
+
+TEST_P(SimProperty, TruncatedConnectedTimeMonotoneInCap) {
+  const auto& s = study();
+  const auto ct300 = core::analyze_connected_time(s.raw, 300);
+  const auto ct600 = core::analyze_connected_time(s.raw, 600);
+  EXPECT_LE(ct300.mean_truncated, ct600.mean_truncated + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SimProperty,
+    ::testing::Values(SimParams{1, 150, 21, 10}, SimParams{2, 150, 21, 10},
+                      SimParams{99, 300, 14, 12}, SimParams{7, 80, 35, 8},
+                      SimParams{123456789, 200, 28, 14}),
+    param_name);
+
+/// Session-aggregation properties on synthetic record streams (independent
+/// of the simulator), swept over gap values.
+class GapProperty : public ::testing::TestWithParam<time::Seconds> {};
+
+TEST_P(GapProperty, SessionCountMonotoneInGap) {
+  util::Rng rng(5);
+  std::vector<cdr::Connection> conns;
+  time::Seconds t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto dur = static_cast<std::int32_t>(rng.uniform_int(5, 900));
+    conns.push_back({CarId{0}, CellId{static_cast<std::uint32_t>(i % 7)},
+                     t, dur});
+    t += dur + rng.uniform_int(1, 1200);
+  }
+  const time::Seconds gap = GetParam();
+  const auto at_gap = cdr::aggregate_sessions(conns, gap);
+  const auto at_double = cdr::aggregate_sessions(conns, gap * 2);
+  EXPECT_LE(at_double.size(), at_gap.size());
+  EXPECT_GE(at_gap.size(), 1u);
+
+  // Sessions tile the records in order.
+  std::size_t total = 0;
+  for (const auto& session : at_gap) total += session.legs.size();
+  EXPECT_EQ(total, conns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapProperty,
+                         ::testing::Values(1, 10, 30, 120, 600, 3600));
+
+/// Truncation properties over representative duration values.
+class TruncationProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(TruncationProperty, CapRespected) {
+  const std::int32_t cap = GetParam();
+  for (const std::int32_t d : {1, 59, 105, 599, 600, 601, 3600, 100000}) {
+    const auto t = cdr::truncated_duration(d, cap);
+    EXPECT_LE(t, cap);
+    EXPECT_LE(t, d);
+    EXPECT_GE(t, std::min(d, cap));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, TruncationProperty,
+                         ::testing::Values(60, 300, 600, 1200));
+
+}  // namespace
+}  // namespace ccms

@@ -1,0 +1,83 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::stats {
+namespace {
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.bin_count(), 5);
+  EXPECT_DOUBLE_EQ(h.lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.upper(4), 10.0);
+}
+
+TEST(HistogramTest, BinOfValues) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.bin_of(0.0), 0);
+  EXPECT_EQ(h.bin_of(1.99), 0);
+  EXPECT_EQ(h.bin_of(2.0), 1);
+  EXPECT_EQ(h.bin_of(9.99), 4);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.bin_of(-5.0), 0);
+  EXPECT_EQ(h.bin_of(100.0), 4);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+}
+
+TEST(HistogramTest, WeightsAndTotal) {
+  Histogram h(0, 10, 2);
+  h.add(1.0, 2.5);
+  h.add(6.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.5);
+}
+
+TEST(HistogramTest, CountOutOfRangeBinIsZero) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.count(-1), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 0.0);
+}
+
+TEST(HistogramTest, DegenerateRange) {
+  Histogram h(5, 5, 10);  // invalid: hi == lo
+  EXPECT_EQ(h.bin_count(), 1);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+}
+
+TEST(HistogramTest, KneeOnValleyShape) {
+  // Shape like Fig 6: mass at low bins, a valley, then a rise.
+  Histogram h(0, 30, 30);
+  const double shape[30] = {40, 35, 28, 20, 14, 9, 6, 4, 3, 2,  // drop-off
+                            2,  2,  3,  3,  4, 5, 6, 8, 10, 12,
+                            14, 16, 18, 20, 22, 24, 26, 28, 30, 32};
+  for (int b = 0; b < 30; ++b) {
+    h.add(b + 0.5, shape[b]);
+  }
+  const int knee = h.knee_bin();
+  EXPECT_GE(knee, 6);
+  EXPECT_LE(knee, 14);
+}
+
+TEST(HistogramTest, KneeOnMonotoneIsMinusOne) {
+  Histogram h(0, 10, 10);
+  for (int b = 0; b < 10; ++b) h.add(b + 0.5, 100 - b * 10.0);
+  EXPECT_EQ(h.knee_bin(1), -1);
+}
+
+TEST(HistogramTest, KneeTooFewBins) {
+  Histogram h(0, 2, 2);
+  EXPECT_EQ(h.knee_bin(), -1);
+}
+
+}  // namespace
+}  // namespace ccms::stats

@@ -1,0 +1,126 @@
+#include "stats/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ccms::stats {
+namespace {
+
+std::vector<std::vector<double>> two_blobs(int per_blob) {
+  std::vector<std::vector<double>> points;
+  util::Rng rng(123);
+  for (int i = 0; i < per_blob; ++i) {
+    points.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+  }
+  for (int i = 0; i < per_blob; ++i) {
+    points.push_back({rng.normal(10.0, 0.5), rng.normal(10.0, 0.5)});
+  }
+  return points;
+}
+
+TEST(KMeansTest, SquaredDistance) {
+  const std::vector<double> a = {0, 0};
+  const std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  util::Rng rng(1);
+  const auto result = kmeans({}, {.k = 2}, rng);
+  EXPECT_TRUE(result.centroids.empty());
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  const auto points = two_blobs(50);
+  util::Rng rng(7);
+  const auto result = kmeans(points, {.k = 2}, rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  ASSERT_EQ(result.assignment.size(), 100u);
+
+  // All points of a blob share a cluster; the two blobs differ.
+  const int first = result.assignment[0];
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], first);
+  const int second = result.assignment[50];
+  EXPECT_NE(first, second);
+  for (int i = 50; i < 100; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], second);
+
+  // Centroids near blob centres.
+  std::vector<double> means = {result.centroids[0][0], result.centroids[1][0]};
+  std::sort(means.begin(), means.end());
+  EXPECT_NEAR(means[0], 0.0, 0.5);
+  EXPECT_NEAR(means[1], 10.0, 0.5);
+}
+
+TEST(KMeansTest, SizesSumToPointCount) {
+  const auto points = two_blobs(30);
+  util::Rng rng(11);
+  const auto result = kmeans(points, {.k = 2}, rng);
+  std::size_t total = 0;
+  for (const auto s : result.sizes) total += s;
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  const std::vector<std::vector<double>> points = {{1.0}, {2.0}};
+  util::Rng rng(3);
+  const auto result = kmeans(points, {.k = 5}, rng);
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  const std::vector<std::vector<double>> points = {{1.0}, {2.0}, {3.0}};
+  util::Rng rng(5);
+  const auto result = kmeans(points, {.k = 1}, rng);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+  EXPECT_EQ(result.sizes[0], 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const auto points = two_blobs(20);
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  const auto a = kmeans(points, {.k = 2}, rng1);
+  const auto b = kmeans(points, {.k = 2}, rng2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  const auto points = two_blobs(40);
+  util::Rng rng(13);
+  const auto k1 = kmeans(points, {.k = 1}, rng);
+  const auto k2 = kmeans(points, {.k = 2}, rng);
+  EXPECT_LT(k2.inertia, k1.inertia);
+}
+
+TEST(KMeansTest, IdenticalPointsZeroInertia) {
+  std::vector<std::vector<double>> points(10, {5.0, 5.0});
+  util::Rng rng(17);
+  const auto result = kmeans(points, {.k = 2}, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, HighDimensionalVectors) {
+  // 96-dim vectors like Fig 11's concurrency profiles.
+  std::vector<std::vector<double>> points;
+  util::Rng rng(19);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> v(96);
+    const double level = i < 24 ? 2.0 : 10.0;  // 4:1 sizes, 5x level
+    for (auto& x : v) x = level + rng.normal(0.0, 0.3);
+    points.push_back(std::move(v));
+  }
+  util::Rng krng(23);
+  const auto result = kmeans(points, {.k = 2}, krng);
+  std::vector<std::size_t> sizes = {result.sizes[0], result.sizes[1]};
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 6u);
+  EXPECT_EQ(sizes[1], 24u);
+}
+
+}  // namespace
+}  // namespace ccms::stats

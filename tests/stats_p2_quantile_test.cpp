@@ -1,0 +1,100 @@
+#include "stats/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/quantile.h"
+#include "util/rng.h"
+
+namespace ccms::stats {
+namespace {
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile est(0.5);
+  EXPECT_EQ(est.value(), 0.0);
+  EXPECT_EQ(est.count(), 0);
+}
+
+TEST(P2QuantileTest, SmallSamplesExact) {
+  P2Quantile median(0.5);
+  median.add(3);
+  EXPECT_EQ(median.value(), 3.0);
+  median.add(1);
+  median.add(2);
+  // Sorted prefix {1,2,3}: nearest-rank median = element 1 (index floor(1.5)).
+  EXPECT_EQ(median.value(), 2.0);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  P2Quantile est(0.5);
+  util::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) est.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(est.value(), 50.0, 1.0);
+}
+
+TEST(P2QuantileTest, TailQuantileOfUniformStream) {
+  P2Quantile est(0.9);
+  util::Rng rng(2);
+  for (int i = 0; i < 100000; ++i) est.add(rng.uniform(0.0, 1.0));
+  EXPECT_NEAR(est.value(), 0.9, 0.02);
+}
+
+TEST(P2QuantileTest, MatchesExactOnSkewedDurations) {
+  // Fig 9-like mixture: short pings + heavy tail.
+  util::Rng rng(3);
+  std::vector<double> sample;
+  P2Quantile p50(0.5);
+  P2Quantile p73(0.73);
+  for (int i = 0; i < 200000; ++i) {
+    double x;
+    if (rng.uniform() < 0.6) {
+      x = rng.lognormal_median(60.0, 0.8);
+    } else {
+      x = rng.uniform(600.0, 5000.0);
+    }
+    sample.push_back(x);
+    p50.add(x);
+    p73.add(x);
+  }
+  EmpiricalDistribution exact(std::move(sample));
+  EXPECT_NEAR(p50.value(), exact.quantile(0.5),
+              0.05 * exact.quantile(0.5) + 5.0);
+  EXPECT_NEAR(p73.value(), exact.quantile(0.73),
+              0.08 * exact.quantile(0.73) + 10.0);
+}
+
+TEST(P2QuantileTest, MonotoneStreamConverges) {
+  P2Quantile est(0.25);
+  for (int i = 1; i <= 10000; ++i) est.add(i);
+  EXPECT_NEAR(est.value(), 2500.0, 150.0);
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Quantile est(0.5);
+  for (int i = 0; i < 1000; ++i) est.add(7.0);
+  EXPECT_DOUBLE_EQ(est.value(), 7.0);
+}
+
+TEST(P2QuantileTest, ExtremeQuantilesClamped) {
+  P2Quantile lo(-1.0);
+  P2Quantile hi(2.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    lo.add(x);
+    hi.add(x);
+  }
+  EXPECT_LT(lo.value(), 0.05);   // clamped to q = 0.001
+  EXPECT_GT(hi.value(), 0.95);   // clamped to q = 0.999
+}
+
+TEST(P2QuantileTest, CountTracksAdds) {
+  P2Quantile est(0.5);
+  for (int i = 0; i < 42; ++i) est.add(i);
+  EXPECT_EQ(est.count(), 42);
+}
+
+}  // namespace
+}  // namespace ccms::stats

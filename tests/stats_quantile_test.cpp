@@ -1,0 +1,109 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::stats {
+namespace {
+
+TEST(QuantileTest, EmptyDistribution) {
+  EmpiricalDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.quantile(0.5), 0.0);
+  EXPECT_EQ(d.cdf(10), 0.0);
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_TRUE(d.cdf_curve().empty());
+}
+
+TEST(QuantileTest, SingleElement) {
+  EmpiricalDistribution d({7.0});
+  EXPECT_EQ(d.quantile(0.0), 7.0);
+  EXPECT_EQ(d.quantile(0.5), 7.0);
+  EXPECT_EQ(d.quantile(1.0), 7.0);
+  EXPECT_EQ(d.median(), 7.0);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EmpiricalDistribution d({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.median(), 2.0);
+}
+
+TEST(QuantileTest, MedianInterpolatesEvenSample) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.median(), 2.5);
+}
+
+TEST(QuantileTest, Type7Interpolation) {
+  // quantile(0.25) of {1,2,3,4}: h = 0.25*3 = 0.75 -> 1 + 0.75*(2-1) = 1.75.
+  EmpiricalDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 1.75);
+  EXPECT_DOUBLE_EQ(d.quantile(0.75), 3.25);
+}
+
+TEST(QuantileTest, ExtremesClamp) {
+  EmpiricalDistribution d({5.0, 1.0, 9.0});
+  EXPECT_EQ(d.quantile(-0.5), 1.0);
+  EXPECT_EQ(d.quantile(1.5), 9.0);
+}
+
+TEST(QuantileTest, CdfCountsInclusive) {
+  EmpiricalDistribution d({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(99.0), 1.0);
+}
+
+TEST(QuantileTest, MeanMatches) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+}
+
+TEST(QuantileTest, DecilesMonotone) {
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back((i * 7919) % 1000);
+  EmpiricalDistribution d(std::move(sample));
+  const auto deciles = d.deciles();
+  ASSERT_EQ(deciles.size(), 10u);
+  for (std::size_t i = 1; i < deciles.size(); ++i) {
+    EXPECT_LE(deciles[i - 1], deciles[i]);
+  }
+  EXPECT_DOUBLE_EQ(deciles.back(), 999.0);
+}
+
+TEST(QuantileTest, CdfCurveSpansRangeAndIsMonotone) {
+  std::vector<double> sample;
+  for (int i = 0; i <= 100; ++i) sample.push_back(i);
+  EmpiricalDistribution d(std::move(sample));
+  const auto curve = d.cdf_curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  EXPECT_DOUBLE_EQ(curve.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 100.0);
+  EXPECT_DOUBLE_EQ(curve.back().p, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].p, curve[i].p);
+    EXPECT_LT(curve[i - 1].x, curve[i].x);
+  }
+}
+
+TEST(QuantileTest, QuantileAndCdfAreConsistent) {
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back((i * 31) % 250);
+  EmpiricalDistribution d(std::move(sample));
+  for (const double q : {0.1, 0.25, 0.5, 0.73, 0.9, 0.995}) {
+    const double x = d.quantile(q);
+    // cdf(quantile(q)) >= q (within one sample step).
+    EXPECT_GE(d.cdf(x) + 1.0 / d.size(), q);
+  }
+}
+
+TEST(QuantileTest, SortedAccessor) {
+  EmpiricalDistribution d({3.0, 1.0, 2.0});
+  const auto s = d.sorted();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1.0);
+  EXPECT_EQ(s[2], 3.0);
+}
+
+}  // namespace
+}  // namespace ccms::stats

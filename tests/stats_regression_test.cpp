@@ -1,0 +1,87 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccms::stats {
+namespace {
+
+TEST(RegressionTest, PerfectLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 5);
+}
+
+TEST(RegressionTest, AtPredicts) {
+  const LinearFit fit{2.0, 1.0, 1.0, 5};
+  EXPECT_DOUBLE_EQ(fit.at(10.0), 21.0);
+}
+
+TEST(RegressionTest, FlatLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {4, 4, 4, 4};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_EQ(fit.r_squared, 0.0);  // syy == 0 => undefined, reported as 0
+}
+
+TEST(RegressionTest, TooFewPoints) {
+  const std::vector<double> x = {1};
+  const std::vector<double> y = {2};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.n, 1);
+}
+
+TEST(RegressionTest, ZeroXVariance) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.r_squared, 0.0);
+}
+
+TEST(RegressionTest, MismatchedLengthsUseShorter) {
+  const std::vector<double> x = {0, 1, 2, 3, 4, 5, 6};
+  const std::vector<double> y = {0, 2, 4};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_EQ(fit.n, 3);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(RegressionTest, NoisyLineApproximates) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 3 + ((i % 3) - 1) * 0.2);  // deterministic noise
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(RegressionTest, IndexedEqualsExplicit) {
+  const std::vector<double> y = {0.64, 0.66, 0.65, 0.70, 0.68};
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  const LinearFit a = linear_fit_indexed(y);
+  const LinearFit b = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(a.slope, b.slope);
+  EXPECT_DOUBLE_EQ(a.intercept, b.intercept);
+  EXPECT_DOUBLE_EQ(a.r_squared, b.r_squared);
+}
+
+TEST(RegressionTest, NegativeSlope) {
+  const std::vector<double> y = {10, 8, 6, 4, 2};
+  const LinearFit fit = linear_fit_indexed(y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ccms::stats

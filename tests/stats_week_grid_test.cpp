@@ -1,0 +1,72 @@
+#include "stats/week_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::stats {
+namespace {
+
+using time::at;
+
+TEST(WeekGridTest, EmptyFallback) {
+  WeekGrid grid;
+  EXPECT_EQ(grid.mean(0), 0.0);
+  EXPECT_EQ(grid.mean(0, 42.0), 42.0);
+  EXPECT_EQ(grid.count(0), 0);
+  EXPECT_EQ(grid.overall_mean(-1.0), -1.0);
+}
+
+TEST(WeekGridTest, AddAndMean) {
+  WeekGrid grid;
+  grid.add(at(0, 0, 0), 1.0);
+  grid.add(at(0, 0, 5), 3.0);
+  EXPECT_EQ(grid.count(0), 2);
+  EXPECT_DOUBLE_EQ(grid.mean(0), 2.0);
+}
+
+TEST(WeekGridTest, TimeMapsToCorrectBin) {
+  WeekGrid grid;
+  grid.add(at(2, 20, 45), 7.0);  // Wednesday 20:45 -> bin 2*96+83
+  EXPECT_EQ(grid.count(2 * 96 + 83), 1);
+  EXPECT_DOUBLE_EQ(grid.mean(2 * 96 + 83), 7.0);
+  EXPECT_EQ(grid.count(83), 0);  // Monday bin untouched
+}
+
+TEST(WeekGridTest, SecondWeekFoldsOntoSameBin) {
+  WeekGrid grid;
+  grid.add(at(0, 8, 0), 2.0);
+  grid.add(at(7, 8, 0), 4.0);  // next Monday
+  const int bin = time::bin15_of_week(at(0, 8, 0));
+  EXPECT_EQ(grid.count(bin), 2);
+  EXPECT_DOUBLE_EQ(grid.mean(bin), 3.0);
+}
+
+TEST(WeekGridTest, WeeklyMeansVector) {
+  WeekGrid grid;
+  grid.add_bin(10, 5.0);
+  const auto means = grid.weekly_means(-1.0);
+  ASSERT_EQ(means.size(), static_cast<std::size_t>(time::kBins15PerWeek));
+  EXPECT_DOUBLE_EQ(means[10], 5.0);
+  EXPECT_DOUBLE_EQ(means[11], -1.0);
+}
+
+TEST(WeekGridTest, DailyMeansFoldAcrossDays) {
+  WeekGrid grid;
+  // Bin 40 of Monday and bin 40 of Friday.
+  grid.add_bin(0 * 96 + 40, 2.0);
+  grid.add_bin(4 * 96 + 40, 6.0);
+  const auto daily = grid.daily_means();
+  ASSERT_EQ(daily.size(), 96u);
+  EXPECT_DOUBLE_EQ(daily[40], 4.0);
+  EXPECT_DOUBLE_EQ(daily[41], 0.0);
+}
+
+TEST(WeekGridTest, OverallMean) {
+  WeekGrid grid;
+  grid.add_bin(0, 1.0);
+  grid.add_bin(100, 3.0);
+  grid.add_bin(671, 5.0);
+  EXPECT_DOUBLE_EQ(grid.overall_mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace ccms::stats

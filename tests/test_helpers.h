@@ -1,0 +1,40 @@
+// Shared fixtures for CCMS tests: tiny topologies, hand-built datasets.
+#pragma once
+
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "net/load.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace ccms::test {
+
+/// A small deterministic topology (8x8 grid).
+inline net::Topology small_topology(std::uint64_t seed = 1) {
+  net::TopologyConfig config;
+  config.grid_width = 8;
+  config.grid_height = 8;
+  util::Rng rng(seed);
+  return net::Topology(config, rng);
+}
+
+/// Shorthand for building a connection record.
+inline cdr::Connection conn(std::uint32_t car, std::uint32_t cell,
+                            time::Seconds start, std::int32_t duration) {
+  return cdr::Connection{CarId{car}, CellId{cell}, start, duration};
+}
+
+/// Builds a finalized dataset from records.
+inline cdr::Dataset make_dataset(std::vector<cdr::Connection> records,
+                                 std::uint32_t fleet_size = 0,
+                                 int study_days = 0) {
+  cdr::Dataset dataset;
+  if (fleet_size > 0) dataset.set_fleet_size(fleet_size);
+  if (study_days > 0) dataset.set_study_days(study_days);
+  for (const auto& r : records) dataset.add(r);
+  dataset.finalize();
+  return dataset;
+}
+
+}  // namespace ccms::test

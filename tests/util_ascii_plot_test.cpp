@@ -1,0 +1,99 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::util {
+namespace {
+
+TEST(AsciiPlotTest, RenderLineNonEmpty) {
+  std::vector<PlotPoint> points;
+  for (int i = 0; i <= 10; ++i) {
+    points.push_back({static_cast<double>(i), static_cast<double>(i * i)});
+  }
+  const std::string out = render_line(points);
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RenderLineEmptyInputIsSafe) {
+  const std::string out = render_line({});
+  EXPECT_FALSE(out.empty());  // axes still render
+}
+
+TEST(AsciiPlotTest, RenderLinesLegend) {
+  std::vector<Series> series(2);
+  series[0].points = {{0, 0}, {1, 1}};
+  series[0].glyph = 'a';
+  series[0].name = "alpha";
+  series[1].points = {{0, 1}, {1, 0}};
+  series[1].glyph = 'b';
+  series[1].name = "beta";
+  const std::string out = render_lines(series);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, FixedYRangeRespected) {
+  PlotOptions options;
+  options.y_min = 0;
+  options.y_max = 1;
+  std::vector<PlotPoint> points = {{0, 0.5}, {1, 2.0}};  // 2.0 out of range
+  const std::string out = render_line(points, options);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlotTest, HistogramBarsScale) {
+  const std::vector<double> counts = {1, 5, 10};
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  const std::string out = render_histogram(counts, labels, 10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, HistogramEmpty) {
+  EXPECT_EQ(render_histogram({}, {}, 10), "(empty histogram)\n");
+}
+
+TEST(AsciiPlotTest, Matrix24x7HeaderAndRows) {
+  std::vector<double> values(24 * 7, 0.0);
+  values[7 * 7 + 0] = 5.0;  // hour 7, Monday
+  const std::string out = render_matrix24x7(values);
+  EXPECT_NE(out.find("M  T  W  T  F  S  S"), std::string::npos);
+  // 24 hour rows + header.
+  int lines = 0;
+  for (const char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 25);
+}
+
+TEST(AsciiPlotTest, Matrix24x7WrongSize) {
+  std::vector<double> values(10, 0.0);
+  EXPECT_EQ(render_matrix24x7(values), "(bad 24x7 matrix)\n");
+}
+
+TEST(AsciiPlotTest, Matrix24x7ZeroIsBlank) {
+  std::vector<double> values(24 * 7, 0.0);
+  const std::string out = render_matrix24x7(values);
+  EXPECT_EQ(out.find('@'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, SpanRows) {
+  std::vector<SpanRow> rows(3);
+  rows[0].spans = {{0.0, 0.5}};
+  rows[1].spans = {{0.25, 0.75}};
+  rows[2].spans = {};
+  const std::string out = render_span_rows(rows, 40);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  int lines = 0;
+  for (const char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(AsciiPlotTest, SpanRowsTruncation) {
+  std::vector<SpanRow> rows(50);
+  const std::string out = render_span_rows(rows, 40, 10);
+  EXPECT_NE(out.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccms::util

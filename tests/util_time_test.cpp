@@ -1,0 +1,130 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ccms::time {
+namespace {
+
+TEST(TimeTest, EpochIsMondayMidnight) {
+  EXPECT_EQ(weekday(0), Weekday::kMonday);
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(second_of_day(0), 0);
+  EXPECT_EQ(day_index(0), 0);
+}
+
+TEST(TimeTest, DayIndexProgression) {
+  EXPECT_EQ(day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay), 1);
+  EXPECT_EQ(day_index(89 * kSecondsPerDay + 1), 89);
+}
+
+TEST(TimeTest, DayIndexNegativeRoundsDown) {
+  EXPECT_EQ(day_index(-1), -1);
+  EXPECT_EQ(day_index(-kSecondsPerDay), -1);
+  EXPECT_EQ(day_index(-kSecondsPerDay - 1), -2);
+}
+
+TEST(TimeTest, WeekdayCycles) {
+  EXPECT_EQ(weekday(at(0, 12)), Weekday::kMonday);
+  EXPECT_EQ(weekday(at(1, 0)), Weekday::kTuesday);
+  EXPECT_EQ(weekday(at(5, 23)), Weekday::kSaturday);
+  EXPECT_EQ(weekday(at(6, 0)), Weekday::kSunday);
+  EXPECT_EQ(weekday(at(7, 0)), Weekday::kMonday);
+  EXPECT_EQ(weekday(at(89, 0)), static_cast<Weekday>(89 % 7));
+}
+
+TEST(TimeTest, WeekendPredicate) {
+  EXPECT_FALSE(is_weekend(Weekday::kMonday));
+  EXPECT_FALSE(is_weekend(Weekday::kFriday));
+  EXPECT_TRUE(is_weekend(Weekday::kSaturday));
+  EXPECT_TRUE(is_weekend(Weekday::kSunday));
+}
+
+TEST(TimeTest, HourOfDay) {
+  EXPECT_EQ(hour_of_day(at(3, 14, 59, 59)), 14);
+  EXPECT_EQ(hour_of_day(at(3, 23, 59, 59)), 23);
+  EXPECT_EQ(hour_of_day(at(4, 0)), 0);
+}
+
+TEST(TimeTest, HourOfWeek) {
+  EXPECT_EQ(hour_of_week(at(0, 0)), 0);
+  EXPECT_EQ(hour_of_week(at(0, 23)), 23);
+  EXPECT_EQ(hour_of_week(at(1, 0)), 24);
+  EXPECT_EQ(hour_of_week(at(6, 23)), 167);
+  EXPECT_EQ(hour_of_week(at(7, 0)), 0);
+}
+
+TEST(TimeTest, Bin15OfDay) {
+  EXPECT_EQ(bin15_of_day(at(2, 0, 0)), 0);
+  EXPECT_EQ(bin15_of_day(at(2, 0, 14, 59)), 0);
+  EXPECT_EQ(bin15_of_day(at(2, 0, 15)), 1);
+  EXPECT_EQ(bin15_of_day(at(2, 20, 45)), 83);
+  EXPECT_EQ(bin15_of_day(at(2, 23, 45)), 95);
+}
+
+TEST(TimeTest, Bin15OfWeek) {
+  EXPECT_EQ(bin15_of_week(at(0, 0)), 0);
+  EXPECT_EQ(bin15_of_week(at(1, 0)), 96);
+  EXPECT_EQ(bin15_of_week(at(6, 23, 45)), 671);
+  EXPECT_EQ(bin15_of_week(at(7, 0)), 0);
+}
+
+TEST(TimeTest, Bin15WeekStartInverse) {
+  for (int week = 0; week < 3; ++week) {
+    for (int bin : {0, 1, 95, 96, 350, 671}) {
+      const Seconds t = bin15_week_start(week, bin);
+      EXPECT_EQ(bin15_of_week(t), bin);
+    }
+  }
+}
+
+TEST(IntervalTest, DurationAndEmpty) {
+  EXPECT_EQ((Interval{10, 30}).duration(), 20);
+  EXPECT_TRUE((Interval{10, 10}).empty());
+  EXPECT_TRUE((Interval{10, 5}).empty());
+  EXPECT_FALSE((Interval{10, 11}).empty());
+}
+
+TEST(IntervalTest, Contains) {
+  const Interval iv{100, 200};
+  EXPECT_TRUE(iv.contains(100));
+  EXPECT_TRUE(iv.contains(199));
+  EXPECT_FALSE(iv.contains(200));  // half-open
+  EXPECT_FALSE(iv.contains(99));
+}
+
+TEST(IntervalTest, Overlaps) {
+  const Interval a{100, 200};
+  EXPECT_TRUE(a.overlaps({150, 250}));
+  EXPECT_TRUE(a.overlaps({50, 101}));
+  EXPECT_FALSE(a.overlaps({200, 300}));  // touching, half-open
+  EXPECT_FALSE(a.overlaps({0, 100}));
+}
+
+TEST(IntervalTest, OverlapWith) {
+  const Interval a{100, 200};
+  EXPECT_EQ(a.overlap_with({150, 250}), 50);
+  EXPECT_EQ(a.overlap_with({0, 1000}), 100);
+  EXPECT_EQ(a.overlap_with({200, 300}), 0);
+  EXPECT_EQ(a.overlap_with({120, 130}), 10);
+}
+
+TEST(TimeTest, FormatContainsDayAndWeekday) {
+  const std::string s = format(at(12, 7, 15, 42));
+  EXPECT_NE(s.find("d12"), std::string::npos);
+  EXPECT_NE(s.find("Sat"), std::string::npos);  // day 12 = Saturday
+  EXPECT_NE(s.find("07:15:42"), std::string::npos);
+}
+
+TEST(TimeTest, FormatHhmm) {
+  EXPECT_EQ(format_hhmm(at(3, 20, 45)), "20:45");
+  EXPECT_EQ(format_hhmm(at(0, 0, 0)), "00:00");
+}
+
+TEST(TimeTest, WeekdayNames) {
+  EXPECT_STREQ(name(Weekday::kMonday), "Mon");
+  EXPECT_STREQ(name(Weekday::kSunday), "Sun");
+}
+
+}  // namespace
+}  // namespace ccms::time

@@ -1,0 +1,62 @@
+#include "util/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccms {
+namespace {
+
+TEST(TypesTest, DefaultConstructedIsZero) {
+  EXPECT_EQ(CarId{}.value, 0u);
+  EXPECT_EQ(CellId{}.value, 0u);
+  EXPECT_EQ(StationId{}.value, 0u);
+  EXPECT_EQ(SectorId{}.value, 0);
+  EXPECT_EQ(CarrierId{}.value, 0);
+}
+
+TEST(TypesTest, EqualityAndOrdering) {
+  EXPECT_EQ(CarId{5}, CarId{5});
+  EXPECT_NE(CarId{5}, CarId{6});
+  EXPECT_LT(CarId{5}, CarId{6});
+  EXPECT_GT(CellId{10}, CellId{2});
+  EXPECT_LE(StationId{3}, StationId{3});
+}
+
+TEST(TypesTest, DistinctTypesDoNotMix) {
+  // Compile-time property: CarId and CellId are distinct types even though
+  // both wrap uint32. (If they were interchangeable, this would not build
+  // as two separate overloads.)
+  struct Probe {
+    static int f(CarId) { return 1; }
+    static int f(CellId) { return 2; }
+  };
+  EXPECT_EQ(Probe::f(CarId{7}), 1);
+  EXPECT_EQ(Probe::f(CellId{7}), 2);
+}
+
+TEST(TypesTest, HashableInUnorderedContainers) {
+  std::unordered_set<CarId> cars = {CarId{1}, CarId{2}, CarId{1}};
+  EXPECT_EQ(cars.size(), 2u);
+
+  std::unordered_map<CellId, int> cells;
+  cells[CellId{10}] = 7;
+  cells[CellId{10}] += 1;
+  EXPECT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[CellId{10}], 8);
+
+  std::unordered_set<StationId> stations = {StationId{0}, StationId{1}};
+  EXPECT_EQ(stations.count(StationId{1}), 1u);
+}
+
+TEST(TypesTest, HashSpreadsValues) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<CarId>{}(CarId{i}));
+  }
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+}  // namespace
+}  // namespace ccms
