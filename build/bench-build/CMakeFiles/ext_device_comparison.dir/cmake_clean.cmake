@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_device_comparison"
+  "../bench/ext_device_comparison.pdb"
+  "CMakeFiles/ext_device_comparison.dir/ext_device_comparison.cpp.o"
+  "CMakeFiles/ext_device_comparison.dir/ext_device_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_device_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

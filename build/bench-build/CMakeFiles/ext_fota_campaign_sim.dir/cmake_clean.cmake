@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fota_campaign_sim"
+  "../bench/ext_fota_campaign_sim.pdb"
+  "CMakeFiles/ext_fota_campaign_sim.dir/ext_fota_campaign_sim.cpp.o"
+  "CMakeFiles/ext_fota_campaign_sim.dir/ext_fota_campaign_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fota_campaign_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

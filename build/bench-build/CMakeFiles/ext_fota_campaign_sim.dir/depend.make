@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_fota_campaign_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mobility_profile"
+  "../bench/ext_mobility_profile.pdb"
+  "CMakeFiles/ext_mobility_profile.dir/ext_mobility_profile.cpp.o"
+  "CMakeFiles/ext_mobility_profile.dir/ext_mobility_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mobility_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

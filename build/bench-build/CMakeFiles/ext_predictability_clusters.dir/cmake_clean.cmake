@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_predictability_clusters"
+  "../bench/ext_predictability_clusters.pdb"
+  "CMakeFiles/ext_predictability_clusters.dir/ext_predictability_clusters.cpp.o"
+  "CMakeFiles/ext_predictability_clusters.dir/ext_predictability_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predictability_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_fota_saturation"
+  "../bench/fig01_fota_saturation.pdb"
+  "CMakeFiles/fig01_fota_saturation.dir/fig01_fota_saturation.cpp.o"
+  "CMakeFiles/fig01_fota_saturation.dir/fig01_fota_saturation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fota_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

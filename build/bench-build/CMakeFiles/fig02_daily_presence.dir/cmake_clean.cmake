@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_daily_presence"
+  "../bench/fig02_daily_presence.pdb"
+  "CMakeFiles/fig02_daily_presence.dir/fig02_daily_presence.cpp.o"
+  "CMakeFiles/fig02_daily_presence.dir/fig02_daily_presence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_daily_presence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

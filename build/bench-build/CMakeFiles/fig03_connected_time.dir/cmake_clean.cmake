@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_connected_time"
+  "../bench/fig03_connected_time.pdb"
+  "CMakeFiles/fig03_connected_time.dir/fig03_connected_time.cpp.o"
+  "CMakeFiles/fig03_connected_time.dir/fig03_connected_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_connected_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_period_masks"
+  "../bench/fig04_period_masks.pdb"
+  "CMakeFiles/fig04_period_masks.dir/fig04_period_masks.cpp.o"
+  "CMakeFiles/fig04_period_masks.dir/fig04_period_masks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_period_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

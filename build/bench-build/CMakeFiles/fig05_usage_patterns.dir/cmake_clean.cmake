@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_usage_patterns"
+  "../bench/fig05_usage_patterns.pdb"
+  "CMakeFiles/fig05_usage_patterns.dir/fig05_usage_patterns.cpp.o"
+  "CMakeFiles/fig05_usage_patterns.dir/fig05_usage_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_usage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

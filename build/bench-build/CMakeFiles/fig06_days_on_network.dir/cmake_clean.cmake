@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_days_on_network"
+  "../bench/fig06_days_on_network.pdb"
+  "CMakeFiles/fig06_days_on_network.dir/fig06_days_on_network.cpp.o"
+  "CMakeFiles/fig06_days_on_network.dir/fig06_days_on_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_days_on_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_busy_cell_time"
+  "../bench/fig07_busy_cell_time.pdb"
+  "CMakeFiles/fig07_busy_cell_time.dir/fig07_busy_cell_time.cpp.o"
+  "CMakeFiles/fig07_busy_cell_time.dir/fig07_busy_cell_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_busy_cell_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

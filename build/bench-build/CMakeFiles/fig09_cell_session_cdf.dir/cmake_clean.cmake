@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_cell_session_cdf"
+  "../bench/fig09_cell_session_cdf.pdb"
+  "CMakeFiles/fig09_cell_session_cdf.dir/fig09_cell_session_cdf.cpp.o"
+  "CMakeFiles/fig09_cell_session_cdf.dir/fig09_cell_session_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cell_session_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

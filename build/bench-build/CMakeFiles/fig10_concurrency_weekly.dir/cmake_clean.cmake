@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_concurrency_weekly"
+  "../bench/fig10_concurrency_weekly.pdb"
+  "CMakeFiles/fig10_concurrency_weekly.dir/fig10_concurrency_weekly.cpp.o"
+  "CMakeFiles/fig10_concurrency_weekly.dir/fig10_concurrency_weekly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_concurrency_weekly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_concurrency_clusters"
+  "../bench/fig11_concurrency_clusters.pdb"
+  "CMakeFiles/fig11_concurrency_clusters.dir/fig11_concurrency_clusters.cpp.o"
+  "CMakeFiles/fig11_concurrency_clusters.dir/fig11_concurrency_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_concurrency_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

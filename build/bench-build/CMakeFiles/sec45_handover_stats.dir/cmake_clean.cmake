@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec45_handover_stats"
+  "../bench/sec45_handover_stats.pdb"
+  "CMakeFiles/sec45_handover_stats.dir/sec45_handover_stats.cpp.o"
+  "CMakeFiles/sec45_handover_stats.dir/sec45_handover_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_handover_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_presence_by_weekday"
+  "../bench/table1_presence_by_weekday.pdb"
+  "CMakeFiles/table1_presence_by_weekday.dir/table1_presence_by_weekday.cpp.o"
+  "CMakeFiles/table1_presence_by_weekday.dir/table1_presence_by_weekday.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_presence_by_weekday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

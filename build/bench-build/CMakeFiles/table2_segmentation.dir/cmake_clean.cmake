@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_segmentation"
+  "../bench/table2_segmentation.pdb"
+  "CMakeFiles/table2_segmentation.dir/table2_segmentation.cpp.o"
+  "CMakeFiles/table2_segmentation.dir/table2_segmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

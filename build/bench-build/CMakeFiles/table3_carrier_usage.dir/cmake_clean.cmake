@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_carrier_usage"
+  "../bench/table3_carrier_usage.pdb"
+  "CMakeFiles/table3_carrier_usage.dir/table3_carrier_usage.cpp.o"
+  "CMakeFiles/table3_carrier_usage.dir/table3_carrier_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_carrier_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fota_campaign.dir/fota_campaign.cpp.o"
+  "CMakeFiles/fota_campaign.dir/fota_campaign.cpp.o.d"
+  "fota_campaign"
+  "fota_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fota_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_study.dir/make_study.cpp.o"
+  "CMakeFiles/make_study.dir/make_study.cpp.o.d"
+  "make_study"
+  "make_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_analyze.dir/trace_analyze.cpp.o"
+  "CMakeFiles/trace_analyze.dir/trace_analyze.cpp.o.d"
+  "trace_analyze"
+  "trace_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

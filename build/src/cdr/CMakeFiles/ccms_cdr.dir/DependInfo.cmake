@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdr/anonymize.cpp" "src/cdr/CMakeFiles/ccms_cdr.dir/anonymize.cpp.o" "gcc" "src/cdr/CMakeFiles/ccms_cdr.dir/anonymize.cpp.o.d"
+  "/root/repo/src/cdr/clean.cpp" "src/cdr/CMakeFiles/ccms_cdr.dir/clean.cpp.o" "gcc" "src/cdr/CMakeFiles/ccms_cdr.dir/clean.cpp.o.d"
+  "/root/repo/src/cdr/dataset.cpp" "src/cdr/CMakeFiles/ccms_cdr.dir/dataset.cpp.o" "gcc" "src/cdr/CMakeFiles/ccms_cdr.dir/dataset.cpp.o.d"
+  "/root/repo/src/cdr/io.cpp" "src/cdr/CMakeFiles/ccms_cdr.dir/io.cpp.o" "gcc" "src/cdr/CMakeFiles/ccms_cdr.dir/io.cpp.o.d"
+  "/root/repo/src/cdr/session.cpp" "src/cdr/CMakeFiles/ccms_cdr.dir/session.cpp.o" "gcc" "src/cdr/CMakeFiles/ccms_cdr.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

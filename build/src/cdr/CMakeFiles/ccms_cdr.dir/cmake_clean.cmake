@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_cdr.dir/anonymize.cpp.o"
+  "CMakeFiles/ccms_cdr.dir/anonymize.cpp.o.d"
+  "CMakeFiles/ccms_cdr.dir/clean.cpp.o"
+  "CMakeFiles/ccms_cdr.dir/clean.cpp.o.d"
+  "CMakeFiles/ccms_cdr.dir/dataset.cpp.o"
+  "CMakeFiles/ccms_cdr.dir/dataset.cpp.o.d"
+  "CMakeFiles/ccms_cdr.dir/io.cpp.o"
+  "CMakeFiles/ccms_cdr.dir/io.cpp.o.d"
+  "CMakeFiles/ccms_cdr.dir/session.cpp.o"
+  "CMakeFiles/ccms_cdr.dir/session.cpp.o.d"
+  "libccms_cdr.a"
+  "libccms_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

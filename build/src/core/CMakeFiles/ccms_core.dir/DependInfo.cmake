@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/busy_time.cpp" "src/core/CMakeFiles/ccms_core.dir/busy_time.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/busy_time.cpp.o.d"
+  "/root/repo/src/core/carrier_usage.cpp" "src/core/CMakeFiles/ccms_core.dir/carrier_usage.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/carrier_usage.cpp.o.d"
+  "/root/repo/src/core/cell_sessions.cpp" "src/core/CMakeFiles/ccms_core.dir/cell_sessions.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/cell_sessions.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/ccms_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/concurrency.cpp" "src/core/CMakeFiles/ccms_core.dir/concurrency.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/concurrency.cpp.o.d"
+  "/root/repo/src/core/connected_time.cpp" "src/core/CMakeFiles/ccms_core.dir/connected_time.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/connected_time.cpp.o.d"
+  "/root/repo/src/core/days_histogram.cpp" "src/core/CMakeFiles/ccms_core.dir/days_histogram.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/days_histogram.cpp.o.d"
+  "/root/repo/src/core/handover.cpp" "src/core/CMakeFiles/ccms_core.dir/handover.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/handover.cpp.o.d"
+  "/root/repo/src/core/load_estimate.cpp" "src/core/CMakeFiles/ccms_core.dir/load_estimate.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/load_estimate.cpp.o.d"
+  "/root/repo/src/core/load_view.cpp" "src/core/CMakeFiles/ccms_core.dir/load_view.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/load_view.cpp.o.d"
+  "/root/repo/src/core/mobility.cpp" "src/core/CMakeFiles/ccms_core.dir/mobility.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/mobility.cpp.o.d"
+  "/root/repo/src/core/predictability.cpp" "src/core/CMakeFiles/ccms_core.dir/predictability.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/predictability.cpp.o.d"
+  "/root/repo/src/core/presence.cpp" "src/core/CMakeFiles/ccms_core.dir/presence.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/presence.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ccms_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_csv.cpp" "src/core/CMakeFiles/ccms_core.dir/report_csv.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/report_csv.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/ccms_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/segmentation.cpp.o.d"
+  "/root/repo/src/core/signaling.cpp" "src/core/CMakeFiles/ccms_core.dir/signaling.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/signaling.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/ccms_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/usage_matrix.cpp" "src/core/CMakeFiles/ccms_core.dir/usage_matrix.cpp.o" "gcc" "src/core/CMakeFiles/ccms_core.dir/usage_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ccms_cdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

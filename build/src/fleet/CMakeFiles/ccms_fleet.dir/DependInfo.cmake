@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/archetype.cpp" "src/fleet/CMakeFiles/ccms_fleet.dir/archetype.cpp.o" "gcc" "src/fleet/CMakeFiles/ccms_fleet.dir/archetype.cpp.o.d"
+  "/root/repo/src/fleet/connection_gen.cpp" "src/fleet/CMakeFiles/ccms_fleet.dir/connection_gen.cpp.o" "gcc" "src/fleet/CMakeFiles/ccms_fleet.dir/connection_gen.cpp.o.d"
+  "/root/repo/src/fleet/fleet_builder.cpp" "src/fleet/CMakeFiles/ccms_fleet.dir/fleet_builder.cpp.o" "gcc" "src/fleet/CMakeFiles/ccms_fleet.dir/fleet_builder.cpp.o.d"
+  "/root/repo/src/fleet/reference_devices.cpp" "src/fleet/CMakeFiles/ccms_fleet.dir/reference_devices.cpp.o" "gcc" "src/fleet/CMakeFiles/ccms_fleet.dir/reference_devices.cpp.o.d"
+  "/root/repo/src/fleet/schedule.cpp" "src/fleet/CMakeFiles/ccms_fleet.dir/schedule.cpp.o" "gcc" "src/fleet/CMakeFiles/ccms_fleet.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ccms_cdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

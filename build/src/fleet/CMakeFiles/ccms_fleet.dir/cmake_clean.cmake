@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_fleet.dir/archetype.cpp.o"
+  "CMakeFiles/ccms_fleet.dir/archetype.cpp.o.d"
+  "CMakeFiles/ccms_fleet.dir/connection_gen.cpp.o"
+  "CMakeFiles/ccms_fleet.dir/connection_gen.cpp.o.d"
+  "CMakeFiles/ccms_fleet.dir/fleet_builder.cpp.o"
+  "CMakeFiles/ccms_fleet.dir/fleet_builder.cpp.o.d"
+  "CMakeFiles/ccms_fleet.dir/reference_devices.cpp.o"
+  "CMakeFiles/ccms_fleet.dir/reference_devices.cpp.o.d"
+  "CMakeFiles/ccms_fleet.dir/schedule.cpp.o"
+  "CMakeFiles/ccms_fleet.dir/schedule.cpp.o.d"
+  "libccms_fleet.a"
+  "libccms_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

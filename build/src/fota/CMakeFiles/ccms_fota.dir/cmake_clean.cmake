@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_fota.dir/campaign.cpp.o"
+  "CMakeFiles/ccms_fota.dir/campaign.cpp.o.d"
+  "libccms_fota.a"
+  "libccms_fota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_fota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

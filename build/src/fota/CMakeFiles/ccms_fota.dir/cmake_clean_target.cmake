@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccms_fota.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/carrier.cpp" "src/net/CMakeFiles/ccms_net.dir/carrier.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/carrier.cpp.o.d"
+  "/root/repo/src/net/cell.cpp" "src/net/CMakeFiles/ccms_net.dir/cell.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/cell.cpp.o.d"
+  "/root/repo/src/net/load.cpp" "src/net/CMakeFiles/ccms_net.dir/load.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/load.cpp.o.d"
+  "/root/repo/src/net/map.cpp" "src/net/CMakeFiles/ccms_net.dir/map.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/map.cpp.o.d"
+  "/root/repo/src/net/prb.cpp" "src/net/CMakeFiles/ccms_net.dir/prb.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/prb.cpp.o.d"
+  "/root/repo/src/net/rrc.cpp" "src/net/CMakeFiles/ccms_net.dir/rrc.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/rrc.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/ccms_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/ccms_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

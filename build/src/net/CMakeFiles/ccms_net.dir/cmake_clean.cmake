@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_net.dir/carrier.cpp.o"
+  "CMakeFiles/ccms_net.dir/carrier.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/cell.cpp.o"
+  "CMakeFiles/ccms_net.dir/cell.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/load.cpp.o"
+  "CMakeFiles/ccms_net.dir/load.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/map.cpp.o"
+  "CMakeFiles/ccms_net.dir/map.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/prb.cpp.o"
+  "CMakeFiles/ccms_net.dir/prb.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/rrc.cpp.o"
+  "CMakeFiles/ccms_net.dir/rrc.cpp.o.d"
+  "CMakeFiles/ccms_net.dir/topology.cpp.o"
+  "CMakeFiles/ccms_net.dir/topology.cpp.o.d"
+  "libccms_net.a"
+  "libccms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_sim.dir/fota.cpp.o"
+  "CMakeFiles/ccms_sim.dir/fota.cpp.o.d"
+  "CMakeFiles/ccms_sim.dir/measured_load.cpp.o"
+  "CMakeFiles/ccms_sim.dir/measured_load.cpp.o.d"
+  "CMakeFiles/ccms_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ccms_sim.dir/simulator.cpp.o.d"
+  "libccms_sim.a"
+  "libccms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

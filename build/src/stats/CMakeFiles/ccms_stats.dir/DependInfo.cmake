@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/ccms_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ccms_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/ccms_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/ccms_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/ccms_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/ccms_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/week_grid.cpp" "src/stats/CMakeFiles/ccms_stats.dir/week_grid.cpp.o" "gcc" "src/stats/CMakeFiles/ccms_stats.dir/week_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

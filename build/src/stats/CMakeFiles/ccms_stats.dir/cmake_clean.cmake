@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ccms_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ccms_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/ccms_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/ccms_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/quantile.cpp.o"
+  "CMakeFiles/ccms_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/regression.cpp.o"
+  "CMakeFiles/ccms_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/ccms_stats.dir/week_grid.cpp.o"
+  "CMakeFiles/ccms_stats.dir/week_grid.cpp.o.d"
+  "libccms_stats.a"
+  "libccms_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

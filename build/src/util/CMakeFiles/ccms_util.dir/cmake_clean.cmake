@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccms_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ccms_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ccms_util.dir/csv.cpp.o"
+  "CMakeFiles/ccms_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ccms_util.dir/rng.cpp.o"
+  "CMakeFiles/ccms_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccms_util.dir/time.cpp.o"
+  "CMakeFiles/ccms_util.dir/time.cpp.o.d"
+  "libccms_util.a"
+  "libccms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_clean_test.dir/cdr_clean_test.cpp.o"
+  "CMakeFiles/cdr_clean_test.dir/cdr_clean_test.cpp.o.d"
+  "cdr_clean_test"
+  "cdr_clean_test.pdb"
+  "cdr_clean_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_clean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_dataset_test.dir/cdr_dataset_test.cpp.o"
+  "CMakeFiles/cdr_dataset_test.dir/cdr_dataset_test.cpp.o.d"
+  "cdr_dataset_test"
+  "cdr_dataset_test.pdb"
+  "cdr_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

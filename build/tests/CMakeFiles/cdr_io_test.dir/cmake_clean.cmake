@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_io_test.dir/cdr_io_test.cpp.o"
+  "CMakeFiles/cdr_io_test.dir/cdr_io_test.cpp.o.d"
+  "cdr_io_test"
+  "cdr_io_test.pdb"
+  "cdr_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_session_test.dir/cdr_session_test.cpp.o"
+  "CMakeFiles/cdr_session_test.dir/cdr_session_test.cpp.o.d"
+  "cdr_session_test"
+  "cdr_session_test.pdb"
+  "cdr_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

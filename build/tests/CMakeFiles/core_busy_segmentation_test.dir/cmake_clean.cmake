@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_busy_segmentation_test.dir/core_busy_segmentation_test.cpp.o"
+  "CMakeFiles/core_busy_segmentation_test.dir/core_busy_segmentation_test.cpp.o.d"
+  "core_busy_segmentation_test"
+  "core_busy_segmentation_test.pdb"
+  "core_busy_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_busy_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

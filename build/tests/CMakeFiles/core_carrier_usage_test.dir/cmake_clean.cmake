@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_carrier_usage_test.dir/core_carrier_usage_test.cpp.o"
+  "CMakeFiles/core_carrier_usage_test.dir/core_carrier_usage_test.cpp.o.d"
+  "core_carrier_usage_test"
+  "core_carrier_usage_test.pdb"
+  "core_carrier_usage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_carrier_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_connected_time_test.dir/core_connected_time_test.cpp.o"
+  "CMakeFiles/core_connected_time_test.dir/core_connected_time_test.cpp.o.d"
+  "core_connected_time_test"
+  "core_connected_time_test.pdb"
+  "core_connected_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_connected_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

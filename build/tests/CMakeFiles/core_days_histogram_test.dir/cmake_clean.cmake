@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_days_histogram_test.dir/core_days_histogram_test.cpp.o"
+  "CMakeFiles/core_days_histogram_test.dir/core_days_histogram_test.cpp.o.d"
+  "core_days_histogram_test"
+  "core_days_histogram_test.pdb"
+  "core_days_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_days_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_handover_test.dir/core_handover_test.cpp.o"
+  "CMakeFiles/core_handover_test.dir/core_handover_test.cpp.o.d"
+  "core_handover_test"
+  "core_handover_test.pdb"
+  "core_handover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_handover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

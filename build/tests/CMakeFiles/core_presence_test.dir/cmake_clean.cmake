@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_presence_test.dir/core_presence_test.cpp.o"
+  "CMakeFiles/core_presence_test.dir/core_presence_test.cpp.o.d"
+  "core_presence_test"
+  "core_presence_test.pdb"
+  "core_presence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_presence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_signaling_test.dir/core_signaling_test.cpp.o"
+  "CMakeFiles/core_signaling_test.dir/core_signaling_test.cpp.o.d"
+  "core_signaling_test"
+  "core_signaling_test.pdb"
+  "core_signaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_signaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_archetype_test.dir/fleet_archetype_test.cpp.o"
+  "CMakeFiles/fleet_archetype_test.dir/fleet_archetype_test.cpp.o.d"
+  "fleet_archetype_test"
+  "fleet_archetype_test.pdb"
+  "fleet_archetype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_archetype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

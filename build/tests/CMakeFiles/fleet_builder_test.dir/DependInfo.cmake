@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fleet_builder_test.cpp" "tests/CMakeFiles/fleet_builder_test.dir/fleet_builder_test.cpp.o" "gcc" "tests/CMakeFiles/fleet_builder_test.dir/fleet_builder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fota/CMakeFiles/ccms_fota.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/ccms_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ccms_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

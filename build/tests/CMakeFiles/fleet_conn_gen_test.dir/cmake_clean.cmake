@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_conn_gen_test.dir/fleet_conn_gen_test.cpp.o"
+  "CMakeFiles/fleet_conn_gen_test.dir/fleet_conn_gen_test.cpp.o.d"
+  "fleet_conn_gen_test"
+  "fleet_conn_gen_test.pdb"
+  "fleet_conn_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_conn_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

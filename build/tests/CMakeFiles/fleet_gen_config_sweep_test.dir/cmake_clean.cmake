@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_gen_config_sweep_test.dir/fleet_gen_config_sweep_test.cpp.o"
+  "CMakeFiles/fleet_gen_config_sweep_test.dir/fleet_gen_config_sweep_test.cpp.o.d"
+  "fleet_gen_config_sweep_test"
+  "fleet_gen_config_sweep_test.pdb"
+  "fleet_gen_config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_gen_config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_reference_devices_test.dir/fleet_reference_devices_test.cpp.o"
+  "CMakeFiles/fleet_reference_devices_test.dir/fleet_reference_devices_test.cpp.o.d"
+  "fleet_reference_devices_test"
+  "fleet_reference_devices_test.pdb"
+  "fleet_reference_devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_reference_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_schedule_test.dir/fleet_schedule_test.cpp.o"
+  "CMakeFiles/fleet_schedule_test.dir/fleet_schedule_test.cpp.o.d"
+  "fleet_schedule_test"
+  "fleet_schedule_test.pdb"
+  "fleet_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

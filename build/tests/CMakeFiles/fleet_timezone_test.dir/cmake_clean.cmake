@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_timezone_test.dir/fleet_timezone_test.cpp.o"
+  "CMakeFiles/fleet_timezone_test.dir/fleet_timezone_test.cpp.o.d"
+  "fleet_timezone_test"
+  "fleet_timezone_test.pdb"
+  "fleet_timezone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_timezone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fota_campaign_test.dir/fota_campaign_test.cpp.o"
+  "CMakeFiles/fota_campaign_test.dir/fota_campaign_test.cpp.o.d"
+  "fota_campaign_test"
+  "fota_campaign_test.pdb"
+  "fota_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fota_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

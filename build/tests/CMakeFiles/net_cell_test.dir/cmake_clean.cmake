@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_cell_test.dir/net_cell_test.cpp.o"
+  "CMakeFiles/net_cell_test.dir/net_cell_test.cpp.o.d"
+  "net_cell_test"
+  "net_cell_test.pdb"
+  "net_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_load_test.dir/net_load_test.cpp.o"
+  "CMakeFiles/net_load_test.dir/net_load_test.cpp.o.d"
+  "net_load_test"
+  "net_load_test.pdb"
+  "net_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

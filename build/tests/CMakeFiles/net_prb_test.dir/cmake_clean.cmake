@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_prb_test.dir/net_prb_test.cpp.o"
+  "CMakeFiles/net_prb_test.dir/net_prb_test.cpp.o.d"
+  "net_prb_test"
+  "net_prb_test.pdb"
+  "net_prb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_prb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

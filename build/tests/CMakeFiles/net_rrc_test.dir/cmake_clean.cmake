@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rrc_test.dir/net_rrc_test.cpp.o"
+  "CMakeFiles/net_rrc_test.dir/net_rrc_test.cpp.o.d"
+  "net_rrc_test"
+  "net_rrc_test.pdb"
+  "net_rrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

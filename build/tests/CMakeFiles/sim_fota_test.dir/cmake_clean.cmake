@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fota_test.dir/sim_fota_test.cpp.o"
+  "CMakeFiles/sim_fota_test.dir/sim_fota_test.cpp.o.d"
+  "sim_fota_test"
+  "sim_fota_test.pdb"
+  "sim_fota_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_measured_load_test.dir/sim_measured_load_test.cpp.o"
+  "CMakeFiles/sim_measured_load_test.dir/sim_measured_load_test.cpp.o.d"
+  "sim_measured_load_test"
+  "sim_measured_load_test.pdb"
+  "sim_measured_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_measured_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

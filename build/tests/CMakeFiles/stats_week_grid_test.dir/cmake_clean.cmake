@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_week_grid_test.dir/stats_week_grid_test.cpp.o"
+  "CMakeFiles/stats_week_grid_test.dir/stats_week_grid_test.cpp.o.d"
+  "stats_week_grid_test"
+  "stats_week_grid_test.pdb"
+  "stats_week_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_week_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
