@@ -1,0 +1,41 @@
+#include "cdr/integrity.h"
+
+namespace ccms::cdr {
+
+const char* name(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kTruncatedLine:
+      return "truncated-line";
+    case FaultClass::kBadField:
+      return "bad-field";
+    case FaultClass::kNegativeDuration:
+      return "negative-duration";
+    case FaultClass::kOverflowDuration:
+      return "overflow-duration";
+    case FaultClass::kClockSkew:
+      return "clock-skew";
+    case FaultClass::kUnknownCell:
+      return "unknown-cell";
+    case FaultClass::kDuplicateRecord:
+      return "duplicate-record";
+    case FaultClass::kOutOfOrderRecord:
+      return "out-of-order-record";
+    case FaultClass::kBadHeader:
+      return "bad-header";
+    case FaultClass::kTruncatedPayload:
+      return "truncated-payload";
+    case FaultClass::kHourArtifact:
+      return "hour-artifact";
+    case FaultClass::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::uint64_t IngestReport::total_faults() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counters) total += c;
+  return total;
+}
+
+}  // namespace ccms::cdr

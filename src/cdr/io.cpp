@@ -1,7 +1,10 @@
 #include "cdr/io.h"
 
+#include <cstddef>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "util/csv.h"
 
@@ -10,6 +13,7 @@ namespace ccms::cdr {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'C', 'D', 'R', '1', '\0', '\0', '\0'};
+constexpr std::string_view kBom = "\xEF\xBB\xBF";
 
 struct BinaryHeader {
   char magic[8];
@@ -27,97 +31,388 @@ struct BinaryRecord {
 };
 static_assert(sizeof(BinaryRecord) == 24);
 
-}  // namespace
-
-void write_csv(const Dataset& dataset, const std::string& path) {
-  util::CsvWriter writer(path);
-  writer.write_row({"#fleet_size=" + std::to_string(dataset.fleet_size()),
-                    "study_days=" + std::to_string(dataset.study_days())});
-  writer.write_row({"car", "cell", "start_s", "duration_s"});
-  for (const Connection& c : dataset.all()) {
-    writer.write_row({std::to_string(c.car.value), std::to_string(c.cell.value),
-                      std::to_string(c.start), std::to_string(c.duration_s)});
-  }
-  writer.close();
+/// Legacy behaviour: structural strictness, no semantic screening.
+IngestOptions legacy_options() {
+  IngestOptions options;
+  options.mode = ParseMode::kStrict;
+  options.check_order = false;
+  options.check_duplicates = false;
+  return options;
 }
 
-Dataset read_csv(const std::string& path) {
-  util::CsvReader reader(path);
-  Dataset dataset;
-  std::vector<std::string> fields;
-  while (reader.read_row(fields)) {
-    if (fields.empty() || fields[0].empty()) continue;
-    if (fields[0][0] == '#') {
-      // Metadata row: "#fleet_size=N", "study_days=M".
-      const std::string& f0 = fields[0];
-      const auto eq = f0.find('=');
+std::string hex_prefix(const char* bytes, std::size_t n) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<unsigned char>(bytes[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+/// Shared fault sink for the CSV and binary ingesters: strict throws with
+/// the byte offset, lenient quarantines and counts.
+class FaultSink {
+ public:
+  FaultSink(const IngestOptions& options, IngestReport& report,
+            const std::string& label)
+      : options_(options), report_(report), label_(label) {}
+
+  void fault(FaultClass fault, std::uint64_t byte_offset, std::string reason,
+             std::string raw) {
+    ++report_.counters[static_cast<std::size_t>(fault)];
+    if (options_.mode == ParseMode::kStrict) {
+      throw util::CsvError(reason + " at byte offset " +
+                           std::to_string(byte_offset) + " in " + label_);
+    }
+    if (report_.quarantine.size() < options_.quarantine_cap) {
+      report_.quarantine.push_back(QuarantineEntry{
+          fault, byte_offset, std::move(reason), std::move(raw)});
+    } else {
+      ++report_.quarantine_overflow;
+    }
+  }
+
+  /// Record-level value screening shared by both formats. `duration` is the
+  /// pre-cast 64-bit value so text overflow is caught before narrowing.
+  /// Returns true if the record is acceptable.
+  bool validate(std::int64_t start, std::uint32_t cell, std::int64_t duration,
+                std::uint64_t byte_offset, const std::string& raw) {
+    if (duration < 0) {
+      fault(FaultClass::kNegativeDuration, byte_offset,
+            "negative duration " + std::to_string(duration), raw);
+      return false;
+    }
+    if (duration > std::numeric_limits<std::int32_t>::max() ||
+        (options_.max_duration_s > 0 && duration > options_.max_duration_s)) {
+      fault(FaultClass::kOverflowDuration, byte_offset,
+            "duration " + std::to_string(duration) + " beyond ceiling", raw);
+      return false;
+    }
+    if (options_.horizon_s > 0 && (start < 0 || start >= options_.horizon_s)) {
+      fault(FaultClass::kClockSkew, byte_offset,
+            "start " + std::to_string(start) + " outside [0, " +
+                std::to_string(options_.horizon_s) + ")",
+            raw);
+      return false;
+    }
+    if (options_.cell_universe > 0 && cell >= options_.cell_universe) {
+      fault(FaultClass::kUnknownCell, byte_offset,
+            "cell " + std::to_string(cell) + " outside universe of " +
+                std::to_string(options_.cell_universe),
+            raw);
+      return false;
+    }
+    return true;
+  }
+
+  /// Order/duplicate screening against the previously accepted record.
+  /// Returns true if the record should be appended to the dataset.
+  bool sequence(const Connection& c, std::uint64_t byte_offset,
+                const std::string& raw) {
+    if (have_previous_) {
+      if (options_.check_duplicates && c == previous_) {
+        fault(FaultClass::kDuplicateRecord, byte_offset,
+              "exact duplicate of the previous record", raw);
+        ++report_.records_repaired;  // the surviving copy stands in for it
+        return false;
+      }
+      if (options_.check_order && ByCarThenStart{}(c, previous_)) {
+        fault(FaultClass::kOutOfOrderRecord, byte_offset,
+              "record sorts before its predecessor", raw);
+        ++report_.records_repaired;  // finalize() re-sorts it into place
+      }
+    }
+    previous_ = c;
+    have_previous_ = true;
+    return true;
+  }
+
+ private:
+  const IngestOptions& options_;
+  IngestReport& report_;
+  std::string label_;
+  Connection previous_{};
+  bool have_previous_ = false;
+};
+
+/// Line-oriented CSV ingester; the caller feeds raw lines (without '\n')
+/// plus their byte offsets so file and in-memory inputs share one path.
+class CsvIngester {
+ public:
+  CsvIngester(const IngestOptions& options, IngestReport& report,
+              const std::string& label)
+      : report_(report), sink_(options, report, label) {
+    report_ = IngestReport{};
+    report_.mode = options.mode;
+  }
+
+  void process_line(std::string_view line, std::uint64_t offset) {
+    if (first_line_) {
+      first_line_ = false;
+      if (line.substr(0, kBom.size()) == kBom) {
+        line.remove_prefix(kBom.size());
+        report_.bom_stripped = true;
+      }
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.find_first_not_of(" \t") == std::string_view::npos) return;
+    if (line[0] == '#') {
+      parse_metadata(line);
+      return;
+    }
+
+    std::vector<std::string> fields;
+    try {
+      fields = util::split_csv_line(line);
+    } catch (const util::CsvError& e) {
+      ++report_.rows_read;
+      ++report_.records_dropped;
+      sink_.fault(FaultClass::kBadField, offset, e.what(), std::string(line));
+      return;
+    }
+    if (fields.empty() || fields[0].empty()) return;
+    if (fields[0] == "car") return;  // header row
+
+    ++report_.rows_read;
+    if (fields.size() < 4) {
+      ++report_.records_dropped;
+      sink_.fault(FaultClass::kTruncatedLine, offset,
+                  "row has " + std::to_string(fields.size()) +
+                      " fields, need 4",
+                  std::string(line));
+      return;
+    }
+
+    std::int64_t car = 0, cell = 0, start = 0, duration = 0;
+    try {
+      car = util::parse_i64(fields[0]);
+      cell = util::parse_i64(fields[1]);
+      start = util::parse_i64(fields[2]);
+      duration = util::parse_i64(fields[3]);
+    } catch (const util::CsvError& e) {
+      ++report_.records_dropped;
+      sink_.fault(FaultClass::kBadField, offset, e.what(), std::string(line));
+      return;
+    }
+    constexpr std::int64_t kIdMax = std::numeric_limits<std::uint32_t>::max();
+    if (car < 0 || car > kIdMax || cell < 0 || cell > kIdMax) {
+      ++report_.records_dropped;
+      sink_.fault(FaultClass::kBadField, offset,
+                  "car/cell id outside uint32 range", std::string(line));
+      return;
+    }
+    if (!sink_.validate(start, static_cast<std::uint32_t>(cell), duration,
+                        offset, std::string(line))) {
+      ++report_.records_dropped;
+      return;
+    }
+    const Connection c{CarId{static_cast<std::uint32_t>(car)},
+                       CellId{static_cast<std::uint32_t>(cell)}, start,
+                       static_cast<std::int32_t>(duration)};
+    if (!sink_.sequence(c, offset, std::string(line))) return;
+    dataset_.add(c);
+    ++report_.records_accepted;
+  }
+
+  Dataset finish(std::uint64_t bytes_consumed) {
+    report_.bytes_consumed = bytes_consumed;
+    dataset_.finalize();
+    return std::move(dataset_);
+  }
+
+ private:
+  void parse_metadata(std::string_view line) {
+    // Metadata row: "#fleet_size=N,study_days=M".
+    const std::vector<std::string> fields = util::split_csv_line(line);
+    if (fields.empty()) return;
+    const std::string& f0 = fields[0];
+    const auto eq = f0.find('=');
+    try {
       if (eq != std::string::npos && f0.substr(1, eq - 1) == "fleet_size") {
-        dataset.set_fleet_size(
+        dataset_.set_fleet_size(
             static_cast<std::uint32_t>(util::parse_i64(f0.substr(eq + 1))));
       }
       if (fields.size() > 1) {
         const auto eq2 = fields[1].find('=');
         if (eq2 != std::string::npos &&
             fields[1].substr(0, eq2) == "study_days") {
-          dataset.set_study_days(
+          dataset_.set_study_days(
               static_cast<int>(util::parse_i64(fields[1].substr(eq2 + 1))));
         }
       }
-      continue;
+    } catch (const util::CsvError&) {
+      // Damaged metadata degrades to the derived defaults.
     }
-    if (fields[0] == "car") continue;  // header row
-    if (fields.size() < 4) throw util::CsvError("short CDR row in " + path);
-    Connection c;
-    c.car = CarId{static_cast<std::uint32_t>(util::parse_i64(fields[0]))};
-    c.cell = CellId{static_cast<std::uint32_t>(util::parse_i64(fields[1]))};
-    c.start = util::parse_i64(fields[2]);
-    c.duration_s = static_cast<std::int32_t>(util::parse_i64(fields[3]));
-    dataset.add(c);
   }
-  dataset.finalize();
-  return dataset;
+
+  IngestReport& report_;
+  FaultSink sink_;
+  Dataset dataset_;
+  bool first_line_ = true;
+};
+
+void write_csv_stream(const Dataset& dataset, std::ostream& out) {
+  out << "#fleet_size=" << dataset.fleet_size()
+      << ",study_days=" << dataset.study_days() << "\n";
+  out << "car,cell,start_s,duration_s\n";
+  for (const Connection& c : dataset.all()) {
+    out << c.car.value << ',' << c.cell.value << ',' << c.start << ','
+        << c.duration_s << '\n';
+  }
 }
 
-void write_binary(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw util::CsvError("cannot open for writing: " + path);
-
+void write_binary_stream(const Dataset& dataset, std::ostream& out) {
   BinaryHeader header{};
   std::memcpy(header.magic, kMagic, sizeof kMagic);
   header.record_count = dataset.size();
   header.fleet_size = dataset.fleet_size();
   header.study_days = dataset.study_days();
   out.write(reinterpret_cast<const char*>(&header), sizeof header);
-
   for (const Connection& c : dataset.all()) {
     BinaryRecord r{c.car.value, c.cell.value, c.start, c.duration_s, 0};
     out.write(reinterpret_cast<const char*>(&r), sizeof r);
   }
+}
+
+}  // namespace
+
+void write_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw util::CsvError("cannot open for writing: " + path);
+  write_csv_stream(dataset, out);
+  out.flush();
   if (!out) throw util::CsvError("write failed: " + path);
 }
 
-Dataset read_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+std::string write_csv_text(const Dataset& dataset) {
+  std::ostringstream out;
+  write_csv_stream(dataset, out);
+  return std::move(out).str();
+}
+
+Dataset read_csv(const std::string& path, const IngestOptions& options,
+                 IngestReport& report) {
+  std::ifstream in(path);
   if (!in) throw util::CsvError("cannot open for reading: " + path);
-
-  BinaryHeader header{};
-  in.read(reinterpret_cast<char*>(&header), sizeof header);
-  if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
-    throw util::CsvError("bad CCDR1 header in " + path);
+  CsvIngester ingester(options, report, path);
+  std::string line;
+  std::uint64_t offset = 0;
+  while (std::getline(in, line)) {
+    ingester.process_line(line, offset);
+    offset += line.size() + 1;
   }
+  return ingester.finish(offset);
+}
 
+Dataset read_csv_text(std::string_view text, const IngestOptions& options,
+                      IngestReport& report, const std::string& label) {
+  CsvIngester ingester(options, report, label);
+  std::uint64_t offset = 0;
+  while (offset < text.size()) {
+    auto eol = text.find('\n', offset);
+    if (eol == std::string_view::npos) eol = text.size();
+    ingester.process_line(text.substr(offset, eol - offset), offset);
+    offset = eol + 1;
+  }
+  return ingester.finish(text.size());
+}
+
+Dataset read_csv(const std::string& path) {
+  IngestReport report;
+  return read_csv(path, legacy_options(), report);
+}
+
+void write_binary(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::CsvError("cannot open for writing: " + path);
+  write_binary_stream(dataset, out);
+  if (!out) throw util::CsvError("write failed: " + path);
+}
+
+std::string write_binary_buffer(const Dataset& dataset) {
+  std::ostringstream out;
+  write_binary_stream(dataset, out);
+  return std::move(out).str();
+}
+
+Dataset read_binary_buffer(std::string_view bytes,
+                           const IngestOptions& options, IngestReport& report,
+                           const std::string& label) {
+  report = IngestReport{};
+  report.mode = options.mode;
+  report.bytes_consumed = bytes.size();
+  FaultSink sink(options, report, label);
   Dataset dataset;
+
+  if (bytes.size() < sizeof(BinaryHeader)) {
+    sink.fault(FaultClass::kBadHeader, 0,
+               "file shorter than the CCDR1 header (" +
+                   std::to_string(bytes.size()) + " bytes)",
+               hex_prefix(bytes.data(), bytes.size()));
+    dataset.finalize();
+    return dataset;
+  }
+  BinaryHeader header{};
+  std::memcpy(&header, bytes.data(), sizeof header);
+  if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    sink.fault(FaultClass::kBadHeader, 0, "bad CCDR1 magic",
+               hex_prefix(bytes.data(), sizeof header));
+    dataset.finalize();
+    return dataset;
+  }
   dataset.set_fleet_size(header.fleet_size);
   dataset.set_study_days(header.study_days);
-  dataset.reserve(header.record_count);
-  for (std::uint64_t i = 0; i < header.record_count; ++i) {
+
+  const std::uint64_t payload = bytes.size() - sizeof header;
+  const std::uint64_t available = payload / sizeof(BinaryRecord);
+  std::uint64_t record_count = header.record_count;
+  if (record_count > available) {
+    // Validated *before* reserve: a hostile header cannot force a huge
+    // allocation, and a chopped file degrades to the records present.
+    sink.fault(FaultClass::kTruncatedPayload, offsetof(BinaryHeader,
+                                                       record_count),
+               "header claims " + std::to_string(record_count) +
+                   " records, payload holds " + std::to_string(available),
+               "");
+    record_count = available;
+  }
+  dataset.reserve(record_count);
+
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    const std::uint64_t offset = sizeof(BinaryHeader) + i * sizeof(BinaryRecord);
     BinaryRecord r{};
-    in.read(reinterpret_cast<char*>(&r), sizeof r);
-    if (!in) throw util::CsvError("truncated CCDR1 file: " + path);
-    dataset.add(Connection{CarId{r.car}, CellId{r.cell}, r.start, r.duration});
+    std::memcpy(&r, bytes.data() + offset, sizeof r);
+    ++report.rows_read;
+    const std::string raw = hex_prefix(bytes.data() + offset, sizeof r);
+    if (!sink.validate(r.start, r.cell, r.duration, offset, raw)) {
+      ++report.records_dropped;
+      continue;
+    }
+    const Connection c{CarId{r.car}, CellId{r.cell}, r.start, r.duration};
+    if (!sink.sequence(c, offset, raw)) continue;
+    dataset.add(c);
+    ++report.records_accepted;
   }
   dataset.finalize();
   return dataset;
+}
+
+Dataset read_binary(const std::string& path, const IngestOptions& options,
+                    IngestReport& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::CsvError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw util::CsvError("read failed: " + path);
+  return read_binary_buffer(std::move(buffer).str(), options, report, path);
+}
+
+Dataset read_binary(const std::string& path) {
+  IngestReport report;
+  return read_binary(path, legacy_options(), report);
 }
 
 }  // namespace ccms::cdr

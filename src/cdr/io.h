@@ -9,26 +9,68 @@
 // Both round-trip the Dataset exactly, including the declared fleet size and
 // study length (carried in the CSV header comment / binary header), so an
 // exported study re-imports with identical percentages.
+//
+// Ingest is hardened (see cdr/integrity.h): every reader takes IngestOptions
+// and fills an IngestReport. ParseMode::kStrict throws util::CsvError at the
+// first fault with its byte offset; ParseMode::kLenient quarantines faulty
+// records and never throws on record-level damage. Both modes tolerate a
+// UTF-8 BOM, CRLF line endings and blank lines.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "cdr/dataset.h"
+#include "cdr/integrity.h"
 
 namespace ccms::cdr {
 
 /// Writes `dataset` as CSV. Throws util::CsvError on I/O failure.
 void write_csv(const Dataset& dataset, const std::string& path);
 
-/// Reads a CSV produced by write_csv (or any file with the same columns).
-/// The returned dataset is finalized. Throws util::CsvError on parse errors.
+/// In-memory variant: the exact bytes write_csv would produce.
+[[nodiscard]] std::string write_csv_text(const Dataset& dataset);
+
+/// Reads a CSV produced by write_csv (or any file with the same columns),
+/// honouring `options`; fills `report`. The returned dataset is finalized.
+/// Strict mode throws util::CsvError at the first fault (with byte offset);
+/// lenient mode quarantines and returns the surviving records.
+[[nodiscard]] Dataset read_csv(const std::string& path,
+                               const IngestOptions& options,
+                               IngestReport& report);
+
+/// In-memory variant of read_csv; `label` names the buffer in errors.
+[[nodiscard]] Dataset read_csv_text(std::string_view text,
+                                    const IngestOptions& options,
+                                    IngestReport& report,
+                                    const std::string& label = "<memory>");
+
+/// Legacy convenience: strict structural parsing only (no order/duplicate/
+/// value screening), as the original importer behaved. Throws util::CsvError
+/// on parse errors.
 [[nodiscard]] Dataset read_csv(const std::string& path);
 
 /// Writes the compact binary format. Throws util::CsvError on I/O failure.
 void write_binary(const Dataset& dataset, const std::string& path);
 
-/// Reads the binary format; validates the magic and record bounds.
-/// The returned dataset is finalized. Throws util::CsvError on corruption.
+/// In-memory variant: the exact bytes write_binary would produce.
+[[nodiscard]] std::string write_binary_buffer(const Dataset& dataset);
+
+/// Reads the binary format, honouring `options`; fills `report`. Validates
+/// the magic and that the declared record count fits the payload *before*
+/// allocating (a hostile header cannot trigger a huge reserve).
+[[nodiscard]] Dataset read_binary(const std::string& path,
+                                  const IngestOptions& options,
+                                  IngestReport& report);
+
+/// In-memory variant of read_binary; `label` names the buffer in errors.
+[[nodiscard]] Dataset read_binary_buffer(std::string_view bytes,
+                                         const IngestOptions& options,
+                                         IngestReport& report,
+                                         const std::string& label = "<memory>");
+
+/// Legacy convenience: strict structural parsing only. Throws util::CsvError
+/// on corruption.
 [[nodiscard]] Dataset read_binary(const std::string& path);
 
 }  // namespace ccms::cdr

@@ -192,12 +192,39 @@ void print_clusters(std::ostream& out, const ConcurrencyClusters& clusters) {
   }
 }
 
+void print_integrity(std::ostream& out, const cdr::IngestReport& ingest,
+                     const cdr::CleanReport& clean) {
+  out << "Pipeline integrity (records read / dropped / repaired per stage)\n";
+  if (ingest.rows_read > 0 || ingest.total_faults() > 0) {
+    out << "  ingest ("
+        << (ingest.mode == cdr::ParseMode::kLenient ? "lenient" : "strict")
+        << "): read " << ingest.rows_read << ", accepted "
+        << ingest.records_accepted << ", dropped " << ingest.records_dropped
+        << ", repaired " << ingest.records_repaired << "\n";
+    for (std::size_t f = 0; f < cdr::kFaultClassCount; ++f) {
+      if (ingest.counters[f] == 0) continue;
+      out << "    " << cdr::name(static_cast<cdr::FaultClass>(f)) << ": "
+          << ingest.counters[f] << "\n";
+    }
+    if (ingest.quarantine_overflow > 0) {
+      out << "    (quarantine kept " << ingest.quarantine.size()
+          << " entries, " << ingest.quarantine_overflow << " overflowed)\n";
+    }
+  } else {
+    out << "  ingest: in-memory dataset (no file ingest stage)\n";
+  }
+  out << "  clean (S3): read " << clean.input_records << ", dropped "
+      << clean.total_removed() << " (" << clean.hour_artifacts_removed
+      << " exactly-1-hour artifacts, " << clean.nonpositive_removed
+      << " non-positive, " << clean.implausible_removed
+      << " implausible)\n";
+}
+
 void print_report(std::ostream& out, const StudyReport& report,
                   const PaperReference& paper) {
   out << "=== Connected-car study report ===\n";
-  out << "Cleaning (S3): removed " << report.clean.total_removed() << " of "
-      << report.clean.input_records << " records ("
-      << report.clean.hour_artifacts_removed << " exactly-1-hour artifacts)\n\n";
+  print_integrity(out, report.ingest, report.clean);
+  out << "\n";
   print_presence(out, report.presence, paper);
   out << "\n";
   print_table1(out, report.presence);

@@ -42,6 +42,12 @@ struct PaperReference {
 void print_report(std::ostream& out, const StudyReport& report,
                   const PaperReference& paper = {});
 
+/// Per-stage integrity accounting: records read / dropped / repaired at
+/// ingest and at §3 cleaning, with per-fault-class counters. The clean
+/// stage's exactly-1-hour line is the paper's §3 number.
+void print_integrity(std::ostream& out, const cdr::IngestReport& ingest,
+                     const cdr::CleanReport& clean);
+
 /// Individual sections (used by the per-figure bench binaries).
 void print_presence(std::ostream& out, const DailyPresence& presence,
                     const PaperReference& paper = {});

@@ -1,5 +1,7 @@
 #include "core/study.h"
 
+#include "cdr/io.h"
+
 namespace ccms::core {
 
 StudyReport run_study(const cdr::Dataset& raw, const net::CellTable& cells,
@@ -24,6 +26,25 @@ StudyReport run_study(const cdr::Dataset& raw, const net::CellTable& cells,
   report.clusters =
       cluster_busy_cells(grid, load, options.cluster_load_threshold,
                          options.cluster_k, options.cluster_seed);
+  return report;
+}
+
+StudyReport run_study_csv(const std::string& path, const net::CellTable& cells,
+                          const CellLoad& load, const StudyOptions& options) {
+  cdr::IngestReport ingest;
+  const cdr::Dataset raw = cdr::read_csv(path, options.ingest, ingest);
+  StudyReport report = run_study(raw, cells, load, options);
+  report.ingest = std::move(ingest);
+  return report;
+}
+
+StudyReport run_study_binary(const std::string& path,
+                             const net::CellTable& cells, const CellLoad& load,
+                             const StudyOptions& options) {
+  cdr::IngestReport ingest;
+  const cdr::Dataset raw = cdr::read_binary(path, options.ingest, ingest);
+  StudyReport report = run_study(raw, cells, load, options);
+  report.ingest = std::move(ingest);
   return report;
 }
 

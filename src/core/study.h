@@ -6,7 +6,10 @@
 // pipelines.
 #pragma once
 
+#include <string>
+
 #include "cdr/clean.h"
+#include "cdr/integrity.h"
 #include "core/busy_time.h"
 #include "core/carrier_usage.h"
 #include "core/cell_sessions.h"
@@ -23,6 +26,9 @@ namespace ccms::core {
 
 /// Knobs of the full pipeline (defaults are the paper's choices).
 struct StudyOptions {
+  /// Ingest hardening knobs, used by the from-file entry points. Defaults
+  /// to lenient: one corrupt row must not kill a 90-day study.
+  cdr::IngestOptions ingest{.mode = cdr::ParseMode::kLenient};
   cdr::CleanOptions clean;
   std::int32_t truncation_cap = 600;     ///< §3 per-cell truncation
   double busy_prb_threshold = 0.80;      ///< §4.3 busy (cell, bin)
@@ -32,8 +38,10 @@ struct StudyOptions {
   std::uint64_t cluster_seed = 1;
 };
 
-/// Everything §4 computes.
+/// Everything §4 computes, plus per-stage integrity accounting: how many
+/// records each stage read, dropped and repaired on the way to the figures.
 struct StudyReport {
+  cdr::IngestReport ingest;  ///< filled by the from-file entry points
   cdr::CleanReport clean;
   DailyPresence presence;         // Fig 2, Table 1
   ConnectedTime connected_time;   // Fig 3
@@ -52,5 +60,19 @@ struct StudyReport {
                                     const net::CellTable& cells,
                                     const CellLoad& load,
                                     const StudyOptions& options = {});
+
+/// Ingests a CDR CSV per `options.ingest` (lenient by default: damaged
+/// records are quarantined, not fatal) and runs the full pipeline. The
+/// returned report carries the ingest accounting alongside the figures.
+[[nodiscard]] StudyReport run_study_csv(const std::string& path,
+                                        const net::CellTable& cells,
+                                        const CellLoad& load,
+                                        const StudyOptions& options = {});
+
+/// Same, from the CCDR1 binary format.
+[[nodiscard]] StudyReport run_study_binary(const std::string& path,
+                                           const net::CellTable& cells,
+                                           const CellLoad& load,
+                                           const StudyOptions& options = {});
 
 }  // namespace ccms::core

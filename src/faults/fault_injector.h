@@ -1,0 +1,139 @@
+// Deterministic fault injection for the CDR ingest pipeline.
+//
+// Trace-driven testbeds validate a measurement pipeline by replaying
+// *realistically degraded* traces. This module produces exactly that: a
+// seeded FaultInjector corrupts a canonical CSV stream, a CCDR1 byte buffer
+// or an in-memory Dataset with configurable per-class rates of the damage
+// the paper's §3 describes (exactly-1-hour artifacts, stuck clocks) and
+// worse (truncated lines, bit flips, duplicated and reordered records).
+//
+// Every injected fault is tagged with its cdr::FaultClass and the byte
+// offset where the hardened ingest layer will *detect* it, so tests can
+// assert IngestReport counters == injected counts exactly, and that strict
+// mode fails at precisely the first fatal offset.
+//
+// Determinism: equal (seed, input, rates) produce identical corrupted bytes
+// and identical fault logs, bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "cdr/integrity.h"
+#include "util/rng.h"
+
+namespace ccms::faults {
+
+/// Per-record fault rates for CSV / dataset corruption. At most one fault is
+/// applied per record (classes are mutually exclusive by a single uniform
+/// draw), which keeps every fault independently detectable.
+struct CsvFaultRates {
+  double truncated_line = 0;     ///< cut the row below 4 fields
+  double garbage_field = 0;      ///< non-numeric bytes inside one field
+  double duplicate_record = 0;   ///< emit the row twice
+  double out_of_order = 0;       ///< swap the row with its successor
+  double hour_artifact = 0;      ///< duration := 3600 (§3 reporting artifact)
+  double clock_skew = 0;         ///< start := beyond the study horizon
+  double negative_duration = 0;  ///< duration := negative
+  double overflow_duration = 0;  ///< duration := beyond int32
+  double unknown_cell = 0;       ///< cell := outside the cell universe
+
+  bool add_bom = false;          ///< prepend a UTF-8 BOM (must be tolerated)
+  bool crlf = false;             ///< CRLF line endings (must be tolerated)
+  int trailing_blank_lines = 0;  ///< append blank lines (must be tolerated)
+
+  /// Every record-level class at `total / 9` so the summed corruption
+  /// probability per record is ~`total`.
+  [[nodiscard]] static CsvFaultRates uniform(double total);
+
+  [[nodiscard]] double total() const;
+};
+
+/// Deterministic corruption plan for a CCDR1 byte buffer. `corrupt_magic`
+/// is exclusive: a damaged header stops ingest, so when set the other
+/// faults are not applied (the log then holds exactly one kBadHeader).
+struct BinaryFaultPlan {
+  bool corrupt_magic = false;        ///< bit-flip in the magic -> kBadHeader
+  bool inflate_record_count = false; ///< header claims extra records
+  std::size_t truncate_records = 0;  ///< chop records off the tail
+  double flip_duration_sign = 0;     ///< per-record -> kNegativeDuration
+  double flip_cell_high_bit = 0;     ///< per-record -> kUnknownCell
+};
+
+/// One injected fault, tagged with where lenient ingest will detect it.
+struct InjectedFault {
+  cdr::FaultClass fault = cdr::FaultClass::kCount;
+  std::uint64_t byte_offset = 0;  ///< detection anchor in the corrupted bytes
+  std::uint64_t record_index = 0; ///< ordinal of the source record
+};
+
+/// Everything one corruption pass injected.
+struct FaultLog {
+  std::vector<InjectedFault> faults;
+  std::array<std::uint64_t, cdr::kFaultClassCount> counts{};
+
+  [[nodiscard]] std::uint64_t count(cdr::FaultClass fault) const {
+    return counts[static_cast<std::size_t>(fault)];
+  }
+  [[nodiscard]] std::uint64_t total() const { return faults.size(); }
+
+  /// Count of faults the ingest stage itself detects (everything except
+  /// kHourArtifact, which surfaces in the clean stage's accounting).
+  [[nodiscard]] std::uint64_t ingest_detectable() const;
+
+  /// Byte offset where strict ingest must throw: the smallest detection
+  /// anchor among ingest-detectable faults. UINT64_MAX when none.
+  [[nodiscard]] std::uint64_t first_fatal_offset() const;
+};
+
+/// Study geometry the injector needs to craft *provably detectable* faults;
+/// pass the same values the test hands to cdr::IngestOptions.
+struct FaultEnv {
+  std::int64_t horizon_s = 0;      ///< enables clock-skew injection
+  std::uint32_t cell_universe = 0; ///< enables unknown-cell injection
+};
+
+/// Seeded corruption engine. One instance may corrupt many inputs; each
+/// call draws from the same deterministic stream.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed, FaultEnv env = {});
+
+  struct CorruptedCsv {
+    std::string text;
+    FaultLog log;
+  };
+  /// Corrupts a canonical CSV export (as produced by cdr::write_csv_text:
+  /// metadata line, header line, data rows sorted by (car, start)).
+  [[nodiscard]] CorruptedCsv corrupt_csv(std::string_view canonical_csv,
+                                         const CsvFaultRates& rates);
+
+  struct CorruptedBinary {
+    std::string bytes;
+    FaultLog log;
+  };
+  /// Corrupts a CCDR1 buffer (as produced by cdr::write_binary_buffer).
+  [[nodiscard]] CorruptedBinary corrupt_binary(std::string_view ccdr1_bytes,
+                                               const BinaryFaultPlan& plan);
+
+  struct CorruptedDataset {
+    cdr::Dataset dataset;
+    FaultLog log;
+  };
+  /// Record-level faults applied directly to a Dataset (no line-structure
+  /// classes; truncated_line / garbage_field / out_of_order rates are
+  /// ignored — a finalized Dataset is sorted by construction). Detection
+  /// anchors are record indices, not byte offsets.
+  [[nodiscard]] CorruptedDataset corrupt_dataset(const cdr::Dataset& input,
+                                                 const CsvFaultRates& rates);
+
+ private:
+  util::Rng rng_;
+  FaultEnv env_;
+};
+
+}  // namespace ccms::faults

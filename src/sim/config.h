@@ -53,6 +53,13 @@ struct SimConfig {
   /// A small, fast configuration for unit tests (hundreds of cars, a few
   /// weeks, small grid).
   [[nodiscard]] static SimConfig quick();
+
+  /// `quick()` with every modelled data quirk disabled: no exactly-1-hour
+  /// reporting artifacts and no partial-loss days. Fault-injection tests
+  /// and the robustness sweep start from this so that *injected* faults are
+  /// the only dirt in the trace and detection counts can be asserted
+  /// exactly.
+  [[nodiscard]] static SimConfig pristine();
 };
 
 }  // namespace ccms::sim

@@ -25,6 +25,14 @@ SimConfig SimConfig::quick() {
   return config;
 }
 
+SimConfig SimConfig::pristine() {
+  SimConfig config = quick();
+  config.gen.hour_artifact_per_trip = 0;
+  config.data_loss_days.clear();
+  config.data_loss_fraction = 0;
+  return config;
+}
+
 Study simulate(const SimConfig& config) {
   util::Rng master(config.seed);
   util::Rng topo_rng = master.split(0x701ULL);

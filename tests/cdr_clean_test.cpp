@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cdr/session.h"
 #include "test_helpers.h"
 
 namespace ccms::cdr {
@@ -108,6 +109,68 @@ TEST(TruncateTest, CapIsConfigurable) {
   const Dataset raw = make_dataset({conn(0, 0, 0, 1000)});
   const Dataset truncated = truncate_durations(raw, 200);
   EXPECT_EQ(truncated.all()[0].duration_s, 200);
+}
+
+TEST(CleanTest, ArtifactBoundaryIsExactToTheSecond) {
+  // Only *exactly* 1 h is the reporting artifact; 1 h ± 1 s is a real
+  // connection and must survive.
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 3599),
+      conn(0, 0, 10000, 3600),
+      conn(0, 0, 20000, 3601),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, {}, report);
+  EXPECT_EQ(report.hour_artifacts_removed, 1u);
+  ASSERT_EQ(cleaned.size(), 2u);
+  EXPECT_EQ(cleaned.all()[0].duration_s, 3599);
+  EXPECT_EQ(cleaned.all()[1].duration_s, 3601);
+
+  // The boundary follows a reconfigured artifact duration.
+  CleanOptions options;
+  options.artifact_duration_s = 3599;
+  CleanReport report2;
+  const Dataset cleaned2 = clean(raw, options, report2);
+  EXPECT_EQ(report2.hour_artifacts_removed, 1u);
+  ASSERT_EQ(cleaned2.size(), 2u);
+  EXPECT_EQ(cleaned2.all()[0].duration_s, 3600);
+}
+
+TEST(CleanTest, AllZeroDurationDatasetCleansToEmpty) {
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 0),
+      conn(1, 1, 100, 0),
+      conn(2, 2, 200, 0),
+  });
+  CleanReport report;
+  const Dataset cleaned = clean(raw, {}, report);
+  EXPECT_TRUE(cleaned.empty());
+  EXPECT_EQ(report.nonpositive_removed, 3u);
+  EXPECT_EQ(report.hour_artifacts_removed, 0u);
+}
+
+TEST(TruncateTest, TruncationCanSplitAggregateSessions) {
+  // A 1000 s connection whose successor starts 10 s after its *full* end:
+  // one aggregate session on the full data, two after truncation to 600 s
+  // (the gap grows from 10 s to 410 s, past the 30 s concatenation limit).
+  const Dataset raw = make_dataset({
+      conn(0, 0, 0, 1000),
+      conn(0, 1, 1010, 50),
+  });
+  const auto full_sessions = aggregate_sessions(raw.of_car(CarId{0}));
+  ASSERT_EQ(full_sessions.size(), 1u);
+  EXPECT_EQ(full_sessions[0].span.end, 1060);
+
+  const Dataset truncated = truncate_durations(raw);
+  const auto cut_sessions = aggregate_sessions(truncated.of_car(CarId{0}));
+  ASSERT_EQ(cut_sessions.size(), 2u);
+  EXPECT_EQ(cut_sessions[0].span.end, 600);
+  EXPECT_EQ(cut_sessions[1].span.start, 1010);
+
+  // The on-the-fly truncated union matches truncating the dataset first.
+  EXPECT_EQ(union_connected_time(raw.of_car(CarId{0})), 1050);
+  EXPECT_EQ(union_connected_time_truncated(raw.of_car(CarId{0}), 600), 650);
+  EXPECT_EQ(union_connected_time(truncated.of_car(CarId{0})), 650);
 }
 
 }  // namespace
