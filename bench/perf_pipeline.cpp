@@ -1,7 +1,16 @@
 // google-benchmark microbenchmarks of the analysis pipeline itself: how fast
 // the library chews through CDRs. (The per-figure binaries measure fidelity;
-// this one measures throughput.)
+// this one measures throughput.) Besides the google-benchmark table, the
+// binary emits machine-readable BENCH_pipeline.json (end-to-end batch pass:
+// records/sec, wall seconds, peak RSS) for CI regression diffing.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_json.h"
+#include "core/cell_sessions.h"
+#include "core/days_histogram.h"
 
 #include "cdr/clean.h"
 #include "cdr/session.h"
@@ -169,6 +178,48 @@ void BM_QuantileP2(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantileP2)->Arg(100000)->Arg(1000000);
 
+// One timed end-to-end batch pass (clean + the Fig 2/3/6/9 analyzers) over
+// the shared study, written to BENCH_pipeline.json. The google-benchmark
+// table remains the per-stage source of truth; this artifact is the single
+// number CI tracks across commits.
+void write_pipeline_json() {
+  const sim::Study& study = shared_study();
+  const bench::Stopwatch timer;
+  cdr::CleanReport clean_report;
+  const cdr::Dataset cleaned = cdr::clean(study.raw, {}, clean_report);
+  const auto presence = core::analyze_presence(cleaned);
+  const auto connected = core::analyze_connected_time(cleaned, 600);
+  const auto days = core::analyze_days_on_network(cleaned);
+  const auto sessions = core::analyze_cell_sessions(cleaned, 600);
+  const double wall_s = timer.seconds();
+  benchmark::DoNotOptimize(presence.cars_fraction.size());
+  benchmark::DoNotOptimize(connected.full.size());
+  benchmark::DoNotOptimize(days.days_per_car.size());
+  benchmark::DoNotOptimize(sessions.median);
+
+  const auto records = static_cast<std::uint64_t>(study.raw.size());
+  const std::string json =
+      bench::JsonObject()
+          .add("bench", "perf_pipeline")
+          .add("records", records)
+          .add("cars", study.config.fleet.size)
+          .add("study_days", study.config.study_days)
+          .add("wall_s", wall_s)
+          .add("records_per_s",
+               wall_s > 0 ? static_cast<double>(records) / wall_s : 0)
+          .add("peak_rss_bytes", bench::peak_rss_bytes())
+          .dump();
+  const char* out = std::getenv("CCMS_BENCH_OUT");
+  bench::write_bench_json(out != nullptr ? out : "BENCH_pipeline.json", json);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_pipeline_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

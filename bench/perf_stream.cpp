@@ -1,0 +1,129 @@
+// Throughput bench of ccms::stream's sharded engine: one simulated feed
+// replayed through 1/2/4/8 shards, reporting records/sec, wall time, peak
+// RSS and the scaling curve, with a batch-parity cross-check on every run.
+//
+// Output: a human table on stdout and machine-readable BENCH_stream.json
+// (see bench_json.h) in the working directory. Shard scaling is reported
+// against the machine's actual core count — on a single-core host the
+// multi-shard rows measure queueing overhead, not speedup, and the JSON
+// records hardware_concurrency so downstream tooling can judge the curve.
+//
+// Env overrides: CCMS_CARS (default 2500), CCMS_DAYS (default 28),
+// CCMS_SEED, CCMS_BENCH_OUT (default BENCH_stream.json).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "cdr/clean.h"
+#include "core/cell_sessions.h"
+#include "core/connected_time.h"
+#include "core/days_histogram.h"
+#include "core/presence.h"
+#include "sim/simulator.h"
+#include "stream/engine.h"
+#include "stream/feed.h"
+#include "stream/report.h"
+
+namespace {
+
+using namespace ccms;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+struct ShardRun {
+  int shards = 0;
+  double wall_s = 0;
+  double records_per_s = 0;
+  double speedup = 0;
+  bool parity_ok = false;
+  double p2_rel_error = 0;
+};
+
+}  // namespace
+
+int main() {
+  sim::SimConfig config = sim::SimConfig::paper_default();
+  config.fleet.size = env_int("CCMS_CARS", 2500);
+  config.study_days = env_int("CCMS_DAYS", 28);
+  config.seed = static_cast<std::uint64_t>(env_int("CCMS_SEED", 20170901));
+
+  std::cerr << "[bench] simulating " << config.fleet.size << " cars x "
+            << config.study_days << " days (seed " << config.seed << ")...\n";
+  const sim::Study study = sim::simulate(config);
+  const std::uint64_t records = study.raw.size();
+
+  // Batch-side reference figures for the parity cross-check (the engine's
+  // claim is "same numbers as run_study in one streaming pass").
+  core::StudyReport batch;
+  const cdr::Dataset cleaned = cdr::clean(study.raw, {}, batch.clean);
+  batch.presence = core::analyze_presence(cleaned);
+  batch.connected_time = core::analyze_connected_time(cleaned, 600);
+  batch.days = core::analyze_days_on_network(cleaned);
+  batch.cell_sessions = core::analyze_cell_sessions(cleaned, 600);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "perf_stream: " << records << " records, "
+            << config.fleet.size << " cars x " << config.study_days
+            << " days, " << cores << " hardware threads\n";
+  std::cout << "shards      wall_s    records/s   speedup   parity\n";
+
+  std::vector<ShardRun> runs;
+  for (const int shards : {1, 2, 4, 8}) {
+    stream::ShardedEngine engine(stream::config_for(study.raw, shards));
+    const bench::Stopwatch timer;
+    stream::replay(study.raw, engine);
+    const stream::StreamReport report = engine.snapshot();
+    ShardRun run;
+    run.shards = shards;
+    run.wall_s = timer.seconds();
+    run.records_per_s =
+        run.wall_s > 0 ? static_cast<double>(records) / run.wall_s : 0;
+    run.speedup = runs.empty() ? 1.0 : runs.front().wall_s / run.wall_s;
+    const stream::ParityReport parity = stream::parity_against(report, batch);
+    run.parity_ok = parity.pass();
+    run.p2_rel_error = parity.p2_median_rel_error;
+    runs.push_back(run);
+    std::printf("%4d   %11.3f   %10.0f   %7.2fx   %s\n", run.shards,
+                run.wall_s, run.records_per_s, run.speedup,
+                run.parity_ok ? "ok" : "FAIL");
+  }
+
+  bench::JsonArray shard_rows;
+  for (const ShardRun& run : runs) {
+    shard_rows.push(bench::JsonObject()
+                        .add("shards", run.shards)
+                        .add("wall_s", run.wall_s)
+                        .add("records_per_s", run.records_per_s)
+                        .add("speedup_vs_1_shard", run.speedup)
+                        .add("parity_ok", run.parity_ok)
+                        .add("p2_median_rel_error", run.p2_rel_error)
+                        .dump());
+  }
+  const std::string json =
+      bench::JsonObject()
+          .add("bench", "perf_stream")
+          .add("records", records)
+          .add("cars", config.fleet.size)
+          .add("study_days", config.study_days)
+          .add("seed", static_cast<std::int64_t>(config.seed))
+          .add("hardware_concurrency", static_cast<int>(cores))
+          .add("peak_rss_bytes", bench::peak_rss_bytes())
+          .raw("shard_runs", shard_rows.dump())
+          .dump();
+  const char* out = std::getenv("CCMS_BENCH_OUT");
+  bench::write_bench_json(out != nullptr ? out : "BENCH_stream.json", json);
+
+  for (const ShardRun& run : runs) {
+    if (!run.parity_ok) {
+      std::cerr << "[bench] parity FAILED at " << run.shards << " shards\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -6,31 +6,40 @@
 
 namespace ccms::cdr {
 
+std::optional<Session> SessionBuilder::push(const Connection& c) {
+  if (open_ && c.start - current_.span.end <= gap_) {
+    current_.legs.push_back({c.cell, c.interval()});
+    current_.span.end = std::max(current_.span.end, c.end());
+    return std::nullopt;
+  }
+  std::optional<Session> closed;
+  if (open_) closed = std::move(current_);
+  current_ = Session{};
+  current_.car = c.car;
+  current_.span = c.interval();
+  current_.legs.push_back({c.cell, c.interval()});
+  open_ = true;
+  return closed;
+}
+
+std::optional<Session> SessionBuilder::finish() {
+  if (!open_) return std::nullopt;
+  open_ = false;
+  Session closed = std::move(current_);
+  current_ = Session{};
+  return closed;
+}
+
 std::vector<Session> aggregate_sessions(
     std::span<const Connection> car_connections, time::Seconds gap) {
   std::vector<Session> sessions;
   if (car_connections.empty()) return sessions;
 
-  Session current;
-  current.car = car_connections.front().car;
-  current.span = car_connections.front().interval();
-  current.legs.push_back(
-      {car_connections.front().cell, car_connections.front().interval()});
-
-  for (std::size_t i = 1; i < car_connections.size(); ++i) {
-    const Connection& c = car_connections[i];
-    if (c.start - current.span.end <= gap) {
-      current.legs.push_back({c.cell, c.interval()});
-      current.span.end = std::max(current.span.end, c.end());
-    } else {
-      sessions.push_back(std::move(current));
-      current = Session{};
-      current.car = c.car;
-      current.span = c.interval();
-      current.legs.push_back({c.cell, c.interval()});
-    }
+  SessionBuilder builder(gap);
+  for (const Connection& c : car_connections) {
+    if (auto closed = builder.push(c)) sessions.push_back(*std::move(closed));
   }
-  sessions.push_back(std::move(current));
+  sessions.push_back(*builder.finish());
   return sessions;
 }
 

@@ -13,6 +13,7 @@
 // exposes one aggregator parameterised by the gap.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,36 @@ struct Session {
   std::vector<SessionLeg> legs;   ///< the member connections, start order
 
   [[nodiscard]] std::size_t connection_count() const { return legs.size(); }
+};
+
+/// Incremental gap-based sessionizer for one car: the streaming core behind
+/// aggregate_sessions and ccms::stream's per-shard sessionization. Feed
+/// connections in start order; a session is returned the moment the gap rule
+/// closes it, so callers never hold more than the open session in memory.
+class SessionBuilder {
+ public:
+  explicit SessionBuilder(time::Seconds gap = kSessionGap) : gap_(gap) {}
+
+  /// Feeds the next connection (start order within the car). Returns the
+  /// previous session if `c` starts more than `gap` seconds after its end.
+  std::optional<Session> push(const Connection& c);
+
+  /// Closes and returns the open session, if any. The builder is reusable
+  /// (for the next car / stream segment) afterwards.
+  std::optional<Session> finish();
+
+  /// True while a session is open.
+  [[nodiscard]] bool open() const { return open_; }
+
+  /// The open session (valid only while open()).
+  [[nodiscard]] const Session& current() const { return current_; }
+
+  [[nodiscard]] time::Seconds gap() const { return gap_; }
+
+ private:
+  time::Seconds gap_ = kSessionGap;
+  bool open_ = false;
+  Session current_;
 };
 
 /// Aggregates one car's connections (must be sorted by start, as produced by

@@ -8,11 +8,14 @@ namespace ccms::core {
 
 ConnectedTime analyze_connected_time(const cdr::Dataset& dataset,
                                      std::int32_t truncation_cap) {
-  ConnectedTime result;
-  result.study_days = dataset.study_days();
+  const int study_days = dataset.study_days();
   const double study_seconds =
-      static_cast<double>(result.study_days) * time::kSecondsPerDay;
-  if (study_seconds <= 0) return result;
+      static_cast<double>(study_days) * time::kSecondsPerDay;
+  if (study_seconds <= 0) {
+    ConnectedTime result;
+    result.study_days = study_days;
+    return result;
+  }
 
   std::vector<double> full;
   std::vector<double> truncated;
@@ -25,6 +28,15 @@ ConnectedTime analyze_connected_time(const cdr::Dataset& dataset,
         truncated.push_back(static_cast<double>(t_trunc) / study_seconds);
       });
 
+  return connected_time_from_fractions(std::move(full), std::move(truncated),
+                                       study_days);
+}
+
+ConnectedTime connected_time_from_fractions(std::vector<double> full,
+                                            std::vector<double> truncated,
+                                            int study_days) {
+  ConnectedTime result;
+  result.study_days = study_days;
   result.full = stats::EmpiricalDistribution(std::move(full));
   result.truncated = stats::EmpiricalDistribution(std::move(truncated));
   result.mean_full = result.full.mean();

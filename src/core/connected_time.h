@@ -36,4 +36,10 @@ struct ConnectedTime {
 [[nodiscard]] ConnectedTime analyze_connected_time(
     const cdr::Dataset& dataset, std::int32_t truncation_cap = 600);
 
+/// Builds the report from per-car connected fractions (one entry per car
+/// with >= 1 record, any order). Shared by the batch analysis above and the
+/// ccms::stream snapshot, so both derive Fig 3 identically.
+[[nodiscard]] ConnectedTime connected_time_from_fractions(
+    std::vector<double> full, std::vector<double> truncated, int study_days);
+
 }  // namespace ccms::core

@@ -7,9 +7,9 @@
 namespace ccms::core {
 
 DaysOnNetwork analyze_days_on_network(const cdr::Dataset& dataset) {
-  DaysOnNetwork result;
   const int days = std::max(1, dataset.study_days());
-  result.histogram = stats::Histogram(0, days + 1, days + 1);
+  std::vector<CarId> cars;
+  std::vector<int> days_per_car;
 
   std::vector<char> present(static_cast<std::size_t>(days));
   dataset.for_each_car(
@@ -26,11 +26,23 @@ DaysOnNetwork analyze_days_on_network(const cdr::Dataset& dataset) {
         }
         int count = 0;
         for (const char p : present) count += p;
-        result.cars.push_back(car);
-        result.days_per_car.push_back(count);
-        result.histogram.add(count);
+        cars.push_back(car);
+        days_per_car.push_back(count);
       });
 
+  return days_on_network_from_counts(std::move(cars), std::move(days_per_car),
+                                     dataset.study_days());
+}
+
+DaysOnNetwork days_on_network_from_counts(std::vector<CarId> cars,
+                                          std::vector<int> days_per_car,
+                                          int study_days) {
+  DaysOnNetwork result;
+  const int days = std::max(1, study_days);
+  result.histogram = stats::Histogram(0, days + 1, days + 1);
+  result.cars = std::move(cars);
+  result.days_per_car = std::move(days_per_car);
+  for (const int count : result.days_per_car) result.histogram.add(count);
   result.knee_days = result.histogram.knee_bin();
   return result;
 }

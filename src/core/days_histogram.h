@@ -31,4 +31,11 @@ struct DaysOnNetwork {
 /// every day one of its connection intervals overlaps.
 [[nodiscard]] DaysOnNetwork analyze_days_on_network(const cdr::Dataset& dataset);
 
+/// Builds the report from already-counted days per car (`cars` and
+/// `days_per_car` aligned, ascending by car id). Shared by the batch
+/// analysis above and the ccms::stream snapshot so both derive Fig 6
+/// identically.
+[[nodiscard]] DaysOnNetwork days_on_network_from_counts(
+    std::vector<CarId> cars, std::vector<int> days_per_car, int study_days);
+
 }  // namespace ccms::core

@@ -53,29 +53,37 @@ DailyPresence analyze_presence(const cdr::Dataset& dataset) {
 
   result.cars_fraction.resize(n_days, 0.0);
   result.cells_fraction.resize(n_days, 0.0);
-  std::array<stats::Accumulator, 7> cars_dow;
-  std::array<stats::Accumulator, 7> cells_dow;
-  stats::Accumulator cars_all;
-  stats::Accumulator cells_all;
-
   for (std::size_t d = 0; d < n_days; ++d) {
     std::size_t cars = 0;
     for (const char p : car_present[d]) cars += static_cast<std::size_t>(p);
     std::size_t cells = 0;
     for (const char p : cell_present[d]) cells += static_cast<std::size_t>(p);
 
-    const double car_frac =
+    result.cars_fraction[d] =
         result.fleet_size > 0
             ? static_cast<double>(cars) / result.fleet_size
             : 0.0;
-    const double cell_frac =
+    result.cells_fraction[d] =
         result.ever_touched_cells > 0
             ? static_cast<double>(cells) /
                   static_cast<double>(result.ever_touched_cells)
             : 0.0;
-    result.cars_fraction[d] = car_frac;
-    result.cells_fraction[d] = cell_frac;
+  }
 
+  summarize_presence(result);
+  return result;
+}
+
+void summarize_presence(DailyPresence& presence) {
+  std::array<stats::Accumulator, 7> cars_dow;
+  std::array<stats::Accumulator, 7> cells_dow;
+  stats::Accumulator cars_all;
+  stats::Accumulator cells_all;
+
+  for (std::size_t d = 0; d < presence.cars_fraction.size(); ++d) {
+    const double car_frac = presence.cars_fraction[d];
+    const double cell_frac =
+        d < presence.cells_fraction.size() ? presence.cells_fraction[d] : 0.0;
     const auto dow = static_cast<std::size_t>(time::weekday(
         static_cast<time::Seconds>(d) * time::kSecondsPerDay));
     cars_dow[dow].add(car_frac);
@@ -85,16 +93,15 @@ DailyPresence analyze_presence(const cdr::Dataset& dataset) {
   }
 
   for (int w = 0; w < 7; ++w) {
-    result.cars_by_weekday[static_cast<std::size_t>(w)] =
+    presence.cars_by_weekday[static_cast<std::size_t>(w)] =
         to_stat(cars_dow[static_cast<std::size_t>(w)]);
-    result.cells_by_weekday[static_cast<std::size_t>(w)] =
+    presence.cells_by_weekday[static_cast<std::size_t>(w)] =
         to_stat(cells_dow[static_cast<std::size_t>(w)]);
   }
-  result.cars_overall = to_stat(cars_all);
-  result.cells_overall = to_stat(cells_all);
-  result.cars_trend = stats::linear_fit_indexed(result.cars_fraction);
-  result.cells_trend = stats::linear_fit_indexed(result.cells_fraction);
-  return result;
+  presence.cars_overall = to_stat(cars_all);
+  presence.cells_overall = to_stat(cells_all);
+  presence.cars_trend = stats::linear_fit_indexed(presence.cars_fraction);
+  presence.cells_trend = stats::linear_fit_indexed(presence.cells_fraction);
 }
 
 }  // namespace ccms::core

@@ -49,4 +49,10 @@ struct DailyPresence {
 /// connection intervals overlap. Requires a finalized dataset.
 [[nodiscard]] DailyPresence analyze_presence(const cdr::Dataset& dataset);
 
+/// Fills the derived fields (weekday/overall stats, trend lines) from the
+/// daily fraction series, which must already be set. Day 0 is a Monday, as
+/// everywhere. Shared by the batch analysis above and the ccms::stream
+/// snapshot so both derive Table 1 / Fig 2 identically.
+void summarize_presence(DailyPresence& presence);
+
 }  // namespace ccms::core

@@ -55,13 +55,18 @@ Matrix24x7 usage_matrix(std::span<const cdr::Connection> connections,
                         int tz_offset_hours) {
   Matrix24x7 m;
   for (const cdr::Connection& c : connections) {
-    for_each_hour_box(c.start, c.end(), tz_offset_hours, [&](time::Seconds t) {
-      const int hour = time::hour_of_day(t);
-      const int dow = static_cast<int>(time::weekday(t));
-      m.at(hour, dow) += 1.0;
-    });
+    add_connection(m, c, tz_offset_hours);
   }
   return m;
+}
+
+void add_connection(Matrix24x7& m, const cdr::Connection& c,
+                    int tz_offset_hours) {
+  for_each_hour_box(c.start, c.end(), tz_offset_hours, [&](time::Seconds t) {
+    const int hour = time::hour_of_day(t);
+    const int dow = static_cast<int>(time::weekday(t));
+    m.at(hour, dow) += 1.0;
+  });
 }
 
 Matrix24x7 commute_peak_mask() {

@@ -45,6 +45,12 @@ struct Matrix24x7 {
 [[nodiscard]] Matrix24x7 usage_matrix(
     std::span<const cdr::Connection> connections, int tz_offset_hours = 0);
 
+/// Adds one connection to `m` (one count per hour-of-week box the interval
+/// overlaps). The incremental form of usage_matrix, shared with the
+/// ccms::stream online usage-matrix operator.
+void add_connection(Matrix24x7& m, const cdr::Connection& c,
+                    int tz_offset_hours = 0);
+
 /// Fig 4's period masks (1 inside the period, 0 outside).
 [[nodiscard]] Matrix24x7 commute_peak_mask();  ///< Mon-Fri 7-9 & 16-18
 [[nodiscard]] Matrix24x7 network_peak_mask();  ///< every day 14-24

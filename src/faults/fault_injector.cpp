@@ -1,5 +1,6 @@
 #include "faults/fault_injector.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <optional>
@@ -431,6 +432,76 @@ FaultInjector::CorruptedDataset FaultInjector::corrupt_dataset(
     out.dataset.add(c);
   }
   out.dataset.finalize();
+  return out;
+}
+
+FaultInjector::JitteredFeed FaultInjector::jitter_feed(
+    std::span<const cdr::Connection> start_sorted_feed,
+    const FeedJitter& jitter) {
+  // Why the late records are *provably* quarantined and everything else is
+  // *provably* not:
+  //  - A delayed record y arrives at y.start + delay with delay <= L (the
+  //    allowed lateness). Every record z that arrived before it satisfies
+  //    z.start <= z.arrival <= y.arrival <= y.start + L, so the watermark
+  //    max(z.start) - L <= y.start: y is inside the window.
+  //  - A late-flagged record r is scheduled right after a non-flagged
+  //    witness x with x.start >= r.start + L + 1. x arrives at most at
+  //    x.start + L < r.arrival, so when r arrives the watermark is already
+  //    >= x.start - L >= r.start + 1: r is past the window.
+  // Quarantined records never advance the watermark, so late records cannot
+  // eject one another's witnesses.
+  const std::size_t n = start_sorted_feed.size();
+  const time::Seconds lateness = std::max<time::Seconds>(0,
+                                                         jitter.allowed_lateness);
+  const time::Seconds max_delay =
+      std::clamp<time::Seconds>(jitter.max_delay, 0, lateness);
+
+  // One flag draw + one delay draw per record, unconditionally, so the rng
+  // stream (and thus the whole feed) is deterministic per seed.
+  std::vector<char> flagged(n, 0);
+  std::vector<time::Seconds> delay(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    flagged[i] = rng_.uniform() < jitter.late_rate ? 1 : 0;
+    delay[i] = max_delay > 0 ? rng_.uniform_int(0, max_delay) : 0;
+  }
+
+  // Resolve witnesses; records with no usable witness stay on time.
+  struct Arrival {
+    time::Seconds at = 0;
+    std::uint64_t index = 0;
+  };
+  std::vector<Arrival> order;
+  order.reserve(n);
+  JitteredFeed out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cdr::Connection& r = start_sorted_feed[i];
+    time::Seconds at = r.start + delay[i];
+    if (flagged[i]) {
+      const time::Seconds needed = r.start + lateness + 1;
+      auto w = std::lower_bound(
+          start_sorted_feed.begin(), start_sorted_feed.end(), needed,
+          [](const cdr::Connection& c, time::Seconds t) { return c.start < t; });
+      while (w != start_sorted_feed.end() &&
+             flagged[static_cast<std::size_t>(w - start_sorted_feed.begin())]) {
+        ++w;
+      }
+      if (w != start_sorted_feed.end()) {
+        at = w->start + max_delay + 1;
+        out.late.push_back(r);
+      } else {
+        flagged[i] = 0;
+      }
+    }
+    order.push_back({at, static_cast<std::uint64_t>(i)});
+  }
+  std::sort(order.begin(), order.end(), [](const Arrival& a, const Arrival& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.index < b.index;
+  });
+  out.arrivals.reserve(n);
+  for (const Arrival& a : order) {
+    out.arrivals.push_back(start_sorted_feed[static_cast<std::size_t>(a.index)]);
+  }
   return out;
 }
 

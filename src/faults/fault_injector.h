@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -130,6 +131,33 @@ class FaultInjector {
   /// anchors are record indices, not byte offsets.
   [[nodiscard]] CorruptedDataset corrupt_dataset(const cdr::Dataset& input,
                                                  const CsvFaultRates& rates);
+
+  /// Arrival-order jitter for a streaming feed (ccms::stream).
+  struct FeedJitter {
+    /// Uniform per-record arrival delay in [0, max_delay] seconds of
+    /// stream time. Clamped to allowed_lateness so a merely-delayed record
+    /// is *never* past the watermark (see jitter_feed for the argument).
+    time::Seconds max_delay = 120;
+    /// Fraction of records made provably late instead.
+    double late_rate = 0;
+    /// The engine's out-of-order window the feed is aimed at.
+    time::Seconds allowed_lateness = 300;
+  };
+  struct JitteredFeed {
+    /// The records in perturbed arrival order.
+    std::vector<cdr::Connection> arrivals;
+    /// Records guaranteed to be quarantined as kOutOfOrderRecord: each one
+    /// is scheduled to arrive just after a witness record whose start is
+    /// beyond its watermark window.
+    std::vector<cdr::Connection> late;
+  };
+  /// Perturbs a start-sorted feed into a plausible out-of-order arrival
+  /// sequence with an exactly known set of too-late records, so tests can
+  /// assert engine.late_records() == late.size() and snapshot parity
+  /// against a batch study over (feed minus late). Deterministic per seed.
+  [[nodiscard]] JitteredFeed jitter_feed(
+      std::span<const cdr::Connection> start_sorted_feed,
+      const FeedJitter& jitter);
 
  private:
   util::Rng rng_;

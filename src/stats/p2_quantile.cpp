@@ -39,6 +39,12 @@ double P2Quantile::linear(int i, int d) const {
 }
 
 void P2Quantile::add(double x) {
+  if (!std::isfinite(x)) {
+    // A NaN would otherwise wedge the cell search into the top branch and
+    // overwrite the max marker, corrupting every later estimate.
+    ++ignored_;
+    return;
+  }
   if (count_ < 5) {
     insert_sorted(x);
     ++count_;
@@ -97,11 +103,15 @@ void P2Quantile::add(double x) {
 double P2Quantile::value() const {
   if (count_ == 0) return 0;
   if (count_ < 5) {
-    // Exact small-sample quantile (nearest-rank on the sorted prefix).
+    // Exact small-sample quantile: type-7 linear interpolation between
+    // order statistics of the sorted prefix, matching
+    // EmpiricalDistribution::quantile so batch and streaming paths agree
+    // on tiny cells.
     const auto n = static_cast<std::size_t>(count_);
-    const auto idx = static_cast<std::size_t>(
-        std::min<double>(n - 1.0, std::floor(q_ * static_cast<double>(n))));
-    return heights_[idx];
+    const double h = q_ * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(n - 1, lo + 1);
+    return heights_[lo] + (h - std::floor(h)) * (heights_[hi] - heights_[lo]);
   }
   return heights_[2];
 }

@@ -14,19 +14,34 @@
 namespace ccms::stats {
 
 /// Streaming estimator of one quantile q in (0, 1).
+///
+/// Hardened for the streaming path (ccms::stream feeds it unbounded dirty
+/// telemetry): non-finite observations are skipped and counted instead of
+/// poisoning the markers, and with fewer than 5 observations the estimate is
+/// the exact type-7 interpolated quantile of the prefix — the same
+/// convention as stats::EmpiricalDistribution — rather than a coarse
+/// nearest-rank pick. Duplicate-heavy streams (RRC-timeout atoms dominate
+/// real CDR durations) keep the estimate pinned to the majority atom; see
+/// stats_p2_quantile_test for the guarantees.
 class P2Quantile {
  public:
   /// q is clamped to [0.001, 0.999].
   explicit P2Quantile(double q);
 
-  /// Adds one observation.
+  /// Adds one observation. Non-finite values are ignored (and counted via
+  /// ignored()): one corrupt duration must not poison a 90-day estimate.
   void add(double x);
 
-  /// Current estimate. Exact while fewer than 5 observations have been
-  /// seen; 0 if none.
+  /// Current estimate. Exact (type-7, matching EmpiricalDistribution) while
+  /// fewer than 5 observations have been seen; 0 if none.
   [[nodiscard]] double value() const;
 
   [[nodiscard]] std::int64_t count() const { return count_; }
+
+  /// Observations dropped because they were NaN/inf.
+  [[nodiscard]] std::int64_t ignored() const { return ignored_; }
+
+  [[nodiscard]] double q() const { return q_; }
 
  private:
   void insert_sorted(double x);
@@ -35,6 +50,7 @@ class P2Quantile {
 
   double q_;
   std::int64_t count_ = 0;
+  std::int64_t ignored_ = 0;
   // Marker heights, positions (1-based as in the paper's formulation) and
   // desired positions.
   std::array<double, 5> heights_{};

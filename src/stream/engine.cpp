@@ -1,0 +1,186 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "cdr/clean.h"
+#include "util/time.h"
+
+namespace ccms::stream {
+
+ShardedEngine::ShardedEngine(StreamConfig config)
+    : config_(config), durations_(config.truncation_cap) {
+  config_.shards = std::max(1, config_.shards);
+  config_.batch_records = std::max<std::size_t>(1, config_.batch_records);
+  config_.queue_batches = std::max<std::size_t>(1, config_.queue_batches);
+  ingest_.mode = cdr::ParseMode::kLenient;
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_, i));
+  }
+  for (auto& shard : shards_) {
+    shard->pending.reserve(config_.batch_records);
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() { finish(); }
+
+void ShardedEngine::worker_loop(Shard& shard) {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lock(shard.queue_mutex);
+      shard.queue_ready.wait(
+          lock, [&] { return !shard.queue.empty() || shard.closed; });
+      if (shard.queue.empty()) break;  // closed and drained
+      batch = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.in_flight = true;
+      shard.queue_space.notify_all();
+    }
+    {
+      std::lock_guard state_lock(shard.state_mutex);
+      for (const cdr::Connection& c : batch.records) shard.state.offer(c);
+      shard.state.advance(batch.watermark);
+    }
+    {
+      std::lock_guard lock(shard.queue_mutex);
+      shard.in_flight = false;
+      shard.queue_space.notify_all();
+    }
+  }
+  std::lock_guard state_lock(shard.state_mutex);
+  shard.state.close();
+}
+
+void ShardedEngine::flush(Shard& shard) {
+  if (shard.pending.empty()) return;
+  Batch batch;
+  batch.records.swap(shard.pending);
+  batch.watermark = watermark_;
+  shard.pending.reserve(config_.batch_records);
+
+  std::unique_lock lock(shard.queue_mutex);
+  shard.queue_space.wait(
+      lock, [&] { return shard.queue.size() < config_.queue_batches; });
+  shard.queue.push_back(std::move(batch));
+  shard.queue_ready.notify_one();
+}
+
+void ShardedEngine::drain() {
+  for (auto& shard : shards_) {
+    flush(*shard);
+    std::unique_lock lock(shard->queue_mutex);
+    shard->queue_space.wait(
+        lock, [&] { return shard->queue.empty() && !shard->in_flight; });
+  }
+}
+
+void ShardedEngine::quarantine_late(const cdr::Connection& c) {
+  ++ingest_.records_dropped;
+  ++ingest_.counters[static_cast<std::size_t>(
+      cdr::FaultClass::kOutOfOrderRecord)];
+  if (ingest_.quarantine.size() < config_.quarantine_cap) {
+    cdr::QuarantineEntry entry;
+    entry.fault = cdr::FaultClass::kOutOfOrderRecord;
+    entry.byte_offset = offered_;  // record ordinal in the feed
+    entry.reason = "arrived past the watermark: start " +
+                   std::to_string(c.start) + " < " +
+                   std::to_string(watermark_) + " (lateness " +
+                   std::to_string(config_.allowed_lateness) + " s)";
+    ingest_.quarantine.push_back(std::move(entry));
+  } else {
+    ++ingest_.quarantine_overflow;
+  }
+}
+
+void ShardedEngine::push(const cdr::Connection& c) {
+  ++offered_;
+  ++ingest_.rows_read;
+
+  // Stage 1 — the §3 clean screen, same rules and same precedence as the
+  // batch cdr::clean, so the CleanReport matches it record for record.
+  ++clean_.input_records;
+  if (c.duration_s <= 0) {
+    ++clean_.nonpositive_removed;
+    return;
+  }
+  if (config_.clean.artifact_duration_s > 0 &&
+      c.duration_s == config_.clean.artifact_duration_s) {
+    ++clean_.hour_artifacts_removed;
+    return;
+  }
+  if (config_.clean.max_plausible_duration_s > 0 &&
+      c.duration_s > config_.clean.max_plausible_duration_s) {
+    ++clean_.implausible_removed;
+    return;
+  }
+
+  // Stage 2 — the watermark. Only clean records advance it: a corrupt
+  // timestamp must not eject a window's worth of good records.
+  if (c.start < watermark_) {
+    quarantine_late(c);
+    return;
+  }
+  if (c.start > max_start_) {
+    max_start_ = c.start;
+    watermark_ = max_start_ - config_.allowed_lateness;
+  }
+
+  // Stage 3 — exact global accounting, then route to the owning shard.
+  ++ingest_.records_accepted;
+  ++routed_;
+  durations_.add(c.duration_s);
+
+  const auto shard_index = static_cast<std::size_t>(
+      c.car.value % static_cast<std::uint32_t>(config_.shards));
+  Shard& shard = *shards_[shard_index];
+  shard.pending.push_back(c);
+  if (shard.pending.size() >= config_.batch_records) flush(shard);
+}
+
+void ShardedEngine::push(std::span<const cdr::Connection> records) {
+  for (const cdr::Connection& c : records) push(c);
+}
+
+void ShardedEngine::finish() {
+  if (finished_) return;
+  for (auto& shard : shards_) flush(*shard);
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->queue_mutex);
+    shard->closed = true;
+    shard->queue_ready.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  finished_ = true;
+}
+
+StreamReport ShardedEngine::snapshot() {
+  if (!finished_) drain();
+
+  EngineStats engine;
+  engine.shards = config_.shards;
+  engine.watermark = watermark_;
+  engine.records_offered = offered_;
+  engine.records_routed = routed_;
+
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard state_lock(shard->state_mutex);
+    if (!finished_) {
+      // Everything pushed so far is in the shard; apply the current
+      // watermark so the snapshot is watermark-consistent.
+      shard->state.advance(watermark_);
+    }
+    snapshots.push_back(shard->state.snapshot());
+  }
+  return merge_snapshots(config_, snapshots, ingest_, clean_, durations_,
+                         engine);
+}
+
+}  // namespace ccms::stream

@@ -1,0 +1,121 @@
+// The sharded streaming engine.
+//
+// One ShardedEngine turns an arrival-ordered CDR feed into a continuously
+// maintained study report:
+//
+//   push(record)                               [producer thread]
+//     -> inline §3 clean screen (CleanReport accounting)
+//     -> watermark check: records older than max-start-seen minus the
+//        allowed lateness are quarantined into an IngestReport
+//        (FaultClass::kOutOfOrderRecord), never silently dropped
+//     -> exact global duration tally (shard-count independent)
+//     -> batched onto the owning shard's bounded queue (car % shards)
+//   worker threads                             [one per shard]
+//     -> reorder window + incremental operators (stream/operators.h)
+//   snapshot()                                 [any time]
+//     -> drains in-flight batches, merges shard states into a StreamReport
+//        directly comparable to core::run_study over the same records
+//
+// Threading contract: push/finish/snapshot must come from one producer
+// thread; the engine owns the worker threads. Backpressure is blocking: a
+// full shard queue stalls push until the worker catches up.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cdr/integrity.h"
+#include "cdr/record.h"
+#include "stream/config.h"
+#include "stream/operators.h"
+#include "stream/report.h"
+
+namespace ccms::stream {
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(StreamConfig config);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Feeds one record in arrival order. May block on shard backpressure.
+  void push(const cdr::Connection& c);
+
+  /// Feeds a span of records in arrival order.
+  void push(std::span<const cdr::Connection> records);
+
+  /// End of stream: flushes every queue, joins the workers and closes all
+  /// per-shard state (open sessions and runs are finalised). Idempotent.
+  void finish();
+
+  /// Merges the current state of every shard into one report. Before
+  /// finish() this drains in-flight batches first, so the snapshot reflects
+  /// every record pushed so far (watermark semantics still apply: records
+  /// inside the out-of-order window are pending, not lost).
+  [[nodiscard]] StreamReport snapshot();
+
+  /// Current watermark (max start seen minus allowed lateness).
+  [[nodiscard]] time::Seconds watermark() const { return watermark_; }
+
+  /// Records quarantined as too late so far.
+  [[nodiscard]] std::uint64_t late_records() const {
+    return ingest_.count(cdr::FaultClass::kOutOfOrderRecord);
+  }
+
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+
+ private:
+  struct Batch {
+    std::vector<cdr::Connection> records;
+    time::Seconds watermark = 0;
+  };
+
+  /// One shard: its bounded batch queue, worker thread and state. The state
+  /// mutex serialises the worker against snapshot().
+  struct Shard {
+    explicit Shard(const StreamConfig& config, int index)
+        : state(config, index) {}
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_ready;  ///< producer -> worker
+    std::condition_variable queue_space;  ///< worker -> producer (and drain)
+    std::deque<Batch> queue;
+    bool closed = false;
+    bool in_flight = false;  ///< worker is applying a popped batch
+
+    std::mutex state_mutex;
+    ShardState state;
+
+    std::vector<cdr::Connection> pending;  ///< producer-side batch buffer
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void flush(Shard& shard);
+  void drain();
+  void quarantine_late(const cdr::Connection& c);
+
+  StreamConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+
+  // Producer-side accounting; single-threaded, so bit-identical for every
+  // shard count.
+  cdr::IngestReport ingest_;
+  cdr::CleanReport clean_;
+  DurationTally durations_;
+  time::Seconds max_start_ = std::numeric_limits<time::Seconds>::min();
+  time::Seconds watermark_ = std::numeric_limits<time::Seconds>::min();
+  std::uint64_t offered_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace ccms::stream

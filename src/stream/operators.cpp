@@ -1,0 +1,287 @@
+#include "stream/operators.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+#include "cdr/clean.h"
+#include "util/time.h"
+
+namespace ccms::stream {
+
+bool DayBits::set(std::int64_t day) {
+  const auto word = static_cast<std::size_t>(day / 64);
+  const std::uint64_t bit = 1ULL << (day % 64);
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  const bool fresh = (words_[word] & bit) == 0;
+  words_[word] |= bit;
+  return fresh;
+}
+
+bool DayBits::test(std::int64_t day) const {
+  const auto word = static_cast<std::size_t>(day / 64);
+  if (word >= words_.size()) return false;
+  return (words_[word] & (1ULL << (day % 64))) != 0;
+}
+
+int DayBits::count() const {
+  int total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void DayBits::merge(const DayBits& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+ShardState::ShardState(const StreamConfig& config, int shard_index)
+    : config_(config), shard_index_(shard_index) {
+  if (config_.study_days > 0) {
+    cars_per_day_.resize(static_cast<std::size_t>(config_.study_days), 0);
+  }
+  if (config_.fleet_size > 0 && config_.shards > 0) {
+    // Cars are striped car % shards -> shard, car / shards -> local index.
+    const std::uint32_t shards = static_cast<std::uint32_t>(config_.shards);
+    cars_.reserve((config_.fleet_size + shards - 1) / shards);
+  }
+}
+
+void ShardState::offer(const cdr::Connection& c) {
+  reorder_.push(c);
+  reorder_peak_ = std::max(reorder_peak_, reorder_.size());
+}
+
+void ShardState::advance(time::Seconds watermark) {
+  // Strictly `start < watermark`: records sharing a start stay together, so
+  // a watermark landing exactly on a tie never splits it across calls.
+  while (!reorder_.empty() && reorder_.top().start < watermark) {
+    integrate(reorder_.top());
+    reorder_.pop();
+  }
+  fold_bins(watermark);
+}
+
+void ShardState::close() {
+  if (closed_) return;
+  advance(std::numeric_limits<time::Seconds>::max());
+  for (CarState& state : cars_) {
+    if (!state.seen) continue;
+    if (auto session = state.session.finish()) {
+      ++sessions_closed_;
+      session_span_.add(static_cast<double>(session->span.duration()));
+    }
+    if (state.full_end >= 0) {
+      state.full_total += state.full_end - state.full_start;
+      state.full_end = -1;
+    }
+    if (state.trunc_end >= 0) {
+      state.trunc_total += state.trunc_end - state.trunc_start;
+      state.trunc_end = -1;
+    }
+  }
+  closed_ = true;
+}
+
+ShardState::CarState& ShardState::car_state(std::uint32_t car) {
+  const auto index =
+      static_cast<std::size_t>(car / static_cast<std::uint32_t>(
+                                         std::max(1, config_.shards)));
+  if (index >= cars_.size()) cars_.resize(index + 1);
+  CarState& state = cars_[index];
+  if (!state.seen) {
+    state.seen = true;
+    state.session = cdr::SessionBuilder(config_.session_gap);
+  }
+  return state;
+}
+
+std::int64_t ShardState::clamp_day(std::int64_t day) const {
+  if (day < 0) return 0;
+  if (config_.study_days > 0 && day >= config_.study_days) {
+    return config_.study_days - 1;
+  }
+  return day;
+}
+
+void ShardState::mark_days(CarState& state, std::uint32_t car,
+                           std::uint32_t cell, time::Seconds start,
+                           time::Seconds end) {
+  (void)car;
+  // Same convention as the batch presence analysis: the last instant of a
+  // half-open interval is end-1, and days clamp into the study horizon.
+  const std::int64_t d0 = clamp_day(time::day_index(start));
+  const std::int64_t d1 = clamp_day(time::day_index(end - 1));
+  DayBits& cell_bits = cell_days_[cell];
+  for (std::int64_t d = d0; d <= d1; ++d) {
+    max_day_seen_ = std::max(max_day_seen_, d);
+    if (state.days.set(d)) {
+      const auto di = static_cast<std::size_t>(d);
+      if (di >= cars_per_day_.size()) cars_per_day_.resize(di + 1, 0);
+      ++cars_per_day_[di];
+    }
+    cell_bits.set(d);
+  }
+}
+
+void ShardState::mark_bins(std::uint32_t car, std::uint32_t cell,
+                           time::Seconds start, time::Seconds end) {
+  const std::int64_t b0 = start / time::kSecondsPerBin15;
+  const std::int64_t b1 = (end - 1) / time::kSecondsPerBin15;
+  for (std::int64_t b = b0; b <= b1; ++b) {
+    ActiveBin& bin = active_bins_[b];
+    bin.cars.insert(car);
+    bin.per_cell[cell].insert(car);
+  }
+}
+
+void ShardState::fold_bins(time::Seconds watermark) {
+  // A bin [b*900, (b+1)*900) is final once the watermark passes its end:
+  // every record integrated later starts at or after the watermark, hence
+  // past the bin. Folding replaces the hash sets with plain counts.
+  while (!active_bins_.empty()) {
+    const auto& [bin, active] = *active_bins_.begin();
+    if (watermark < std::numeric_limits<time::Seconds>::max() &&
+        (bin + 1) * time::kSecondsPerBin15 > watermark) {
+      break;
+    }
+    BinCounts counts;
+    counts.bin = bin;
+    counts.cars = static_cast<std::uint32_t>(active.cars.size());
+    counts.cells.reserve(active.per_cell.size());
+    for (const auto& [cell, cars] : active.per_cell) {
+      counts.cells.emplace_back(cell, static_cast<std::uint32_t>(cars.size()));
+    }
+    std::sort(counts.cells.begin(), counts.cells.end());
+    folded_bins_.push_back(std::move(counts));
+    active_bins_.erase(active_bins_.begin());
+  }
+  while (config_.recent_bins > 0 &&
+         folded_bins_.size() > static_cast<std::size_t>(config_.recent_bins)) {
+    folded_bins_.pop_front();
+  }
+}
+
+void ShardState::integrate(const cdr::Connection& c) {
+  ++records_;
+  const std::uint32_t car = c.car.value;
+  const std::uint32_t cell = c.cell.value;
+  CarState& state = car_state(car);
+
+  if (auto closed = state.session.push(c)) {
+    ++sessions_closed_;
+    session_span_.add(static_cast<double>(closed->span.duration()));
+  }
+
+  // Union-of-intervals run merging, full durations. Equivalent to the batch
+  // union_connected_time: extend the current run while the next interval
+  // starts at or before its end, otherwise bank it and start a new one.
+  if (state.full_end >= 0 && c.start <= state.full_end) {
+    state.full_end = std::max(state.full_end, c.end());
+  } else {
+    if (state.full_end >= 0) {
+      state.full_total += state.full_end - state.full_start;
+    }
+    state.full_start = c.start;
+    state.full_end = c.end();
+  }
+
+  const std::int32_t capped =
+      cdr::truncated_duration(c.duration_s, config_.truncation_cap);
+  const time::Seconds trunc_end = c.start + capped;
+  if (state.trunc_end >= 0 && c.start <= state.trunc_end) {
+    state.trunc_end = std::max(state.trunc_end, trunc_end);
+  } else {
+    if (state.trunc_end >= 0) {
+      state.trunc_total += state.trunc_end - state.trunc_start;
+    }
+    state.trunc_start = c.start;
+    state.trunc_end = trunc_end;
+  }
+
+  mark_days(state, car, cell, c.start, c.end());
+  core::add_connection(usage_, c);
+
+  auto [it, inserted] = cell_durations_.try_emplace(
+      cell, std::piecewise_construct, std::forward_as_tuple(0),
+      std::forward_as_tuple(0.5));
+  ++it->second.first;
+  it->second.second.add(static_cast<double>(c.duration_s));
+
+  mark_bins(car, cell, c.start, c.end());
+}
+
+ShardSnapshot ShardState::snapshot() const {
+  ShardSnapshot snap;
+  snap.records = records_;
+  snap.reorder_peak = reorder_peak_;
+  snap.reorder_pending = reorder_.size();
+  snap.usage = usage_;
+  snap.sessions_closed = sessions_closed_;
+  snap.session_span = session_span_;
+  snap.cars_per_day.assign(cars_per_day_.begin(), cars_per_day_.end());
+
+  const auto shards = static_cast<std::uint32_t>(std::max(1, config_.shards));
+  snap.cars.reserve(cars_.size());
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    const CarState& state = cars_[i];
+    if (!state.seen) continue;
+    ShardSnapshot::CarTotals totals;
+    totals.car = static_cast<std::uint32_t>(i) * shards +
+                 static_cast<std::uint32_t>(shard_index_);
+    // Open runs count provisionally at their current extent; after close()
+    // the run is banked and the extent is zero, so this stays exact.
+    totals.full_s = state.full_total +
+                    (state.full_end >= 0 ? state.full_end - state.full_start
+                                         : 0);
+    totals.trunc_s = state.trunc_total +
+                     (state.trunc_end >= 0 ? state.trunc_end - state.trunc_start
+                                           : 0);
+    totals.days = state.days.count();
+    snap.cars.push_back(totals);
+    if (state.session.open()) {
+      ++snap.sessions_open;
+      snap.session_span.add(
+          static_cast<double>(state.session.current().span.duration()));
+    }
+  }
+
+  snap.cell_days.reserve(cell_days_.size());
+  for (const auto& [cell, bits] : cell_days_) {
+    snap.cell_days.emplace_back(cell, bits);
+  }
+  std::sort(snap.cell_days.begin(), snap.cell_days.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  snap.cell_stats.reserve(cell_durations_.size());
+  for (const auto& [cell, entry] : cell_durations_) {
+    snap.cell_stats.push_back(
+        {cell, entry.first, entry.second.value()});
+  }
+  std::sort(snap.cell_stats.begin(), snap.cell_stats.end(),
+            [](const auto& a, const auto& b) { return a.cell < b.cell; });
+
+  snap.bins.reserve(folded_bins_.size() + active_bins_.size());
+  snap.bins.assign(folded_bins_.begin(), folded_bins_.end());
+  for (const auto& [bin, active] : active_bins_) {
+    BinCounts counts;
+    counts.bin = bin;
+    counts.cars = static_cast<std::uint32_t>(active.cars.size());
+    counts.provisional = true;
+    counts.cells.reserve(active.per_cell.size());
+    for (const auto& [cell, cars] : active.per_cell) {
+      counts.cells.emplace_back(cell, static_cast<std::uint32_t>(cars.size()));
+    }
+    std::sort(counts.cells.begin(), counts.cells.end());
+    snap.bins.push_back(std::move(counts));
+  }
+  return snap;
+}
+
+}  // namespace ccms::stream

@@ -1,0 +1,186 @@
+// Per-shard incremental operators of the streaming engine.
+//
+// A ShardState owns every piece of state for the cars routed to one shard
+// and is only ever touched by one worker thread at a time. It mirrors the
+// batch analyses operator by operator:
+//
+//   streaming sessionization   cdr::SessionBuilder      (= aggregate_sessions)
+//   connected-time counters    interval-run merging     (= union_connected_time)
+//   daily presence / days      per-car & per-cell day bitsets (= analyze_presence,
+//                                                          analyze_days_on_network)
+//   24x7 usage counts          core::add_connection     (= usage_matrix summed)
+//   per-cell duration quantiles stats::P2Quantile per cell (Fig 9 per cell)
+//   recent concurrency         distinct cars per (cell, 15-min bin)
+//
+// Records enter via offer() in arrival order and sit in a bounded reorder
+// heap; advance(watermark) integrates everything strictly older than the
+// watermark in (start, car, cell, duration) order, which restores the
+// per-car start order every batch analysis assumes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cdr/record.h"
+#include "cdr/session.h"
+#include "core/usage_matrix.h"
+#include "stats/descriptive.h"
+#include "stats/p2_quantile.h"
+#include "stream/config.h"
+
+namespace ccms::stream {
+
+/// Compact per-car set of study days (bit d = car seen on day d).
+class DayBits {
+ public:
+  /// Sets bit `day` (>= 0). Returns true if it was newly set.
+  bool set(std::int64_t day);
+  [[nodiscard]] bool test(std::int64_t day) const;
+  [[nodiscard]] int count() const;
+  void merge(const DayBits& other);
+  [[nodiscard]] std::size_t capacity_days() const { return words_.size() * 64; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// One completed (or still-open) 15-minute concurrency bin of one shard.
+struct BinCounts {
+  std::int64_t bin = 0;  ///< absolute bin index (start / 900 s)
+  std::uint32_t cars = 0;  ///< distinct cars active in the bin
+  /// Distinct cars per cell, ascending by cell id.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;
+  bool provisional = false;  ///< still inside the out-of-order window
+};
+
+/// Everything a snapshot needs from one shard, merged by the report layer.
+struct ShardSnapshot {
+  /// (car id, full seconds, truncated seconds, distinct days) for every car
+  /// with at least one integrated record, ascending by car id.
+  struct CarTotals {
+    std::uint32_t car = 0;
+    std::int64_t full_s = 0;
+    std::int64_t trunc_s = 0;
+    int days = 0;
+  };
+  std::vector<CarTotals> cars;
+
+  /// Distinct cars of this shard present per study day.
+  std::vector<std::uint32_t> cars_per_day;
+
+  /// Day bitset per touched cell (cells overlap across shards; merged by OR).
+  std::vector<std::pair<std::uint32_t, DayBits>> cell_days;
+
+  core::Matrix24x7 usage;
+
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_open = 0;
+  stats::Accumulator session_span;
+
+  /// Per-cell connection counts and P2 median estimates.
+  struct CellStat {
+    std::uint32_t cell = 0;
+    std::uint64_t connections = 0;
+    double median_s = 0;
+  };
+  std::vector<CellStat> cell_stats;
+
+  std::vector<BinCounts> bins;  ///< folded + provisional concurrency bins
+
+  std::uint64_t records = 0;      ///< records integrated
+  std::size_t reorder_peak = 0;   ///< max reorder-heap depth observed
+  std::size_t reorder_pending = 0;
+};
+
+/// State of one shard. Single-writer; see file comment.
+class ShardState {
+ public:
+  ShardState(const StreamConfig& config, int shard_index);
+
+  /// Accepts one record (already screened by the ingest layer) into the
+  /// reorder heap. Does not integrate it yet.
+  void offer(const cdr::Connection& c);
+
+  /// Integrates every held record with start < watermark, in (start, car,
+  /// cell, duration) order, and folds concurrency bins that can no longer
+  /// change.
+  void advance(time::Seconds watermark);
+
+  /// End of stream: integrates everything, closes open sessions and
+  /// interval runs. Terminal; only snapshot() is useful afterwards.
+  void close();
+
+  /// Copies out the mergeable view of this shard. Open sessions and
+  /// interval runs are reported provisionally (their current extent counts)
+  /// so mid-stream snapshots are meaningful.
+  [[nodiscard]] ShardSnapshot snapshot() const;
+
+ private:
+  struct CarState {
+    cdr::SessionBuilder session{0};
+    // Current union-of-intervals run, full and truncated variants.
+    time::Seconds full_start = 0;
+    time::Seconds full_end = -1;
+    std::int64_t full_total = 0;
+    time::Seconds trunc_start = 0;
+    time::Seconds trunc_end = -1;
+    std::int64_t trunc_total = 0;
+    DayBits days;
+    bool seen = false;
+  };
+
+  struct ActiveBin {
+    std::unordered_set<std::uint32_t> cars;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+        per_cell;
+  };
+
+  void integrate(const cdr::Connection& c);
+  CarState& car_state(std::uint32_t car);
+  void mark_days(CarState& state, std::uint32_t car, std::uint32_t cell,
+                 time::Seconds start, time::Seconds end);
+  void mark_bins(std::uint32_t car, std::uint32_t cell, time::Seconds start,
+                 time::Seconds end);
+  void fold_bins(time::Seconds watermark);
+  [[nodiscard]] std::int64_t clamp_day(std::int64_t day) const;
+
+  StreamConfig config_;
+  int shard_index_ = 0;
+  bool closed_ = false;
+
+  // Arrival-order total order: (start, car, cell, duration). std::greater
+  // over the tuple makes the priority queue a min-heap on it.
+  struct ByArrival {
+    bool operator()(const cdr::Connection& a, const cdr::Connection& b) const {
+      if (a.start != b.start) return a.start > b.start;
+      if (a.car != b.car) return a.car > b.car;
+      if (a.cell != b.cell) return a.cell > b.cell;
+      return a.duration_s > b.duration_s;
+    }
+  };
+  std::priority_queue<cdr::Connection, std::vector<cdr::Connection>, ByArrival>
+      reorder_;
+  std::size_t reorder_peak_ = 0;
+
+  std::vector<CarState> cars_;          // indexed by car / shards
+  std::vector<std::uint32_t> cars_per_day_;
+  std::unordered_map<std::uint32_t, DayBits> cell_days_;
+  core::Matrix24x7 usage_;
+  std::uint64_t sessions_closed_ = 0;
+  stats::Accumulator session_span_;
+  std::unordered_map<std::uint32_t, std::pair<std::uint64_t, stats::P2Quantile>>
+      cell_durations_;
+
+  std::map<std::int64_t, ActiveBin> active_bins_;
+  std::deque<BinCounts> folded_bins_;
+
+  std::uint64_t records_ = 0;
+  std::int64_t max_day_seen_ = -1;
+};
+
+}  // namespace ccms::stream

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
 #include "cdr/io.h"
 #include "test_helpers.h"
+#include "util/rng.h"
 
 namespace ccms::faults {
 namespace {
@@ -127,6 +132,71 @@ TEST(FaultInjectorTest, BinaryTruncationLogsOnePayloadFault) {
   EXPECT_EQ(out.bytes.size(), bytes.size() - 2 * 24);
   EXPECT_EQ(out.log.count(FaultClass::kTruncatedPayload), 1u);
   EXPECT_EQ(out.log.total(), 1u);
+}
+
+std::vector<cdr::Connection> start_sorted_feed(int records,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cdr::Connection> feed;
+  time::Seconds t = 0;
+  for (int i = 0; i < records; ++i) {
+    t += rng.uniform_int(0, 60);
+    feed.push_back(conn(static_cast<std::uint32_t>(rng.uniform_int(0, 9)),
+                        static_cast<std::uint32_t>(rng.uniform_int(0, 3)), t,
+                        static_cast<std::int32_t>(rng.uniform_int(5, 400))));
+  }
+  return feed;
+}
+
+TEST(FaultInjectorTest, JitterFeedIsDeterministicPerSeed) {
+  const std::vector<cdr::Connection> feed = start_sorted_feed(2000, 3);
+  FaultInjector::FeedJitter jitter;
+  jitter.max_delay = 120;
+  jitter.late_rate = 0.02;
+  jitter.allowed_lateness = 300;
+
+  const auto a = FaultInjector(5).jitter_feed(feed, jitter);
+  const auto b = FaultInjector(5).jitter_feed(feed, jitter);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  ASSERT_EQ(a.late.size(), b.late.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i], b.arrivals[i]) << "i=" << i;
+  }
+  for (std::size_t i = 0; i < a.late.size(); ++i) {
+    EXPECT_EQ(a.late[i], b.late[i]) << "i=" << i;
+  }
+
+  const auto c = FaultInjector(6).jitter_feed(feed, jitter);
+  bool same_order = a.arrivals.size() == c.arrivals.size();
+  if (same_order) {
+    same_order = std::equal(a.arrivals.begin(), a.arrivals.end(),
+                            c.arrivals.begin());
+  }
+  EXPECT_FALSE(same_order) << "different seeds produced identical jitter";
+}
+
+TEST(FaultInjectorTest, JitterFeedPreservesRecordMultiset) {
+  const std::vector<cdr::Connection> feed = start_sorted_feed(1500, 8);
+  FaultInjector::FeedJitter jitter;
+  jitter.late_rate = 0.05;
+  FaultInjector injector(21);
+  const auto out = injector.jitter_feed(feed, jitter);
+  ASSERT_EQ(out.arrivals.size(), feed.size());  // jitter reorders, never drops
+
+  std::multiset<cdr::Connection, cdr::ByCarThenStart> expect(feed.begin(),
+                                                             feed.end());
+  for (const cdr::Connection& c : out.arrivals) {
+    const auto it = expect.find(c);
+    ASSERT_NE(it, expect.end());
+    expect.erase(it);
+  }
+  EXPECT_TRUE(expect.empty());
+  // And every late record is a member of the feed.
+  std::multiset<cdr::Connection, cdr::ByCarThenStart> all(feed.begin(),
+                                                          feed.end());
+  for (const cdr::Connection& c : out.late) {
+    EXPECT_NE(all.find(c), all.end());
+  }
 }
 
 }  // namespace

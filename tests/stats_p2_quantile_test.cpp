@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/quantile.h"
@@ -23,8 +25,98 @@ TEST(P2QuantileTest, SmallSamplesExact) {
   EXPECT_EQ(median.value(), 3.0);
   median.add(1);
   median.add(2);
-  // Sorted prefix {1,2,3}: nearest-rank median = element 1 (index floor(1.5)).
+  // Sorted prefix {1,2,3}: type-7 median = middle element.
   EXPECT_EQ(median.value(), 2.0);
+}
+
+TEST(P2QuantileTest, SmallSamplesInterpolateLikeEmpirical) {
+  // Below 5 observations the estimate must be the exact type-7 quantile of
+  // the prefix, matching EmpiricalDistribution — not a nearest-rank pick.
+  P2Quantile median(0.5);
+  median.add(4);
+  median.add(1);
+  EXPECT_DOUBLE_EQ(median.value(),
+                   EmpiricalDistribution({1, 4}).quantile(0.5));  // 2.5
+  EXPECT_DOUBLE_EQ(median.value(), 2.5);
+
+  P2Quantile p90(0.9);
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) p90.add(x);
+  EXPECT_DOUBLE_EQ(p90.value(),
+                   EmpiricalDistribution({1, 2, 3, 4}).quantile(0.9));  // 3.7
+  EXPECT_DOUBLE_EQ(p90.value(), 3.7);
+}
+
+TEST(P2QuantileTest, NonFiniteObservationsIgnored) {
+  // A NaN used to fall through the cell search into the top branch and
+  // overwrite the max marker, permanently corrupting the estimate.
+  P2Quantile est(0.5);
+  P2Quantile control(0.5);
+  util::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    est.add(x);
+    control.add(x);
+    if (i % 100 == 0) {
+      est.add(std::numeric_limits<double>::quiet_NaN());
+      est.add(std::numeric_limits<double>::infinity());
+      est.add(-std::numeric_limits<double>::infinity());
+    }
+  }
+  EXPECT_DOUBLE_EQ(est.value(), control.value());
+  EXPECT_EQ(est.count(), control.count());
+  EXPECT_EQ(est.ignored(), 300);
+  EXPECT_EQ(control.ignored(), 0);
+  EXPECT_TRUE(std::isfinite(est.value()));
+}
+
+TEST(P2QuantileTest, NaNBeforeFifthObservationIgnored) {
+  P2Quantile est(0.5);
+  est.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(est.count(), 0);
+  EXPECT_EQ(est.ignored(), 1);
+  EXPECT_EQ(est.value(), 0.0);
+  est.add(2);
+  est.add(std::numeric_limits<double>::quiet_NaN());
+  est.add(4);
+  EXPECT_DOUBLE_EQ(est.value(), 3.0);
+}
+
+TEST(P2QuantileTest, DuplicateHeavyMajorityAtomExact) {
+  // Real CDR durations are dominated by the RRC-timeout atom; with one
+  // value holding a majority across the quantile, the estimate must pin to
+  // it (up to marker-interpolation rounding), not drift between atoms.
+  util::Rng rng(9);
+  P2Quantile p50(0.5);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform();
+    const double x = u < 0.2 ? 10.0 : (u < 0.8 ? 105.0 : 600.0);
+    p50.add(x);
+    sample.push_back(x);
+  }
+  EmpiricalDistribution exact(std::move(sample));
+  EXPECT_DOUBLE_EQ(exact.quantile(0.5), 105.0);
+  EXPECT_NEAR(p50.value(), 105.0, 1e-5);
+}
+
+TEST(P2QuantileTest, DuplicateRunsBoundedError) {
+  // Cycling sorted runs of a few atoms is the estimator's worst duplicate
+  // pattern (markers interpolate between atoms); the error must stay small
+  // relative to the exact quantile.
+  P2Quantile p73(0.73);
+  std::vector<double> sample;
+  constexpr double kAtoms[7] = {5, 30, 105, 300, 500, 600, 1200};
+  for (int rep = 0; rep < 300; ++rep) {
+    for (const double a : kAtoms) {
+      for (int k = 0; k < 100; ++k) {
+        p73.add(a);
+        sample.push_back(a);
+      }
+    }
+  }
+  EmpiricalDistribution exact(std::move(sample));
+  const double truth = exact.quantile(0.73);
+  EXPECT_NEAR(p73.value(), truth, 0.02 * truth);
 }
 
 TEST(P2QuantileTest, MedianOfUniformStream) {
