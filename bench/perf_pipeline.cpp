@@ -2,11 +2,21 @@
 // the library chews through CDRs. (The per-figure binaries measure fidelity;
 // this one measures throughput.) Besides the google-benchmark table, the
 // binary emits machine-readable BENCH_pipeline.json (end-to-end batch pass:
-// records/sec, wall seconds, peak RSS) for CI regression diffing.
+// records/sec, wall seconds, peak RSS) and BENCH_batch.json (full run_study
+// swept over executor widths 1,2,4,..,--threads with speedup_vs_1t) for CI
+// regression diffing. Schemas: bench/BENCH_SCHEMA.md.
+//
+// Flags / env: --threads N (sweep ceiling, default 8; stripped before
+// google-benchmark sees the argv), CCMS_BENCH_OUT (BENCH_pipeline.json
+// path), CCMS_BENCH_BATCH_OUT (BENCH_batch.json path).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_json.h"
 #include "core/cell_sessions.h"
@@ -18,6 +28,7 @@
 #include "core/concurrency.h"
 #include "core/connected_time.h"
 #include "core/presence.h"
+#include "core/study.h"
 #include "sim/simulator.h"
 #include "stats/kmeans.h"
 #include "stats/p2_quantile.h"
@@ -213,10 +224,86 @@ void write_pipeline_json() {
   bench::write_bench_json(out != nullptr ? out : "BENCH_pipeline.json", json);
 }
 
+// Full run_study (every §4 analysis) swept over executor widths
+// 1, 2, 4, .., max_threads, written to BENCH_batch.json. speedup_vs_1t is
+// the scaling curve CI tracks; the report is bitwise identical across rows
+// by construction, so only time varies.
+void write_batch_json(int max_threads) {
+  const sim::Study& study = shared_study();
+  const auto load = core::CellLoad::from_background(study.background);
+  const auto records = static_cast<std::uint64_t>(study.raw.size());
+
+  std::vector<int> widths;
+  for (int t = 1; t < max_threads; t *= 2) widths.push_back(t);
+  widths.push_back(max_threads);
+
+  bench::JsonArray rows;
+  double wall_1t = 0;
+  std::printf("run_study sweep: threads      wall_s    records/s   speedup\n");
+  for (const int threads : widths) {
+    core::StudyOptions options;
+    options.threads = threads;
+    const bench::Stopwatch timer;
+    const core::StudyReport report =
+        core::run_study(study.raw, study.topology.cells(), load, options);
+    const double wall_s = timer.seconds();
+    benchmark::DoNotOptimize(report.carriers.car_count);
+    if (threads == 1) wall_1t = wall_s;
+    const double speedup = wall_s > 0 ? wall_1t / wall_s : 0;
+    std::printf("                %7d %11.3f %12.0f %8.2fx\n", threads, wall_s,
+                wall_s > 0 ? static_cast<double>(records) / wall_s : 0,
+                speedup);
+    rows.push(bench::JsonObject()
+                  .add("threads", threads)
+                  .add("wall_s", wall_s)
+                  .add("records_per_s",
+                       wall_s > 0 ? static_cast<double>(records) / wall_s : 0)
+                  .add("speedup_vs_1t", speedup)
+                  .dump());
+  }
+
+  const std::string json =
+      bench::JsonObject()
+          .add("bench", "perf_batch")
+          .add("records", records)
+          .add("cars", study.config.fleet.size)
+          .add("study_days", study.config.study_days)
+          .add("hardware_concurrency",
+               static_cast<int>(std::thread::hardware_concurrency()))
+          .add("peak_rss_bytes", bench::peak_rss_bytes())
+          .raw("thread_runs", rows.dump())
+          .dump();
+  const char* out = std::getenv("CCMS_BENCH_BATCH_OUT");
+  bench::write_bench_json(out != nullptr ? out : "BENCH_batch.json", json);
+}
+
+// Consumes a leading `--threads N` / `--threads=N` before google-benchmark
+// parses (and would reject) it. Returns the sweep ceiling.
+int strip_threads_flag(int& argc, char** argv, int fallback) {
+  int threads = fallback;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const char* arg = argv[r];
+    if (std::strcmp(arg, "--threads") == 0 && r + 1 < argc) {
+      threads = std::atoi(argv[++r]);
+      continue;
+    }
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return threads > 0 ? threads : fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int max_threads = strip_threads_flag(argc, argv, 8);
   write_pipeline_json();
+  write_batch_json(max_threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

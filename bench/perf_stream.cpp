@@ -96,11 +96,15 @@ int main() {
 
   bench::JsonArray shard_rows;
   for (const ShardRun& run : runs) {
+    // `threads` / `speedup_vs_1t` mirror BENCH_batch.json's row schema so
+    // one consumer reads both curves; the historical keys stay alongside.
     shard_rows.push(bench::JsonObject()
                         .add("shards", run.shards)
+                        .add("threads", run.shards)
                         .add("wall_s", run.wall_s)
                         .add("records_per_s", run.records_per_s)
                         .add("speedup_vs_1_shard", run.speedup)
+                        .add("speedup_vs_1t", run.speedup)
                         .add("parity_ok", run.parity_ok)
                         .add("p2_median_rel_error", run.p2_rel_error)
                         .dump());

@@ -43,29 +43,34 @@ std::vector<Session> aggregate_sessions(
   return sessions;
 }
 
+void IntervalUnionRun::add(time::Seconds start, time::Seconds end) {
+  if (end <= start) return;
+  if (open_ && start <= run_end_) {
+    run_end_ = std::max(run_end_, end);
+    return;
+  }
+  if (open_) banked_ += run_end_ - run_start_;
+  run_start_ = start;
+  run_end_ = end;
+  open_ = true;
+}
+
+void IntervalUnionRun::close() {
+  if (!open_) return;
+  banked_ += run_end_ - run_start_;
+  open_ = false;
+}
+
 namespace {
 
 time::Seconds union_of_intervals(std::vector<time::Interval>& intervals) {
-  if (intervals.empty()) return 0;
   std::sort(intervals.begin(), intervals.end(),
             [](const time::Interval& a, const time::Interval& b) {
               return a.start < b.start;
             });
-  time::Seconds total = 0;
-  time::Seconds cur_start = intervals.front().start;
-  time::Seconds cur_end = intervals.front().end;
-  for (std::size_t i = 1; i < intervals.size(); ++i) {
-    const auto& iv = intervals[i];
-    if (iv.start <= cur_end) {
-      cur_end = std::max(cur_end, iv.end);
-    } else {
-      total += cur_end - cur_start;
-      cur_start = iv.start;
-      cur_end = iv.end;
-    }
-  }
-  total += cur_end - cur_start;
-  return total;
+  IntervalUnionRun run;
+  for (const time::Interval& iv : intervals) run.add(iv.start, iv.end);
+  return static_cast<time::Seconds>(run.total());
 }
 
 }  // namespace

@@ -73,6 +73,33 @@ class SessionBuilder {
   Session current_;
 };
 
+/// Incremental union-of-intervals length: the single implementation behind
+/// union_connected_time (batch, below) and ccms::stream's per-car running
+/// connected-time counters. Feed half-open [start, end) intervals in start
+/// order; overlapping or touching intervals coalesce into one run, whose
+/// length is banked when the next interval starts a new run.
+class IntervalUnionRun {
+ public:
+  /// Feeds the next interval (start order). Empty intervals are ignored.
+  void add(time::Seconds start, time::Seconds end);
+
+  /// Banked length plus the open run's current extent — the union length of
+  /// everything fed so far. Exact mid-stream (provisional snapshots) and
+  /// after close().
+  [[nodiscard]] std::int64_t total() const {
+    return banked_ + (open_ ? run_end_ - run_start_ : 0);
+  }
+
+  /// Banks the open run. The accumulator is reusable (next car) afterwards.
+  void close();
+
+ private:
+  time::Seconds run_start_ = 0;
+  time::Seconds run_end_ = 0;
+  std::int64_t banked_ = 0;
+  bool open_ = false;
+};
+
 /// Aggregates one car's connections (must be sorted by start, as produced by
 /// Dataset::of_car) into sessions with the given gap.
 [[nodiscard]] std::vector<Session> aggregate_sessions(

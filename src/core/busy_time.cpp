@@ -1,57 +1,19 @@
 #include "core/busy_time.h"
 
-#include <algorithm>
+#include <utility>
+
+#include "core/passes.h"
 
 namespace ccms::core {
 
 BusyTime analyze_busy_time(const cdr::Dataset& dataset, const CellLoad& load,
                            double threshold) {
-  BusyTime result;
-
+  BusyTimeAccumulator acc(&load, threshold);
   dataset.for_each_car(
       [&](CarId car, std::span<const cdr::Connection> connections) {
-        time::Seconds busy = 0;
-        time::Seconds total = 0;
-        for (const cdr::Connection& c : connections) {
-          time::Seconds t = c.start;
-          const time::Seconds end = c.end();
-          while (t < end) {
-            const time::Seconds next_bin =
-                (t / time::kSecondsPerBin15 + 1) * time::kSecondsPerBin15;
-            const time::Seconds slice_end = std::min(next_bin, end);
-            const time::Seconds slice = slice_end - t;
-            total += slice;
-            if (load.busy(c.cell, time::bin15_of_week(t), threshold)) {
-              busy += slice;
-            }
-            t = slice_end;
-          }
-        }
-        CarBusyShare entry;
-        entry.car = car;
-        entry.connected = total;
-        entry.share =
-            total > 0 ? static_cast<double>(busy) / static_cast<double>(total)
-                      : 0.0;
-        result.per_car.push_back(entry);
+        acc.add_car(car, connections);
       });
-
-  std::vector<double> shares;
-  shares.reserve(result.per_car.size());
-  std::size_t over_half = 0;
-  std::size_t all = 0;
-  for (const CarBusyShare& e : result.per_car) {
-    shares.push_back(e.share);
-    if (e.share > 0.5) ++over_half;
-    if (e.share >= 0.95) ++all;
-  }
-  result.shares = stats::EmpiricalDistribution(std::move(shares));
-  if (!result.per_car.empty()) {
-    result.fraction_over_half =
-        static_cast<double>(over_half) / result.per_car.size();
-    result.fraction_all = static_cast<double>(all) / result.per_car.size();
-  }
-  return result;
+  return std::move(acc).finalize();
 }
 
 }  // namespace ccms::core

@@ -1,39 +1,17 @@
 #include "core/carrier_usage.h"
 
+#include "core/passes.h"
+
 namespace ccms::core {
 
 CarrierUsage analyze_carrier_usage(const cdr::Dataset& dataset,
                                    const net::CellTable& cells) {
-  CarrierUsage result;
-  std::array<std::size_t, net::kCarrierCount> car_counts{};
-
-  dataset.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
-    ++result.car_count;
-    std::array<bool, net::kCarrierCount> used{};
-    for (const cdr::Connection& c : conns) {
-      const CarrierId carrier = cells.info(c.cell).carrier;
-      used[carrier.value] = true;
-      result.seconds[carrier.value] += static_cast<double>(c.duration_s);
-    }
-    for (int k = 0; k < net::kCarrierCount; ++k) {
-      if (used[static_cast<std::size_t>(k)]) {
-        ++car_counts[static_cast<std::size_t>(k)];
-      }
-    }
-  });
-
-  double total_seconds = 0;
-  for (const double s : result.seconds) total_seconds += s;
-  for (int k = 0; k < net::kCarrierCount; ++k) {
-    const auto i = static_cast<std::size_t>(k);
-    result.cars_fraction[i] =
-        result.car_count > 0
-            ? static_cast<double>(car_counts[i]) / result.car_count
-            : 0.0;
-    result.time_fraction[i] =
-        total_seconds > 0 ? result.seconds[i] / total_seconds : 0.0;
-  }
-  return result;
+  CarrierUsageAccumulator acc(&cells);
+  dataset.for_each_car(
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        acc.add_car(car, connections);
+      });
+  return acc.finalize();
 }
 
 }  // namespace ccms::core

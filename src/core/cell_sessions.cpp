@@ -3,30 +3,17 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
-#include "cdr/clean.h"
+#include "core/passes.h"
 
 namespace ccms::core {
 
 CellSessionStats analyze_cell_sessions(const cdr::Dataset& dataset,
                                        std::int32_t truncation_cap) {
-  CellSessionStats result;
-  result.cap = truncation_cap;
-
-  std::vector<double> durations;
-  durations.reserve(dataset.size());
-  double truncated_sum = 0;
-  for (const cdr::Connection& c : dataset.all()) {
-    durations.push_back(static_cast<double>(c.duration_s));
-    truncated_sum += cdr::truncated_duration(c.duration_s, truncation_cap);
-  }
-  const auto n = durations.size();
-  result.durations = stats::EmpiricalDistribution(std::move(durations));
-  result.median = result.durations.median();
-  result.mean_full = result.durations.mean();
-  result.mean_truncated = n > 0 ? truncated_sum / static_cast<double>(n) : 0.0;
-  result.cdf_at_cap = result.durations.cdf(truncation_cap);
-  return result;
+  CellSessionsAccumulator acc(truncation_cap);
+  for (const cdr::Connection& c : dataset.all()) acc.add(c);
+  return std::move(acc).finalize();
 }
 
 CellDayTimeline cell_day_timeline(const cdr::Dataset& dataset, CellId cell,

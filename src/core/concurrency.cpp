@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
+
+#include "core/passes.h"
 
 namespace ccms::core {
 
@@ -24,37 +27,19 @@ std::vector<int> bin_occurrences(int study_days) {
 
 ConcurrencyGrid ConcurrencyGrid::build(const cdr::Dataset& dataset,
                                        time::Seconds session_gap) {
-  ConcurrencyGrid grid;
-  grid.study_days_ = std::max(1, dataset.study_days());
-  const std::int64_t total_bins =
-      static_cast<std::int64_t>(grid.study_days_) * time::kBins15PerDay;
-
   // Pass 1: per car, the distinct (cell, absolute 15-minute bin) pairs its
   // session legs straddle. Deduplicated per car, then accumulated globally.
-  std::vector<std::uint64_t> pairs;  // (cell << 24) | absolute_bin
-  std::vector<std::uint64_t> car_pairs;
-  dataset.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
-    car_pairs.clear();
-    const auto sessions = cdr::aggregate_sessions(conns, session_gap);
-    for (const cdr::Session& s : sessions) {
-      for (const cdr::SessionLeg& leg : s.legs) {
-        const std::int64_t b0 =
-            std::clamp<std::int64_t>(leg.when.start / time::kSecondsPerBin15,
-                                     0, total_bins - 1);
-        const std::int64_t b1 = std::clamp<std::int64_t>(
-            (leg.when.end - 1) / time::kSecondsPerBin15, 0, total_bins - 1);
-        for (std::int64_t b = b0; b <= b1; ++b) {
-          car_pairs.push_back((static_cast<std::uint64_t>(leg.cell.value)
-                               << 24) |
-                              static_cast<std::uint64_t>(b));
-        }
-      }
-    }
-    std::sort(car_pairs.begin(), car_pairs.end());
-    car_pairs.erase(std::unique(car_pairs.begin(), car_pairs.end()),
-                    car_pairs.end());
-    pairs.insert(pairs.end(), car_pairs.begin(), car_pairs.end());
+  ConcurrencyPairsAccumulator acc(dataset.study_days(), session_gap);
+  dataset.for_each_car([&](CarId car, std::span<const cdr::Connection> conns) {
+    acc.add_car(car, conns);
   });
+  return from_pairs(std::move(acc).take_pairs(), dataset.study_days());
+}
+
+ConcurrencyGrid ConcurrencyGrid::from_pairs(std::vector<std::uint64_t> pairs,
+                                            int study_days) {
+  ConcurrencyGrid grid;
+  grid.study_days_ = std::max(1, study_days);
 
   // Pass 2: aggregate per (cell, bin) multiplicity into per-cell weekly
   // averages.

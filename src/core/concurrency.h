@@ -43,6 +43,14 @@ class ConcurrencyGrid {
   [[nodiscard]] static ConcurrencyGrid build(
       const cdr::Dataset& dataset, time::Seconds session_gap = cdr::kSessionGap);
 
+  /// Builds the grid from per-car (cell << 24) | absolute_bin observation
+  /// pairs (each car's pairs deduplicated, any car order — the list is
+  /// sorted globally, so the result depends only on the multiset). This is
+  /// the aggregation step behind `build` and the parallel executor's
+  /// ConcurrencyPairsAccumulator.
+  [[nodiscard]] static ConcurrencyGrid from_pairs(
+      std::vector<std::uint64_t> pairs, int study_days);
+
   /// All cells with at least one observation, ascending by cell id.
   [[nodiscard]] const std::vector<CellConcurrency>& cells() const {
     return cells_;

@@ -1,35 +1,19 @@
 #include "core/connected_time.h"
 
-#include <vector>
+#include <utility>
 
-#include "cdr/session.h"
+#include "core/passes.h"
 
 namespace ccms::core {
 
 ConnectedTime analyze_connected_time(const cdr::Dataset& dataset,
                                      std::int32_t truncation_cap) {
-  const int study_days = dataset.study_days();
-  const double study_seconds =
-      static_cast<double>(study_days) * time::kSecondsPerDay;
-  if (study_seconds <= 0) {
-    ConnectedTime result;
-    result.study_days = study_days;
-    return result;
-  }
-
-  std::vector<double> full;
-  std::vector<double> truncated;
+  ConnectedTimeAccumulator acc(dataset.study_days(), truncation_cap);
   dataset.for_each_car(
-      [&](CarId, std::span<const cdr::Connection> connections) {
-        const auto t_full = cdr::union_connected_time(connections);
-        const auto t_trunc =
-            cdr::union_connected_time_truncated(connections, truncation_cap);
-        full.push_back(static_cast<double>(t_full) / study_seconds);
-        truncated.push_back(static_cast<double>(t_trunc) / study_seconds);
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        acc.add_car(car, connections);
       });
-
-  return connected_time_from_fractions(std::move(full), std::move(truncated),
-                                       study_days);
+  return std::move(acc).finalize();
 }
 
 ConnectedTime connected_time_from_fractions(std::vector<double> full,

@@ -1,0 +1,72 @@
+// Shared per-span cores used by the batch passes (core/passes.h) and the
+// streaming operators (stream/operators.h): a compact study-day bitset and
+// the day/bin range conventions every presence-style analysis follows.
+//
+// Keeping these in core (not stream) is what lets stream/operators delegate
+// to the exact batch semantics instead of re-implementing them: one
+// definition of "which days does [start, end) touch" means batch, parallel
+// batch and stream can never drift apart.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccms::core {
+
+/// Compact set of study days (bit d = seen on day d).
+class DayBits {
+ public:
+  /// Sets bit `day` (>= 0). Returns true if it was newly set.
+  bool set(std::int64_t day);
+  [[nodiscard]] bool test(std::int64_t day) const;
+  [[nodiscard]] int count() const;
+  void merge(const DayBits& other);
+  /// Zeroes every bit, keeping capacity (scratch reuse across cars).
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+  [[nodiscard]] std::size_t capacity_days() const { return words_.size() * 64; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Inclusive day range [first, last] a half-open [start, end) interval
+/// touches, clamped into the study horizon. The last instant of the
+/// interval is end-1; days clamp into [0, study_days-1] when study_days
+/// is positive (only the lower clamp applies otherwise) — the convention
+/// of every presence/days analysis, batch and stream.
+struct DayRange {
+  std::int64_t first = 0;
+  std::int64_t last = -1;  ///< first > last for empty intervals
+};
+[[nodiscard]] inline DayRange study_day_range(time::Seconds start,
+                                              time::Seconds end,
+                                              int study_days) {
+  if (end <= start) return {};
+  DayRange range;
+  range.first = std::max<std::int64_t>(0, time::day_index(start));
+  range.last = std::max<std::int64_t>(0, time::day_index(end - 1));
+  if (study_days > 0) {
+    range.first = std::min<std::int64_t>(range.first, study_days - 1);
+    range.last = std::min<std::int64_t>(range.last, study_days - 1);
+  }
+  return range;
+}
+
+/// Inclusive absolute 15-minute bin range [first, last] a half-open
+/// [start, end) interval straddles (unclamped; callers clamp into their
+/// horizon where one exists).
+struct BinRange {
+  std::int64_t first = 0;
+  std::int64_t last = -1;
+};
+[[nodiscard]] inline BinRange bin15_range(time::Seconds start,
+                                          time::Seconds end) {
+  if (end <= start) return {};
+  return {start / time::kSecondsPerBin15,
+          (end - 1) / time::kSecondsPerBin15};
+}
+
+}  // namespace ccms::core

@@ -1,37 +1,19 @@
 #include "core/days_histogram.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "util/time.h"
+#include "core/passes.h"
 
 namespace ccms::core {
 
 DaysOnNetwork analyze_days_on_network(const cdr::Dataset& dataset) {
-  const int days = std::max(1, dataset.study_days());
-  std::vector<CarId> cars;
-  std::vector<int> days_per_car;
-
-  std::vector<char> present(static_cast<std::size_t>(days));
+  DaysAccumulator acc(dataset.study_days());
   dataset.for_each_car(
       [&](CarId car, std::span<const cdr::Connection> connections) {
-        std::fill(present.begin(), present.end(), 0);
-        for (const cdr::Connection& c : connections) {
-          const auto d0 = std::clamp<std::int64_t>(
-              time::day_index(c.start), 0, days - 1);
-          const auto d1 = std::clamp<std::int64_t>(
-              time::day_index(c.end() - 1), 0, days - 1);
-          for (std::int64_t d = d0; d <= d1; ++d) {
-            present[static_cast<std::size_t>(d)] = 1;
-          }
-        }
-        int count = 0;
-        for (const char p : present) count += p;
-        cars.push_back(car);
-        days_per_car.push_back(count);
+        acc.add_car(car, connections);
       });
-
-  return days_on_network_from_counts(std::move(cars), std::move(days_per_car),
-                                     dataset.study_days());
+  return std::move(acc).finalize();
 }
 
 DaysOnNetwork days_on_network_from_counts(std::vector<CarId> cars,

@@ -1,51 +1,20 @@
 #include "core/handover.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "cdr/session.h"
+#include "core/passes.h"
 
 namespace ccms::core {
 
 HandoverStats analyze_handovers(const cdr::Dataset& dataset,
                                 const net::CellTable& cells,
                                 time::Seconds journey_gap) {
-  HandoverStats result;
-  std::vector<double> per_session;
-  std::vector<double> stations;
-  std::vector<std::uint32_t> session_stations;
-
-  dataset.for_each_car([&](CarId, std::span<const cdr::Connection> conns) {
-    const auto sessions = cdr::aggregate_sessions(conns, journey_gap);
-    for (const cdr::Session& s : sessions) {
-      ++result.session_count;
-      int handovers = 0;
-      session_stations.clear();
-      for (std::size_t i = 0; i < s.legs.size(); ++i) {
-        const net::CellInfo& info = cells.info(s.legs[i].cell);
-        session_stations.push_back(info.station.value);
-        if (i == 0) continue;
-        const net::CellInfo& prev = cells.info(s.legs[i - 1].cell);
-        const net::HandoverType type = net::classify_handover(prev, info);
-        ++result.counts[static_cast<std::size_t>(type)];
-        if (type != net::HandoverType::kNone) ++handovers;
-      }
-      per_session.push_back(handovers);
-
-      std::sort(session_stations.begin(), session_stations.end());
-      session_stations.erase(
-          std::unique(session_stations.begin(), session_stations.end()),
-          session_stations.end());
-      stations.push_back(static_cast<double>(session_stations.size()));
-    }
-  });
-
-  result.per_session = stats::EmpiricalDistribution(std::move(per_session));
-  result.stations_per_session =
-      stats::EmpiricalDistribution(std::move(stations));
-  result.median = result.per_session.quantile(0.5);
-  result.p70 = result.per_session.quantile(0.7);
-  result.p90 = result.per_session.quantile(0.9);
-  return result;
+  HandoverAccumulator acc(&cells, journey_gap);
+  dataset.for_each_car(
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        acc.add_car(car, connections);
+      });
+  return std::move(acc).finalize();
 }
 
 }  // namespace ccms::core

@@ -1,0 +1,187 @@
+// The pass form of every §4 analysis: accumulate over one car-span or
+// cell-span, merge order-independently, finalize into the figure struct.
+//
+// The paper's pipeline reads the trace "repeatedly from two directions";
+// the batch driver used to reproduce that literally with ~10 independent
+// full passes. Each analysis is really a fold over group spans though —
+// cars for Figs 2/3/6/7, Tables 1-3 and §4.5, cells for Fig 9 — so this
+// header factors each one into an explicit accumulator with:
+//
+//   add_car(car, records) / add_cell(...)   fold one group span
+//   merge(other)                            combine adjacent range results
+//                                           (other's ids strictly after ours)
+//   finalize(...)                           derive the figure struct
+//
+// Every merge is either integer addition, bitset OR, or concatenation in
+// ascending id order, so folding chunks on N threads and merging them in
+// chunk order is bitwise identical to the sequential fold for any N — the
+// property exec::parallel_over_spans exploits and the determinism suite
+// asserts. The sequential analyze_* entry points and the ccms::stream
+// operators are thin shells over these same cores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cdr/dataset.h"
+#include "cdr/session.h"
+#include "core/busy_time.h"
+#include "core/carrier_usage.h"
+#include "core/cell_sessions.h"
+#include "core/connected_time.h"
+#include "core/day_bits.h"
+#include "core/days_histogram.h"
+#include "core/handover.h"
+#include "core/load_view.h"
+#include "core/presence.h"
+#include "net/cell.h"
+
+namespace ccms::core {
+
+/// Fig 2 / Table 1 pass: per-day distinct-car counts (cars partition across
+/// chunks, so counts add) and per-cell day bitsets (cells span chunks, so
+/// sets OR together).
+class PresenceAccumulator {
+ public:
+  explicit PresenceAccumulator(int study_days);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(PresenceAccumulator&& other);
+  [[nodiscard]] DailyPresence finalize(std::uint32_t fleet_size) const;
+
+ private:
+  int days_ = 1;
+  std::vector<std::uint32_t> cars_per_day_;
+  std::unordered_map<std::uint32_t, DayBits> cell_days_;
+  DayBits scratch_;
+};
+
+/// Fig 3 pass: per-car connected fraction, full and truncated, appended in
+/// ascending car order.
+class ConnectedTimeAccumulator {
+ public:
+  ConnectedTimeAccumulator(int study_days, std::int32_t truncation_cap);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(ConnectedTimeAccumulator&& other);
+  [[nodiscard]] ConnectedTime finalize() &&;
+
+ private:
+  int study_days_ = 0;
+  double study_seconds_ = 0;
+  std::int32_t cap_ = 600;
+  std::vector<double> full_;
+  std::vector<double> truncated_;
+};
+
+/// Fig 6 pass: distinct study days per car, ascending car order.
+class DaysAccumulator {
+ public:
+  explicit DaysAccumulator(int study_days);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(DaysAccumulator&& other);
+  [[nodiscard]] DaysOnNetwork finalize() &&;
+
+ private:
+  int study_days_ = 0;
+  std::vector<CarId> cars_;
+  std::vector<int> days_per_car_;
+  DayBits scratch_;
+};
+
+/// Fig 7 pass: per-car busy-time share, ascending car order.
+class BusyTimeAccumulator {
+ public:
+  BusyTimeAccumulator(const CellLoad* load, double threshold);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(BusyTimeAccumulator&& other);
+  [[nodiscard]] BusyTime finalize() &&;
+
+ private:
+  const CellLoad* load_ = nullptr;
+  double threshold_ = kBusyPrbThreshold;
+  std::vector<CarBusyShare> per_car_;
+};
+
+/// §4.5 pass: handover type counts (integer adds) plus per-session counts
+/// and distinct-station counts appended in ascending car order.
+class HandoverAccumulator {
+ public:
+  HandoverAccumulator(const net::CellTable* cells, time::Seconds journey_gap);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(HandoverAccumulator&& other);
+  [[nodiscard]] HandoverStats finalize() &&;
+
+ private:
+  const net::CellTable* cells_ = nullptr;
+  time::Seconds journey_gap_ = cdr::kJourneyGap;
+  std::array<std::uint64_t, net::kHandoverTypeCount> counts_{};
+  std::vector<double> per_session_;
+  std::vector<double> stations_;
+  std::uint64_t session_count_ = 0;
+  std::vector<std::uint32_t> scratch_stations_;
+};
+
+/// Table 3 pass: per-carrier car counts and connected seconds. Seconds are
+/// summed as integers, so the merge is exact and order-independent.
+class CarrierUsageAccumulator {
+ public:
+  explicit CarrierUsageAccumulator(const net::CellTable* cells);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(const CarrierUsageAccumulator& other);
+  [[nodiscard]] CarrierUsage finalize() const;
+
+ private:
+  const net::CellTable* cells_ = nullptr;
+  std::size_t car_count_ = 0;
+  std::array<std::size_t, net::kCarrierCount> car_counts_{};
+  std::array<std::int64_t, net::kCarrierCount> seconds_{};
+};
+
+/// Fig 10/11 pass, car side: each car's deduplicated
+/// (cell, absolute 15-min bin) observations, appended in ascending car
+/// order. ConcurrencyGrid::from_pairs turns the merged list into per-cell
+/// profiles (it sorts globally, so the result only depends on the multiset).
+class ConcurrencyPairsAccumulator {
+ public:
+  ConcurrencyPairsAccumulator(int study_days, time::Seconds session_gap);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(ConcurrencyPairsAccumulator&& other);
+  [[nodiscard]] std::vector<std::uint64_t> take_pairs() &&;
+
+ private:
+  std::int64_t total_bins_ = 0;
+  time::Seconds session_gap_ = cdr::kSessionGap;
+  std::vector<std::uint64_t> pairs_;       // (cell << 24) | absolute_bin
+  std::vector<std::uint64_t> scratch_;
+};
+
+/// Fig 9 pass, cell side: connection durations (the multiset feeds the
+/// exact CDF) and the truncated-duration sum, exact as integers.
+class CellSessionsAccumulator {
+ public:
+  explicit CellSessionsAccumulator(std::int32_t truncation_cap);
+
+  /// Folds one record (sequential whole-dataset path).
+  void add(const cdr::Connection& c);
+  /// Folds one cell's span of by-cell indices.
+  void add_cell(const cdr::Dataset& dataset, CellId cell,
+                std::span<const std::uint32_t> indices);
+  void merge(CellSessionsAccumulator&& other);
+  [[nodiscard]] CellSessionStats finalize() &&;
+
+ private:
+  std::int32_t cap_ = 600;
+  std::vector<double> durations_;
+  std::int64_t truncated_sum_ = 0;
+};
+
+}  // namespace ccms::core

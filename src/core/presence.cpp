@@ -1,8 +1,8 @@
 #include "core/presence.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <array>
 
+#include "core/passes.h"
 #include "util/time.h"
 
 namespace ccms::core {
@@ -16,62 +16,12 @@ PresenceStat to_stat(const stats::Accumulator& acc) {
 }  // namespace
 
 DailyPresence analyze_presence(const cdr::Dataset& dataset) {
-  DailyPresence result;
-  const int days = std::max(1, dataset.study_days());
-  result.fleet_size = dataset.fleet_size();
-
-  // Presence bitmaps: [day][car] and [day][cell-slot].
-  const std::size_t n_days = static_cast<std::size_t>(days);
-  std::vector<std::vector<char>> car_present(
-      n_days, std::vector<char>(dataset.fleet_size(), 0));
-
-  // Cells are not necessarily dense; map to slots on first sight.
-  std::unordered_map<std::uint32_t, std::uint32_t> cell_slot;
-  std::vector<std::vector<char>> cell_present(n_days);
-
-  auto mark_days = [&](const cdr::Connection& c, auto&& mark) {
-    const std::int64_t d0 = std::clamp<std::int64_t>(
-        time::day_index(c.start), 0, days - 1);
-    // The last instant of the interval is end()-1 (half-open interval).
-    const std::int64_t d1 = std::clamp<std::int64_t>(
-        time::day_index(c.end() - 1), 0, days - 1);
-    for (std::int64_t d = d0; d <= d1; ++d) mark(static_cast<std::size_t>(d));
-  };
-
-  for (const cdr::Connection& c : dataset.all()) {
-    auto [it, inserted] = cell_slot.try_emplace(
-        c.cell.value, static_cast<std::uint32_t>(cell_slot.size()));
-    const std::uint32_t slot = it->second;
-    mark_days(c, [&](std::size_t d) {
-      car_present[d][c.car.value] = 1;
-      auto& row = cell_present[d];
-      if (row.size() <= slot) row.resize(slot + 1, 0);
-      row[slot] = 1;
-    });
-  }
-  result.ever_touched_cells = cell_slot.size();
-
-  result.cars_fraction.resize(n_days, 0.0);
-  result.cells_fraction.resize(n_days, 0.0);
-  for (std::size_t d = 0; d < n_days; ++d) {
-    std::size_t cars = 0;
-    for (const char p : car_present[d]) cars += static_cast<std::size_t>(p);
-    std::size_t cells = 0;
-    for (const char p : cell_present[d]) cells += static_cast<std::size_t>(p);
-
-    result.cars_fraction[d] =
-        result.fleet_size > 0
-            ? static_cast<double>(cars) / result.fleet_size
-            : 0.0;
-    result.cells_fraction[d] =
-        result.ever_touched_cells > 0
-            ? static_cast<double>(cells) /
-                  static_cast<double>(result.ever_touched_cells)
-            : 0.0;
-  }
-
-  summarize_presence(result);
-  return result;
+  PresenceAccumulator acc(dataset.study_days());
+  dataset.for_each_car(
+      [&](CarId car, std::span<const cdr::Connection> connections) {
+        acc.add_car(car, connections);
+      });
+  return acc.finalize(dataset.fleet_size());
 }
 
 void summarize_presence(DailyPresence& presence) {

@@ -1,28 +1,105 @@
 #include "core/study.h"
 
+#include <utility>
+
 #include "cdr/io.h"
+#include "core/passes.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 
 namespace ccms::core {
+
+namespace {
+
+/// Every car-grouped §4 pass fused into one sweep state: a single traversal
+/// of each car span feeds all seven accumulators, replacing the seven
+/// independent full passes the batch driver used to make.
+struct CarSweep {
+  PresenceAccumulator presence;
+  ConnectedTimeAccumulator connected;
+  DaysAccumulator days;
+  BusyTimeAccumulator busy;
+  HandoverAccumulator handovers;
+  CarrierUsageAccumulator carriers;
+  ConcurrencyPairsAccumulator concurrency;
+
+  CarSweep(const cdr::Dataset& dataset, const net::CellTable& cells,
+           const CellLoad& load, const StudyOptions& options)
+      : presence(dataset.study_days()),
+        connected(dataset.study_days(), options.truncation_cap),
+        days(dataset.study_days()),
+        busy(&load, options.busy_prb_threshold),
+        handovers(&cells, cdr::kJourneyGap),
+        carriers(&cells),
+        concurrency(dataset.study_days(), cdr::kSessionGap) {}
+
+  void add_car(const cdr::Dataset::CarSpan& span) {
+    presence.add_car(span.car, span.records);
+    connected.add_car(span.car, span.records);
+    days.add_car(span.car, span.records);
+    busy.add_car(span.car, span.records);
+    handovers.add_car(span.car, span.records);
+    carriers.add_car(span.car, span.records);
+    concurrency.add_car(span.car, span.records);
+  }
+
+  /// Merges a sweep whose cars are strictly after this one's.
+  void merge(CarSweep&& other) {
+    presence.merge(std::move(other.presence));
+    connected.merge(std::move(other.connected));
+    days.merge(std::move(other.days));
+    busy.merge(std::move(other.busy));
+    handovers.merge(std::move(other.handovers));
+    carriers.merge(other.carriers);
+    concurrency.merge(std::move(other.concurrency));
+  }
+};
+
+}  // namespace
 
 StudyReport run_study(const cdr::Dataset& raw, const net::CellTable& cells,
                       const CellLoad& load, const StudyOptions& options) {
   StudyReport report;
   const cdr::Dataset cleaned = cdr::clean(raw, options.clean, report.clean);
 
-  report.presence = analyze_presence(cleaned);
-  report.connected_time =
-      analyze_connected_time(cleaned, options.truncation_cap);
-  report.days = analyze_days_on_network(cleaned);
-  report.busy_time =
-      analyze_busy_time(cleaned, load, options.busy_prb_threshold);
+  exec::ThreadPool pool(options.threads);
+
+  // Sweep 1: one pass over car spans feeds every car-grouped analysis.
+  // Fixed-size chunks folded sequentially and merged in ascending car order
+  // make the result bitwise identical for any pool size.
+  const auto car_spans = cleaned.car_spans();
+  CarSweep sweep = exec::parallel_over_spans(
+      pool, car_spans,
+      [&] { return CarSweep(cleaned, cells, load, options); },
+      [](CarSweep& acc, const cdr::Dataset::CarSpan& span) {
+        acc.add_car(span);
+      },
+      [](CarSweep& into, CarSweep&& from) { into.merge(std::move(from)); });
+
+  // Sweep 2: one pass over cell spans for the cell-grouped analysis.
+  const auto cell_spans = cleaned.cell_spans();
+  CellSessionsAccumulator cell_acc = exec::parallel_over_spans(
+      pool, cell_spans,
+      [&] { return CellSessionsAccumulator(options.truncation_cap); },
+      [&](CellSessionsAccumulator& acc, const cdr::Dataset::CellSpan& span) {
+        acc.add_cell(cleaned, span.cell, span.indices);
+      },
+      [](CellSessionsAccumulator& into, CellSessionsAccumulator&& from) {
+        into.merge(std::move(from));
+      });
+
+  report.presence = sweep.presence.finalize(cleaned.fleet_size());
+  report.connected_time = std::move(sweep.connected).finalize();
+  report.days = std::move(sweep.days).finalize();
+  report.busy_time = std::move(sweep.busy).finalize();
   report.segmentation =
       segment_cars(report.days, report.busy_time, options.segmentation);
-  report.cell_sessions =
-      analyze_cell_sessions(cleaned, options.truncation_cap);
-  report.handovers = analyze_handovers(cleaned, cells);
-  report.carriers = analyze_carrier_usage(cleaned, cells);
+  report.cell_sessions = std::move(cell_acc).finalize();
+  report.handovers = std::move(sweep.handovers).finalize();
+  report.carriers = sweep.carriers.finalize();
 
-  const ConcurrencyGrid grid = ConcurrencyGrid::build(cleaned);
+  const ConcurrencyGrid grid = ConcurrencyGrid::from_pairs(
+      std::move(sweep.concurrency).take_pairs(), cleaned.study_days());
   report.clusters =
       cluster_busy_cells(grid, load, options.cluster_load_threshold,
                          options.cluster_k, options.cluster_seed);

@@ -36,6 +36,10 @@ struct StudyOptions {
   double cluster_load_threshold = 0.70;  ///< Fig 11 busy-radio filter
   int cluster_k = 2;                     ///< Fig 11 k
   std::uint64_t cluster_seed = 1;
+  /// Executor width for the two span sweeps (see exec::ThreadPool):
+  /// 1 = sequential (default), 0 = hardware_concurrency, N = N threads.
+  /// The report is bitwise identical for every value.
+  int threads = 1;
 };
 
 /// Everything §4 computes, plus per-stage integrity accounting: how many

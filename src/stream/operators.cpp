@@ -1,7 +1,6 @@
 #include "stream/operators.h"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 #include <tuple>
 #include <utility>
@@ -10,36 +9,6 @@
 #include "util/time.h"
 
 namespace ccms::stream {
-
-bool DayBits::set(std::int64_t day) {
-  const auto word = static_cast<std::size_t>(day / 64);
-  const std::uint64_t bit = 1ULL << (day % 64);
-  if (word >= words_.size()) words_.resize(word + 1, 0);
-  const bool fresh = (words_[word] & bit) == 0;
-  words_[word] |= bit;
-  return fresh;
-}
-
-bool DayBits::test(std::int64_t day) const {
-  const auto word = static_cast<std::size_t>(day / 64);
-  if (word >= words_.size()) return false;
-  return (words_[word] & (1ULL << (day % 64))) != 0;
-}
-
-int DayBits::count() const {
-  int total = 0;
-  for (const std::uint64_t w : words_) total += std::popcount(w);
-  return total;
-}
-
-void DayBits::merge(const DayBits& other) {
-  if (other.words_.size() > words_.size()) {
-    words_.resize(other.words_.size(), 0);
-  }
-  for (std::size_t i = 0; i < other.words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
-}
 
 ShardState::ShardState(const StreamConfig& config, int shard_index)
     : config_(config), shard_index_(shard_index) {
@@ -77,14 +46,8 @@ void ShardState::close() {
       ++sessions_closed_;
       session_span_.add(static_cast<double>(session->span.duration()));
     }
-    if (state.full_end >= 0) {
-      state.full_total += state.full_end - state.full_start;
-      state.full_end = -1;
-    }
-    if (state.trunc_end >= 0) {
-      state.trunc_total += state.trunc_end - state.trunc_start;
-      state.trunc_end = -1;
-    }
+    state.full.close();
+    state.trunc.close();
   }
   closed_ = true;
 }
@@ -102,24 +65,16 @@ ShardState::CarState& ShardState::car_state(std::uint32_t car) {
   return state;
 }
 
-std::int64_t ShardState::clamp_day(std::int64_t day) const {
-  if (day < 0) return 0;
-  if (config_.study_days > 0 && day >= config_.study_days) {
-    return config_.study_days - 1;
-  }
-  return day;
-}
-
 void ShardState::mark_days(CarState& state, std::uint32_t car,
                            std::uint32_t cell, time::Seconds start,
                            time::Seconds end) {
   (void)car;
-  // Same convention as the batch presence analysis: the last instant of a
-  // half-open interval is end-1, and days clamp into the study horizon.
-  const std::int64_t d0 = clamp_day(time::day_index(start));
-  const std::int64_t d1 = clamp_day(time::day_index(end - 1));
+  // The batch presence convention, via the shared core helper: the last
+  // instant of a half-open interval is end-1, days clamp into the horizon.
+  const core::DayRange range =
+      core::study_day_range(start, end, config_.study_days);
   DayBits& cell_bits = cell_days_[cell];
-  for (std::int64_t d = d0; d <= d1; ++d) {
+  for (std::int64_t d = range.first; d <= range.last; ++d) {
     max_day_seen_ = std::max(max_day_seen_, d);
     if (state.days.set(d)) {
       const auto di = static_cast<std::size_t>(d);
@@ -132,9 +87,8 @@ void ShardState::mark_days(CarState& state, std::uint32_t car,
 
 void ShardState::mark_bins(std::uint32_t car, std::uint32_t cell,
                            time::Seconds start, time::Seconds end) {
-  const std::int64_t b0 = start / time::kSecondsPerBin15;
-  const std::int64_t b1 = (end - 1) / time::kSecondsPerBin15;
-  for (std::int64_t b = b0; b <= b1; ++b) {
+  const core::BinRange bins = core::bin15_range(start, end);
+  for (std::int64_t b = bins.first; b <= bins.last; ++b) {
     ActiveBin& bin = active_bins_[b];
     bin.cars.insert(car);
     bin.per_cell[cell].insert(car);
@@ -179,31 +133,12 @@ void ShardState::integrate(const cdr::Connection& c) {
     session_span_.add(static_cast<double>(closed->span.duration()));
   }
 
-  // Union-of-intervals run merging, full durations. Equivalent to the batch
-  // union_connected_time: extend the current run while the next interval
-  // starts at or before its end, otherwise bank it and start a new one.
-  if (state.full_end >= 0 && c.start <= state.full_end) {
-    state.full_end = std::max(state.full_end, c.end());
-  } else {
-    if (state.full_end >= 0) {
-      state.full_total += state.full_end - state.full_start;
-    }
-    state.full_start = c.start;
-    state.full_end = c.end();
-  }
-
+  // Union-of-intervals via the same incremental core the batch
+  // union_connected_time uses (cdr::IntervalUnionRun).
+  state.full.add(c.start, c.end());
   const std::int32_t capped =
       cdr::truncated_duration(c.duration_s, config_.truncation_cap);
-  const time::Seconds trunc_end = c.start + capped;
-  if (state.trunc_end >= 0 && c.start <= state.trunc_end) {
-    state.trunc_end = std::max(state.trunc_end, trunc_end);
-  } else {
-    if (state.trunc_end >= 0) {
-      state.trunc_total += state.trunc_end - state.trunc_start;
-    }
-    state.trunc_start = c.start;
-    state.trunc_end = trunc_end;
-  }
+  state.trunc.add(c.start, c.start + capped);
 
   mark_days(state, car, cell, c.start, c.end());
   core::add_connection(usage_, c);
@@ -235,14 +170,10 @@ ShardSnapshot ShardState::snapshot() const {
     ShardSnapshot::CarTotals totals;
     totals.car = static_cast<std::uint32_t>(i) * shards +
                  static_cast<std::uint32_t>(shard_index_);
-    // Open runs count provisionally at their current extent; after close()
-    // the run is banked and the extent is zero, so this stays exact.
-    totals.full_s = state.full_total +
-                    (state.full_end >= 0 ? state.full_end - state.full_start
-                                         : 0);
-    totals.trunc_s = state.trunc_total +
-                     (state.trunc_end >= 0 ? state.trunc_end - state.trunc_start
-                                           : 0);
+    // IntervalUnionRun::total() counts an open run provisionally at its
+    // current extent; after close() it is banked, so this stays exact.
+    totals.full_s = state.full.total();
+    totals.trunc_s = state.trunc.total();
     totals.days = state.days.count();
     snap.cars.push_back(totals);
     if (state.session.open()) {

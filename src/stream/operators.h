@@ -28,6 +28,7 @@
 
 #include "cdr/record.h"
 #include "cdr/session.h"
+#include "core/day_bits.h"
 #include "core/usage_matrix.h"
 #include "stats/descriptive.h"
 #include "stats/p2_quantile.h"
@@ -35,19 +36,10 @@
 
 namespace ccms::stream {
 
-/// Compact per-car set of study days (bit d = car seen on day d).
-class DayBits {
- public:
-  /// Sets bit `day` (>= 0). Returns true if it was newly set.
-  bool set(std::int64_t day);
-  [[nodiscard]] bool test(std::int64_t day) const;
-  [[nodiscard]] int count() const;
-  void merge(const DayBits& other);
-  [[nodiscard]] std::size_t capacity_days() const { return words_.size() * 64; }
-
- private:
-  std::vector<std::uint64_t> words_;
-};
+/// Compact per-car set of study days (bit d = car seen on day d). The
+/// batch passes and the stream operators share one implementation — see
+/// core/day_bits.h.
+using DayBits = core::DayBits;
 
 /// One completed (or still-open) 15-minute concurrency bin of one shard.
 struct BinCounts {
@@ -123,13 +115,10 @@ class ShardState {
  private:
   struct CarState {
     cdr::SessionBuilder session{0};
-    // Current union-of-intervals run, full and truncated variants.
-    time::Seconds full_start = 0;
-    time::Seconds full_end = -1;
-    std::int64_t full_total = 0;
-    time::Seconds trunc_start = 0;
-    time::Seconds trunc_end = -1;
-    std::int64_t trunc_total = 0;
+    // Union-of-intervals runs, full and truncated variants — the same
+    // incremental core batch union_connected_time folds over.
+    cdr::IntervalUnionRun full;
+    cdr::IntervalUnionRun trunc;
     DayBits days;
     bool seen = false;
   };
@@ -147,7 +136,6 @@ class ShardState {
   void mark_bins(std::uint32_t car, std::uint32_t cell, time::Seconds start,
                  time::Seconds end);
   void fold_bins(time::Seconds watermark);
-  [[nodiscard]] std::int64_t clamp_day(std::int64_t day) const;
 
   StreamConfig config_;
   int shard_index_ = 0;
