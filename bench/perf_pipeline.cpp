@@ -2,13 +2,18 @@
 // the library chews through CDRs. (The per-figure binaries measure fidelity;
 // this one measures throughput.) Besides the google-benchmark table, the
 // binary emits machine-readable BENCH_pipeline.json (end-to-end batch pass:
-// records/sec, wall seconds, peak RSS) and BENCH_batch.json (full run_study
-// swept over executor widths 1,2,4,..,--threads with speedup_vs_1t) for CI
-// regression diffing. Schemas: bench/BENCH_SCHEMA.md.
+// records/sec, wall seconds, peak RSS), BENCH_batch.json (full run_study
+// swept over executor widths 1,2,4,..,--threads with speedup_vs_1t) and
+// BENCH_ingest.json (front-of-pipeline generate/ingest/finalize/analyze
+// phase sweep at widths 1 and --threads, with a bitwise-determinism check
+// across widths) for CI regression diffing. Schemas: bench/BENCH_SCHEMA.md.
 //
-// Flags / env: --threads N (sweep ceiling, default 8; stripped before
+// Flags / env: --threads N (sweep ceiling, default 8, 0 = hardware
+// concurrency — resolved before it reaches any JSON; stripped before
 // google-benchmark sees the argv), CCMS_BENCH_OUT (BENCH_pipeline.json
-// path), CCMS_BENCH_BATCH_OUT (BENCH_batch.json path).
+// path), CCMS_BENCH_BATCH_OUT (BENCH_batch.json path),
+// CCMS_BENCH_INGEST_OUT (BENCH_ingest.json path), CCMS_CARS / CCMS_DAYS
+// (ingest-sweep fixture size).
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -23,7 +28,9 @@
 #include "core/days_histogram.h"
 
 #include "cdr/clean.h"
+#include "cdr/io.h"
 #include "cdr/session.h"
+#include "exec/thread_pool.h"
 #include "core/busy_time.h"
 #include "core/concurrency.h"
 #include "core/connected_time.h"
@@ -277,8 +284,141 @@ void write_batch_json(int max_threads) {
   bench::write_bench_json(out != nullptr ? out : "BENCH_batch.json", json);
 }
 
+// Front-of-pipeline phase sweep — generate / ingest / finalize / analyze —
+// at executor widths 1 and max_threads, written to BENCH_ingest.json. Each
+// phase row reports wall seconds and records/s; the top-level
+// `deterministic` flag asserts the PR invariant that every phase's output at
+// every width is bitwise identical to the 1-thread run. Fixture size comes
+// from CCMS_CARS / CCMS_DAYS (defaults 2000 cars, 28 days). Returns the
+// determinism verdict so main() can fail the run on a mismatch.
+bool write_ingest_json(int max_threads) {
+  const char* cars_env = std::getenv("CCMS_CARS");
+  const char* days_env = std::getenv("CCMS_DAYS");
+  const int cars = cars_env != nullptr ? std::atoi(cars_env) : 2000;
+  const int days = days_env != nullptr ? std::atoi(days_env) : 28;
+
+  std::vector<int> widths = {1};
+  if (max_threads > 1) widths.push_back(max_threads);
+
+  bench::JsonArray rows;
+  bool deterministic = true;
+  std::string golden_raw;    // width-1 generated trace, serialized
+  std::string golden_final;  // width-1 re-finalized shuffled dataset
+  std::uint64_t records = 0;
+
+  std::printf(
+      "front-of-pipeline sweep: threads      phase      wall_s    records/s\n");
+  for (const int w : widths) {
+    sim::SimConfig config;
+    config.fleet.size = cars;
+    config.study_days = days;
+    config.topology.grid_width = 24;
+    config.topology.grid_height = 24;
+    config.threads = w;
+
+    const bench::Stopwatch gen_timer;
+    const sim::Study study = sim::simulate(config);
+    const double gen_s = gen_timer.seconds();
+    records = static_cast<std::uint64_t>(study.raw.size());
+
+    const std::string bytes = cdr::write_binary_buffer(study.raw);
+
+    cdr::IngestOptions options;
+    options.threads = w;
+    // Re-loading our own trace: simulated traces can contain legitimate
+    // exact duplicates, so the duplicate screen stays off for a bitwise
+    // round trip.
+    options.check_duplicates = false;
+    cdr::IngestReport report;
+    const bench::Stopwatch ingest_timer;
+    const cdr::Dataset ingested =
+        cdr::read_binary_buffer(bytes, options, report, "bench");
+    const double ingest_s = ingest_timer.seconds();
+
+    // Deterministically shuffled copy so finalize() has real sorting work
+    // (the simulator's output is already nearly in (car, start) order).
+    std::vector<cdr::Connection> shuffled(study.raw.all().begin(),
+                                          study.raw.all().end());
+    util::Rng shuffle_rng(42);
+    shuffle_rng.shuffle(shuffled);
+    cdr::Dataset unsorted;
+    unsorted.set_fleet_size(study.raw.fleet_size());
+    unsorted.set_study_days(study.raw.study_days());
+    unsorted.reserve(shuffled.size());
+    unsorted.add(shuffled);
+    exec::ThreadPool pool(w);
+    const bench::Stopwatch fin_timer;
+    unsorted.finalize(pool);
+    const double fin_s = fin_timer.seconds();
+
+    const auto load = core::CellLoad::from_background(study.background);
+    core::StudyOptions study_options;
+    study_options.threads = w;
+    const bench::Stopwatch an_timer;
+    const core::StudyReport sr =
+        core::run_study(study.raw, study.topology.cells(), load, study_options);
+    const double an_s = an_timer.seconds();
+    benchmark::DoNotOptimize(sr.carriers.car_count);
+
+    // Bitwise determinism: the generated trace, the ingested round-trip and
+    // the re-finalized dataset must serialize to the width-1 bytes exactly.
+    const std::string final_bytes = cdr::write_binary_buffer(unsorted);
+    const std::string ingested_bytes = cdr::write_binary_buffer(ingested);
+    if (w == widths.front()) {
+      golden_raw = bytes;
+      golden_final = final_bytes;
+    } else if (bytes != golden_raw || final_bytes != golden_final) {
+      deterministic = false;
+    }
+    if (ingested_bytes != bytes || final_bytes != bytes) {
+      deterministic = false;
+    }
+
+    const auto row = [&](const char* phase, double wall_s, std::uint64_t n) {
+      std::printf("                         %7d %10s %11.3f %12.0f\n", w,
+                  phase, wall_s,
+                  wall_s > 0 ? static_cast<double>(n) / wall_s : 0);
+      rows.push(bench::JsonObject()
+                    .add("threads", w)
+                    .add("phase", phase)
+                    .add("wall_s", wall_s)
+                    .add("records_per_s",
+                         wall_s > 0 ? static_cast<double>(n) / wall_s : 0)
+                    .dump());
+    };
+    row("generate", gen_s, records);
+    row("ingest", ingest_s,
+        static_cast<std::uint64_t>(report.records_accepted));
+    row("finalize", fin_s, records);
+    row("analyze", an_s, records);
+  }
+
+  const std::string json =
+      bench::JsonObject()
+          .add("bench", "perf_ingest")
+          .add("records", records)
+          .add("cars", cars)
+          .add("study_days", days)
+          .add("threads_max", max_threads)
+          .add("hardware_concurrency",
+               static_cast<int>(std::thread::hardware_concurrency()))
+          .add("deterministic", deterministic)
+          .add("peak_rss_bytes", bench::peak_rss_bytes())
+          .raw("phase_runs", rows.dump())
+          .dump();
+  const char* out = std::getenv("CCMS_BENCH_INGEST_OUT");
+  bench::write_bench_json(out != nullptr ? out : "BENCH_ingest.json", json);
+  if (!deterministic) {
+    std::cerr << "[bench] FRONT-OF-PIPELINE OUTPUT DIVERGES ACROSS THREAD "
+                 "WIDTHS\n";
+  }
+  return deterministic;
+}
+
 // Consumes a leading `--threads N` / `--threads=N` before google-benchmark
-// parses (and would reject) it. Returns the sweep ceiling.
+// parses (and would reject) it. Returns the *resolved* sweep ceiling:
+// `--threads 0` means hardware concurrency and is resolved here, so every
+// BENCH_*.json records the real width it ran at, never a literal 0.
 int strip_threads_flag(int& argc, char** argv, int fallback) {
   int threads = fallback;
   int w = 1;
@@ -295,7 +435,8 @@ int strip_threads_flag(int& argc, char** argv, int fallback) {
     argv[w++] = argv[r];
   }
   argc = w;
-  return threads > 0 ? threads : fallback;
+  if (threads < 0) threads = fallback;
+  return exec::ThreadPool::resolve_threads(threads);
 }
 
 }  // namespace
@@ -304,9 +445,10 @@ int main(int argc, char** argv) {
   const int max_threads = strip_threads_flag(argc, argv, 8);
   write_pipeline_json();
   write_batch_json(max_threads);
+  const bool deterministic = write_ingest_json(max_threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return deterministic ? 0 : 1;
 }

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/parallel.h"
+#include "exec/parallel_sort.h"
+#include "exec/thread_pool.h"
+
 namespace ccms::cdr {
 
 void Dataset::add(const Connection& c) {
@@ -15,17 +19,47 @@ void Dataset::add(std::span<const Connection> records) {
   finalized_ = false;
 }
 
-void Dataset::finalize() {
-  if (finalized_) return;
-  std::sort(records_.begin(), records_.end(), ByCarThenStart{});
+void Dataset::finalize() { finalize_impl(nullptr); }
 
-  // Per-car offset table. Car ids are dense in practice; the table has one
-  // slot per id up to the max observed (or declared fleet size).
+void Dataset::finalize(exec::ThreadPool& pool) { finalize_impl(&pool); }
+
+void Dataset::finalize_impl(exec::ThreadPool* pool) {
+  if (finalized_) return;
+
+  // (car, start) record order. ByCarThenStart is a total order, so the
+  // stable sort here and the chunked merge sort agree bitwise.
+  if (pool != nullptr) {
+    exec::parallel_stable_sort(*pool, records_, ByCarThenStart{});
+  } else {
+    std::stable_sort(records_.begin(), records_.end(), ByCarThenStart{});
+  }
+
+  // Max car id / study end. Both reductions take elementwise maxima, so the
+  // chunked merge is order-insensitive and exact.
   std::uint32_t max_car = 0;
   time::Seconds max_end = 0;
-  for (const Connection& c : records_) {
-    max_car = std::max(max_car, c.car.value);
-    max_end = std::max(max_end, c.end());
+  if (pool != nullptr) {
+    struct MaxAcc {
+      std::uint32_t car = 0;
+      time::Seconds end = 0;
+    };
+    const MaxAcc acc = exec::parallel_reduce(
+        *pool, records_.size(), std::size_t{1} << 16, [] { return MaxAcc{}; },
+        [&](MaxAcc& a, std::size_t i) {
+          a.car = std::max(a.car, records_[i].car.value);
+          a.end = std::max(a.end, records_[i].end());
+        },
+        [](MaxAcc& into, MaxAcc&& from) {
+          into.car = std::max(into.car, from.car);
+          into.end = std::max(into.end, from.end);
+        });
+    max_car = acc.car;
+    max_end = acc.end;
+  } else {
+    for (const Connection& c : records_) {
+      max_car = std::max(max_car, c.car.value);
+      max_end = std::max(max_end, c.end());
+    }
   }
   if (!records_.empty() && fleet_size_ < max_car + 1) {
     fleet_size_ = max_car + 1;
@@ -35,20 +69,67 @@ void Dataset::finalize() {
         (max_end + time::kSecondsPerDay - 1) / time::kSecondsPerDay);
   }
 
+  // Per-car offset table: car_offsets_[k] = number of records with car < k,
+  // i.e. the lower-bound index of car k in the sorted records. The
+  // sequential build counts + prefix-sums; the parallel build binary-
+  // searches each id independently. Both produce the identical table.
   car_offsets_.assign(static_cast<std::size_t>(fleet_size_) + 1, 0);
-  for (const Connection& c : records_) {
-    ++car_offsets_[c.car.value + 1];
+  if (pool != nullptr) {
+    constexpr std::size_t kIdBlock = 4096;
+    const std::size_t slots = car_offsets_.size();
+    const std::size_t blocks = (slots + kIdBlock - 1) / kIdBlock;
+    pool->parallel_for(blocks, [&](std::size_t blk) {
+      const std::size_t lo = blk * kIdBlock;
+      const std::size_t hi = std::min(slots, lo + kIdBlock);
+      auto it = std::lower_bound(
+          records_.begin(), records_.end(), lo,
+          [](const Connection& c, std::size_t car) { return c.car.value < car; });
+      for (std::size_t k = lo; k < hi; ++k) {
+        while (it != records_.end() && it->car.value < k) ++it;
+        car_offsets_[k] = static_cast<std::uint64_t>(it - records_.begin());
+      }
+    });
+  } else {
+    for (const Connection& c : records_) {
+      ++car_offsets_[c.car.value + 1];
+    }
+    std::partial_sum(car_offsets_.begin(), car_offsets_.end(),
+                     car_offsets_.begin());
   }
-  std::partial_sum(car_offsets_.begin(), car_offsets_.end(),
-                   car_offsets_.begin());
 
-  // By-cell permutation.
+  // By-cell permutation. The stable index sort breaks full-record ties by
+  // storage index, which the chunked merge sort reproduces exactly.
   by_cell_.resize(records_.size());
   std::iota(by_cell_.begin(), by_cell_.end(), 0u);
-  std::sort(by_cell_.begin(), by_cell_.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return ByCellThenStart{}(records_[a], records_[b]);
-            });
+  const auto by_cell_cmp = [this](std::uint32_t a, std::uint32_t b) {
+    return ByCellThenStart{}(records_[a], records_[b]);
+  };
+  if (pool != nullptr) {
+    exec::parallel_stable_sort(*pool, by_cell_, by_cell_cmp);
+  } else {
+    std::stable_sort(by_cell_.begin(), by_cell_.end(), by_cell_cmp);
+  }
+
+  // Distinct-cell count, cached: boundaries in the by-cell permutation.
+  // Chunked: each chunk counts transitions against its predecessor index,
+  // so the per-chunk sums add up to the sequential count exactly.
+  if (by_cell_.empty()) {
+    distinct_cells_ = 0;
+  } else if (pool != nullptr) {
+    distinct_cells_ = 1 + exec::parallel_reduce(
+        *pool, records_.size() - 1, std::size_t{1} << 16,
+        [] { return std::size_t{0}; },
+        [&](std::size_t& acc, std::size_t i) {
+          acc += records_[by_cell_[i]].cell != records_[by_cell_[i + 1]].cell;
+        },
+        [](std::size_t& into, std::size_t from) { into += from; });
+  } else {
+    distinct_cells_ = 1;
+    for (std::size_t i = 1; i < by_cell_.size(); ++i) {
+      distinct_cells_ +=
+          records_[by_cell_[i - 1]].cell != records_[by_cell_[i]].cell;
+    }
+  }
 
   finalized_ = true;
 }
@@ -82,6 +163,7 @@ std::vector<Dataset::CellSpan> Dataset::cell_spans() const {
 }
 
 std::size_t Dataset::distinct_cells() const {
+  if (finalized_) return distinct_cells_;
   std::size_t count = 0;
   for_each_cell([&count](CellId, std::span<const std::uint32_t>) { ++count; });
   return count;

@@ -13,6 +13,10 @@
 
 #include "cdr/record.h"
 
+namespace ccms::exec {
+class ThreadPool;
+}
+
 namespace ccms::cdr {
 
 /// Owning container of connection records.
@@ -30,8 +34,16 @@ class Dataset {
   void reserve(std::size_t n) { records_.reserve(n); }
 
   /// Sorts and builds indexes. Must be called after the last add() and
-  /// before any accessor; idempotent.
+  /// before any accessor; idempotent. Stable-sort semantics: with the
+  /// total-order comparators in record.h the result is unique, so the
+  /// sequential and parallel overloads produce bitwise-identical state.
   void finalize();
+
+  /// Parallel finalize on `pool`: chunked merge sort for the (car, start)
+  /// record order and the (cell, start) permutation, parallel offset-table
+  /// and distinct-cell builds. Identical output to finalize() for every
+  /// pool width.
+  void finalize(exec::ThreadPool& pool);
 
   [[nodiscard]] bool finalized() const { return finalized_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
@@ -58,7 +70,8 @@ class Dataset {
   [[nodiscard]] int study_days() const { return study_days_; }
   void set_study_days(int days) { study_days_ = days; }
 
-  /// Number of distinct cells referenced by at least one record.
+  /// Number of distinct cells referenced by at least one record. Cached at
+  /// finalize() time (callers hit this once per figure).
   [[nodiscard]] std::size_t distinct_cells() const;
 
   /// One cell's records in start order (via the by-cell permutation).
@@ -118,11 +131,14 @@ class Dataset {
   }
 
  private:
+  void finalize_impl(exec::ThreadPool* pool);
+
   std::vector<Connection> records_;
   std::vector<std::uint32_t> by_cell_;      // permutation: (cell, start) order
   std::vector<std::uint64_t> car_offsets_;  // car id -> first index (+ sentinel)
   std::uint32_t fleet_size_ = 0;
   int study_days_ = 0;
+  std::size_t distinct_cells_ = 0;          // cached by finalize()
   bool finalized_ = false;
 };
 

@@ -81,6 +81,19 @@ struct IngestOptions {
 
   /// Max quarantine entries retained (counters keep counting past the cap).
   std::size_t quarantine_cap = 64;
+
+  /// Ingest parallelism: 1 = sequential (default), 0 = hardware
+  /// concurrency, N = N threads. The produced Dataset and IngestReport are
+  /// bitwise identical for every value (see DESIGN.md §10): chunk results
+  /// merge in byte-offset order and the cross-chunk order/duplicate checks
+  /// are re-applied at chunk seams.
+  int threads = 1;
+
+  /// Minimum chunk granularity for parallel ingest, in bytes (CSV chunks
+  /// are additionally newline-aligned; binary chunks rounded to whole
+  /// records). 0 = default 1 MiB. Tests shrink this to force chunk seams
+  /// on small fixtures.
+  std::size_t chunk_bytes = 0;
 };
 
 /// One quarantined record: enough to audit the fault post-hoc.

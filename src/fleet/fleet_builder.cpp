@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
+
 namespace ccms::fleet {
 
 namespace {
@@ -42,11 +44,72 @@ int chebyshev(const net::Topology& topo, StationId a, StationId b) {
   return std::max(std::abs(ca.ix - cb.ix), std::abs(ca.iy - cb.iy));
 }
 
-}  // namespace
+/// One car's profile. Every draw comes from the car's own counter-based
+/// stream (`rng.split(0xCA500000 + i)`), so profiles are independent of
+/// build order — the property the parallel builder relies on.
+CarProfile make_car(
+    std::size_t i, Archetype archetype, const net::Topology& topology,
+    const FleetConfig& config,
+    const std::array<std::vector<StationId>, net::kGeoClassCount>& by_class,
+    std::span<const net::CarrierSpec> carrier_specs, const util::Rng& rng) {
+  util::Rng car_rng = rng.split(0xCA500000ULL + i);
+  CarProfile car;
+  car.id = CarId{static_cast<std::uint32_t>(i)};
+  car.archetype = archetype;
+  const ArchetypeSpec& spec = archetype_spec(car.archetype);
 
-std::vector<CarProfile> build_fleet(const net::Topology& topology,
-                                    const FleetConfig& config,
-                                    util::Rng& rng) {
+  car.home = sample_station(by_class, config.home_class_weights, car_rng);
+  car.work = car.home;
+  if (spec.commutes) {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      car.work = sample_station(by_class, config.work_class_weights, car_rng);
+      const int d = chebyshev(topology, car.home, car.work);
+      if (d >= 2 && d <= 11) break;
+    }
+  }
+
+  car.depart_am = static_cast<time::Seconds>(car_rng.uniform(
+      6.4 * time::kSecondsPerHour, 9.0 * time::kSecondsPerHour));
+  car.depart_pm = static_cast<time::Seconds>(car_rng.uniform(
+      15.5 * time::kSecondsPerHour, 18.5 * time::kSecondsPerHour));
+
+  car.activity_scale =
+      car_rng.uniform(spec.activity_scale_min, spec.activity_scale_max);
+  car.stuck_multiplier =
+      std::min(2.0, std::exp(config.stuck_sigma * car_rng.normal()));
+
+  bool any = false;
+  for (const net::CarrierSpec& cs : carrier_specs) {
+    const bool supported = car_rng.bernoulli(cs.modem_support_fraction);
+    car.carrier_support[cs.id.value] = supported;
+    any = any || supported;
+  }
+  if (!car.carrier_support[0] && !car.carrier_support[2]) {
+    // Every modem of this OEM ships with at least the C1+C3 baseline.
+    car.carrier_support[0] = true;
+    car.carrier_support[2] = true;
+  }
+  (void)any;
+
+  // Camping preference among supported carriers, by selection weight.
+  std::array<double, net::kCarrierCount> pref_weights{};
+  for (const net::CarrierSpec& cs : carrier_specs) {
+    if (car.carrier_support[cs.id.value]) {
+      pref_weights[cs.id.value] = cs.selection_weight;
+    }
+  }
+  car.preferred_carrier =
+      CarrierId{static_cast<std::uint8_t>(car_rng.categorical(pref_weights))};
+
+  car.tz_offset_hours =
+      -static_cast<int>(car_rng.categorical(config.timezone_shares));
+  return car;
+}
+
+std::vector<CarProfile> build_fleet_impl(const net::Topology& topology,
+                                         const FleetConfig& config,
+                                         util::Rng& rng,
+                                         exec::ThreadPool* pool) {
   const auto by_class = stations_by_class(topology);
   const auto catalogue = archetype_catalogue();
 
@@ -68,69 +131,40 @@ std::vector<CarProfile> build_fleet(const net::Topology& topology,
   }
   rng.shuffle(assignment);
 
-  std::vector<CarProfile> fleet;
-  fleet.reserve(assignment.size());
   const auto carrier_specs = net::carrier_catalogue();
-
-  for (std::size_t i = 0; i < assignment.size(); ++i) {
-    util::Rng car_rng = rng.split(0xCA500000ULL + i);
-    CarProfile car;
-    car.id = CarId{static_cast<std::uint32_t>(i)};
-    car.archetype = assignment[i];
-    const ArchetypeSpec& spec = archetype_spec(car.archetype);
-
-    car.home = sample_station(by_class, config.home_class_weights, car_rng);
-    car.work = car.home;
-    if (spec.commutes) {
-      for (int attempt = 0; attempt < 12; ++attempt) {
-        car.work =
-            sample_station(by_class, config.work_class_weights, car_rng);
-        const int d = chebyshev(topology, car.home, car.work);
-        if (d >= 2 && d <= 11) break;
+  std::vector<CarProfile> fleet(assignment.size());
+  if (pool != nullptr && !fleet.empty()) {
+    constexpr std::size_t kCarChunk = 64;
+    const std::size_t chunks = (fleet.size() + kCarChunk - 1) / kCarChunk;
+    pool->parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * kCarChunk;
+      const std::size_t end = std::min(fleet.size(), begin + kCarChunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        fleet[i] = make_car(i, assignment[i], topology, config, by_class,
+                            carrier_specs, rng);
       }
+    });
+  } else {
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      fleet[i] = make_car(i, assignment[i], topology, config, by_class,
+                          carrier_specs, rng);
     }
-
-    car.depart_am = static_cast<time::Seconds>(
-        car_rng.uniform(6.4 * time::kSecondsPerHour,
-                        9.0 * time::kSecondsPerHour));
-    car.depart_pm = static_cast<time::Seconds>(
-        car_rng.uniform(15.5 * time::kSecondsPerHour,
-                        18.5 * time::kSecondsPerHour));
-
-    car.activity_scale =
-        car_rng.uniform(spec.activity_scale_min, spec.activity_scale_max);
-    car.stuck_multiplier =
-        std::min(2.0, std::exp(config.stuck_sigma * car_rng.normal()));
-
-    bool any = false;
-    for (const net::CarrierSpec& cs : carrier_specs) {
-      const bool supported = car_rng.bernoulli(cs.modem_support_fraction);
-      car.carrier_support[cs.id.value] = supported;
-      any = any || supported;
-    }
-    if (!car.carrier_support[0] && !car.carrier_support[2]) {
-      // Every modem of this OEM ships with at least the C1+C3 baseline.
-      car.carrier_support[0] = true;
-      car.carrier_support[2] = true;
-    }
-    (void)any;
-
-    // Camping preference among supported carriers, by selection weight.
-    std::array<double, net::kCarrierCount> pref_weights{};
-    for (const net::CarrierSpec& cs : carrier_specs) {
-      if (car.carrier_support[cs.id.value]) {
-        pref_weights[cs.id.value] = cs.selection_weight;
-      }
-    }
-    car.preferred_carrier = CarrierId{
-        static_cast<std::uint8_t>(car_rng.categorical(pref_weights))};
-
-    car.tz_offset_hours =
-        -static_cast<int>(car_rng.categorical(config.timezone_shares));
-
-    fleet.push_back(car);
   }
   return fleet;
+}
+
+}  // namespace
+
+std::vector<CarProfile> build_fleet(const net::Topology& topology,
+                                    const FleetConfig& config,
+                                    util::Rng& rng) {
+  return build_fleet_impl(topology, config, rng, nullptr);
+}
+
+std::vector<CarProfile> build_fleet(const net::Topology& topology,
+                                    const FleetConfig& config, util::Rng& rng,
+                                    exec::ThreadPool& pool) {
+  return build_fleet_impl(topology, config, rng, &pool);
 }
 
 std::array<std::size_t, kArchetypeCount> archetype_counts(

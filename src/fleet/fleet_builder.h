@@ -8,6 +8,10 @@
 #include "net/topology.h"
 #include "util/rng.h"
 
+namespace ccms::exec {
+class ThreadPool;
+}
+
 namespace ccms::fleet {
 
 /// Knobs of fleet construction.
@@ -36,6 +40,15 @@ struct FleetConfig {
 [[nodiscard]] std::vector<CarProfile> build_fleet(const net::Topology& topology,
                                                   const FleetConfig& config,
                                                   util::Rng& rng);
+
+/// Parallel variant: per-car profiles draw from counter-based RNG streams
+/// (`rng.split(tag + car id)`), so each car's profile is independent of
+/// every other car's draws and slot i can be filled by any thread. Output
+/// is bitwise identical to the sequential overload for every pool width.
+[[nodiscard]] std::vector<CarProfile> build_fleet(const net::Topology& topology,
+                                                  const FleetConfig& config,
+                                                  util::Rng& rng,
+                                                  exec::ThreadPool& pool);
 
 /// Counts per archetype in a fleet (diagnostics / tests).
 [[nodiscard]] std::array<std::size_t, kArchetypeCount> archetype_counts(

@@ -25,6 +25,13 @@ struct SimConfig {
   /// Study length in days; the paper's is 90, starting on a Monday.
   int study_days = 90;
 
+  /// Generation parallelism: 1 = sequential (default), 0 = hardware
+  /// concurrency, N = N threads. Every car draws from its own counter-based
+  /// RNG stream (master seed ⊕ car id) and per-chunk record buffers are
+  /// concatenated in car order, so the produced trace is bitwise identical
+  /// for every value — including 1 (the historical sequential path).
+  int threads = 1;
+
   net::TopologyConfig topology;
   net::LoadModelConfig load;
   fleet::FleetConfig fleet;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/thread_pool.h"
 #include "fleet/schedule.h"
 #include "util/rng.h"
 
@@ -41,10 +42,12 @@ Study simulate(const SimConfig& config) {
   util::Rng day_rng = master.split(0xDA75ULL);
 
 
+  exec::ThreadPool pool(config.threads);
+
   net::Topology topology(config.topology, topo_rng);
   net::BackgroundLoad background(topology, config.load, load_rng);
   std::vector<fleet::CarProfile> cars =
-      fleet::build_fleet(topology, config.fleet, fleet_rng);
+      fleet::build_fleet(topology, config.fleet, fleet_rng, pool);
 
   // Global per-day activity factors: slow adoption trend plus day-of-week
   // dependent variability (Friday/Saturday are the noisy days in Table 1).
@@ -62,22 +65,45 @@ Study simulate(const SimConfig& config) {
   const time::Seconds study_end =
       static_cast<time::Seconds>(config.study_days) * time::kSecondsPerDay;
 
-  std::vector<cdr::Connection> records;
-  records.reserve(static_cast<std::size_t>(config.fleet.size) *
-                  static_cast<std::size_t>(config.study_days) * 8);
-
-  for (const fleet::CarProfile& car : cars) {
-    util::Rng car_rng = master.split(0xCACA000000ULL + car.id.value);
-    for (int day = 0; day < config.study_days; ++day) {
-      const fleet::DayContext ctx{day,
-                                  day_factors[static_cast<std::size_t>(day)]};
-      const std::vector<fleet::Trip> trips =
-          fleet::plan_day(car, topology, ctx, car_rng);
-      for (const fleet::Trip& trip : trips) {
-        generator.generate_trip(car, trip, car_rng, records);
+  // Per-car trace generation, parallelized over fixed-size car chunks.
+  // Every car's draws come from its own counter-based stream
+  // (master.split(tag + car id)), and per-chunk buffers concatenate in car
+  // order, so the record sequence below is byte-for-byte the one the
+  // sequential loop produced.
+  constexpr std::size_t kCarChunk = 32;
+  const std::size_t chunk_count =
+      (cars.size() + kCarChunk - 1) / kCarChunk;
+  std::vector<std::vector<cdr::Connection>> chunks(chunk_count);
+  pool.parallel_for(chunk_count, [&](std::size_t c) {
+    std::vector<cdr::Connection>& out = chunks[c];
+    const std::size_t begin = c * kCarChunk;
+    const std::size_t end = std::min(cars.size(), begin + kCarChunk);
+    out.reserve((end - begin) *
+                static_cast<std::size_t>(config.study_days) * 8);
+    for (std::size_t i = begin; i < end; ++i) {
+      const fleet::CarProfile& car = cars[i];
+      util::Rng car_rng = master.split(0xCACA000000ULL + car.id.value);
+      for (int day = 0; day < config.study_days; ++day) {
+        const fleet::DayContext ctx{day,
+                                    day_factors[static_cast<std::size_t>(day)]};
+        const std::vector<fleet::Trip> trips =
+            fleet::plan_day(car, topology, ctx, car_rng);
+        for (const fleet::Trip& trip : trips) {
+          generator.generate_trip(car, trip, car_rng, out);
+        }
       }
     }
+  });
+
+  std::size_t total_records = 0;
+  for (const auto& chunk : chunks) total_records += chunk.size();
+  std::vector<cdr::Connection> records;
+  records.reserve(total_records);
+  for (auto& chunk : chunks) {
+    records.insert(records.end(), chunk.begin(), chunk.end());
   }
+  chunks.clear();
+  chunks.shrink_to_fit();
 
   // Right-censor at the study boundary (the export window ends), drop
   // records that fall outside entirely, and apply the partial-loss days.
@@ -114,7 +140,7 @@ Study simulate(const SimConfig& config) {
     }
     dataset.add(c);
   }
-  dataset.finalize();
+  dataset.finalize(pool);
 
   return Study{config,
                std::move(topology),
