@@ -8,8 +8,18 @@
 // multi-shard rows measure queueing overhead, not speedup, and the JSON
 // records hardware_concurrency so downstream tooling can judge the curve.
 //
+// A second phase measures crash recovery: the same feed is replayed through
+// a faults::FlakyFeed (seeded disconnects + reorder bursts) with periodic
+// checkpoints, killed mid-stream, restored from the last checkpoint and
+// replayed from that checkpoint's feed position. The phase times checkpoint()
+// and restore(), records the encoded image size and the replay gap, verifies
+// the recovered report is bitwise identical to an uninterrupted run, and
+// writes BENCH_stream_recovery.json.
+//
 // Env overrides: CCMS_CARS (default 2500), CCMS_DAYS (default 28),
-// CCMS_SEED, CCMS_BENCH_OUT (default BENCH_stream.json).
+// CCMS_SEED, CCMS_BENCH_OUT (default BENCH_stream.json),
+// CCMS_BENCH_RECOVERY_OUT (default BENCH_stream_recovery.json).
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -22,7 +32,9 @@
 #include "core/connected_time.h"
 #include "core/days_histogram.h"
 #include "core/presence.h"
+#include "faults/flaky_feed.h"
 #include "sim/simulator.h"
+#include "stream/checkpoint.h"
 #include "stream/engine.h"
 #include "stream/feed.h"
 #include "stream/report.h"
@@ -44,6 +56,119 @@ struct ShardRun {
   bool parity_ok = false;
   double p2_rel_error = 0;
 };
+
+struct RecoveryRun {
+  int shards = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes = 0;  ///< encoded size of the last image
+  double checkpoint_wall_s_mean = 0;
+  double restore_wall_s = 0;
+  std::uint64_t kill_after = 0;         ///< deliveries before the kill
+  std::uint64_t resume_position = 0;    ///< feed position of last checkpoint
+  std::uint64_t replay_gap = 0;         ///< records re-processed after restore
+  std::uint64_t records_replayed = 0;   ///< duplicates absorbed by cursors
+  std::uint64_t feed_disconnects = 0;
+  bool identical = false;
+  std::string why;
+};
+
+/// Kills an engine mid-feed (keeping only its last periodic checkpoint and
+/// the feed position recorded with it, like a real upstream), restores a
+/// fresh engine from the image and replays from that position — then checks
+/// the result is bitwise identical to an engine that never died.
+RecoveryRun run_recovery(const std::vector<cdr::Connection>& arrivals,
+                         const stream::StreamConfig& config,
+                         std::uint64_t feed_seed) {
+  faults::FlakyFeedConfig feed_config;
+  feed_config.disconnect_rate = 0.001;
+  feed_config.reorder_rate = 0.02;
+  feed_config.max_burst = 6;
+  feed_config.lateness_budget = config.allowed_lateness;
+
+  RecoveryRun run;
+  run.shards = config.shards;
+
+  // Transport-level ack cadence: disconnects replay from here. Decoupled
+  // from the checkpoint cadence, which alone bounds where a *restore* may
+  // resume (records acked past the checkpoint die with the process; records
+  // checkpointed but re-delivered are absorbed by the cursors).
+  constexpr std::size_t kAckInterval = 1024;
+  const auto drain = [&](faults::FlakyFeed& feed, stream::ShardedEngine& to) {
+    std::size_t since_ack = 0;
+    while (!feed.exhausted()) {
+      to.push(feed.next());
+      if (++since_ack >= kAckInterval) {
+        feed.ack();
+        since_ack = 0;
+      }
+    }
+  };
+
+  // Reference: the same flaky feed drained by an engine that never dies.
+  faults::FlakyFeed reference_feed(arrivals, feed_seed, feed_config);
+  stream::ShardedEngine reference_engine(config);
+  drain(reference_feed, reference_engine);
+  reference_engine.finish();
+  const stream::StreamReport reference = reference_engine.snapshot();
+
+  // First life: checkpoint periodically; the feed position at the moment of
+  // each checkpoint is the furthest a restore may resume from.
+  run.kill_after = arrivals.size() * 3 / 5;
+  const std::size_t checkpoint_every =
+      std::max<std::size_t>(1, arrivals.size() / 8);
+  faults::FlakyFeed first_feed(arrivals, feed_seed, feed_config);
+  stream::ShardedEngine first(config);
+  stream::Checkpoint saved;
+  double checkpoint_wall_total = 0;
+  std::size_t since_ack = 0;
+  std::size_t since_checkpoint = 0;
+  while (!first_feed.exhausted() && first_feed.delivered() < run.kill_after) {
+    first.push(first_feed.next());
+    if (++since_ack >= kAckInterval) {
+      first_feed.ack();
+      since_ack = 0;
+    }
+    if (++since_checkpoint >= checkpoint_every) {
+      const bench::Stopwatch timer;
+      saved = first.checkpoint();
+      checkpoint_wall_total += timer.seconds();
+      run.checkpoint_bytes = stream::encode(saved).size();
+      ++run.checkpoints_taken;
+      run.resume_position = first_feed.position();
+      since_checkpoint = 0;
+    }
+  }
+  run.checkpoint_wall_s_mean =
+      run.checkpoints_taken > 0
+          ? checkpoint_wall_total / static_cast<double>(run.checkpoints_taken)
+          : 0;
+  // A disconnect just before the kill can leave the cursor rewound behind
+  // the checkpoint position, so clamp instead of underflowing.
+  run.replay_gap = first_feed.position() > run.resume_position
+                       ? first_feed.position() - run.resume_position
+                       : 0;
+
+  // Second life: fresh feed (same seed -> same base order) rewound to the
+  // last checkpoint's position, fresh engine restored from the image.
+  faults::FlakyFeed second_feed(arrivals, feed_seed, feed_config);
+  second_feed.rewind_to(run.resume_position);
+  stream::ShardedEngine second(config);
+  if (run.checkpoints_taken > 0) {
+    const bench::Stopwatch timer;
+    if (!second.restore(saved)) {
+      run.why = "restore() rejected its own checkpoint";
+      return run;
+    }
+    run.restore_wall_s = timer.seconds();
+  }
+  drain(second_feed, second);
+  second.finish();
+  run.records_replayed = second.replayed_records();
+  run.feed_disconnects = second_feed.disconnects();
+  run.identical = stream::reports_identical(reference, second.snapshot(),
+                                            &run.why);
+  return run;
+}
 
 }  // namespace
 
@@ -123,11 +248,59 @@ int main() {
   const char* out = std::getenv("CCMS_BENCH_OUT");
   bench::write_bench_json(out != nullptr ? out : "BENCH_stream.json", json);
 
+  // ---- Recovery phase: flaky feed + periodic checkpoints + kill/restore.
+  std::cout << "\nrecovery: flaky at-least-once feed, kill at 60%, restore "
+               "from last checkpoint\n";
+  stream::StreamConfig recovery_config = stream::config_for(study.raw, 4);
+  recovery_config.exactly_once = true;
+  const RecoveryRun recovery = run_recovery(
+      stream::arrival_order(study.raw), recovery_config, config.seed ^ 0xF1AC);
+  std::printf(
+      "  checkpoints %llu (last %llu bytes, mean %.4fs)  restore %.4fs\n"
+      "  replay gap %llu records, %llu duplicates absorbed, %llu disconnects"
+      "  ->  %s\n",
+      static_cast<unsigned long long>(recovery.checkpoints_taken),
+      static_cast<unsigned long long>(recovery.checkpoint_bytes),
+      recovery.checkpoint_wall_s_mean, recovery.restore_wall_s,
+      static_cast<unsigned long long>(recovery.replay_gap),
+      static_cast<unsigned long long>(recovery.records_replayed),
+      static_cast<unsigned long long>(recovery.feed_disconnects),
+      recovery.identical ? "identical" : "DIVERGED");
+
+  const std::string recovery_json =
+      bench::JsonObject()
+          .add("bench", "perf_stream_recovery")
+          .add("records", records)
+          .add("cars", config.fleet.size)
+          .add("study_days", config.study_days)
+          .add("seed", static_cast<std::int64_t>(config.seed))
+          .add("shards", recovery.shards)
+          .add("checkpoints_taken", recovery.checkpoints_taken)
+          .add("checkpoint_bytes", recovery.checkpoint_bytes)
+          .add("checkpoint_wall_s_mean", recovery.checkpoint_wall_s_mean)
+          .add("restore_wall_s", recovery.restore_wall_s)
+          .add("kill_after_deliveries", recovery.kill_after)
+          .add("resume_position", recovery.resume_position)
+          .add("replay_gap_records", recovery.replay_gap)
+          .add("records_replayed", recovery.records_replayed)
+          .add("feed_disconnects", recovery.feed_disconnects)
+          .add("recovery_identical", recovery.identical)
+          .dump();
+  const char* recovery_out = std::getenv("CCMS_BENCH_RECOVERY_OUT");
+  bench::write_bench_json(
+      recovery_out != nullptr ? recovery_out : "BENCH_stream_recovery.json",
+      recovery_json);
+
+  bool ok = true;
   for (const ShardRun& run : runs) {
     if (!run.parity_ok) {
       std::cerr << "[bench] parity FAILED at " << run.shards << " shards\n";
-      return 1;
+      ok = false;
     }
   }
-  return 0;
+  if (!recovery.identical) {
+    std::cerr << "[bench] recovery parity FAILED: " << recovery.why << "\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -26,6 +26,10 @@ const char* name(FaultClass fault) {
       return "truncated-payload";
     case FaultClass::kHourArtifact:
       return "hour-artifact";
+    case FaultClass::kChecksumMismatch:
+      return "checksum-mismatch";
+    case FaultClass::kCheckpointMismatch:
+      return "checkpoint-mismatch";
     case FaultClass::kCount:
       break;
   }

@@ -40,6 +40,9 @@ enum class FaultClass : std::uint8_t {
   kBadHeader,          ///< binary: damaged magic / file shorter than header
   kTruncatedPayload,   ///< binary: record count overflows the payload bytes
   kHourArtifact,       ///< §3 exactly-1-hour reporting artifact (clean stage)
+  kChecksumMismatch,   ///< framed section whose CRC does not match its bytes
+  kCheckpointMismatch, ///< checkpoint version/geometry incompatible with the
+                       ///< restoring engine (stream::Checkpoint)
   kCount
 };
 

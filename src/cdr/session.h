@@ -65,6 +65,13 @@ class SessionBuilder {
   /// The open session (valid only while open()).
   [[nodiscard]] const Session& current() const { return current_; }
 
+  /// Re-opens a previously captured open session (checkpoint restore). The
+  /// builder behaves exactly as if `session` had just been built by push().
+  void resume(Session session) {
+    current_ = std::move(session);
+    open_ = true;
+  }
+
   [[nodiscard]] time::Seconds gap() const { return gap_; }
 
  private:
@@ -92,6 +99,23 @@ class IntervalUnionRun {
 
   /// Banks the open run. The accumulator is reusable (next car) afterwards.
   void close();
+
+  /// Full durable state (checkpoint/restore round trip is bit-exact).
+  struct State {
+    time::Seconds run_start = 0;
+    time::Seconds run_end = 0;
+    std::int64_t banked = 0;
+    bool open = false;
+  };
+  [[nodiscard]] State state() const {
+    return {run_start_, run_end_, banked_, open_};
+  }
+  void restore(const State& s) {
+    run_start_ = s.run_start;
+    run_end_ = s.run_end;
+    banked_ = s.banked;
+    open_ = s.open;
+  }
 
  private:
   time::Seconds run_start_ = 0;

@@ -28,6 +28,15 @@ class DayBits {
   void reset() { std::fill(words_.begin(), words_.end(), 0); }
   [[nodiscard]] std::size_t capacity_days() const { return words_.size() * 64; }
 
+  /// Raw 64-bit words (bit d of word d/64 = day d) — checkpoint export.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  /// Replaces the whole bitset with raw words — checkpoint restore.
+  void assign_words(std::vector<std::uint64_t> words) {
+    words_ = std::move(words);
+  }
+
  private:
   std::vector<std::uint64_t> words_;
 };

@@ -1,0 +1,100 @@
+#include "faults/flaky_feed.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace ccms::faults {
+
+namespace {
+
+/// Applies seeded, lateness-safe reorder bursts in place. Segments are
+/// contiguous and non-overlapping; each is shuffled and then restored to
+/// per-car original order (see flaky_feed.h for why both properties
+/// matter).
+void apply_reorder_bursts(std::vector<cdr::Connection>& base, util::Rng rng,
+                          const FlakyFeedConfig& config) {
+  if (config.reorder_rate <= 0 || config.max_burst < 2) return;
+  const std::size_t n = base.size();
+  std::size_t i = 0;
+  while (i + 1 < n) {
+    if (!rng.bernoulli(config.reorder_rate)) {
+      ++i;
+      continue;
+    }
+    const auto burst = static_cast<std::size_t>(
+        rng.uniform_int(2, std::max(2, config.max_burst)));
+    // Grow the segment while it stays inside the burst cap and the start
+    // span stays inside the lateness budget.
+    time::Seconds lo = base[i].start;
+    time::Seconds hi = base[i].start;
+    std::size_t j = i + 1;
+    while (j < n && j - i < burst) {
+      const time::Seconds lo2 = std::min(lo, base[j].start);
+      const time::Seconds hi2 = std::max(hi, base[j].start);
+      if (hi2 - lo2 > config.lateness_budget) break;
+      lo = lo2;
+      hi = hi2;
+      ++j;
+    }
+    if (j - i >= 2) {
+      // Shuffle the segment, then rewrite it so that each car's records
+      // reappear in their original relative order: the shuffled sequence
+      // decides *which car* occupies each slot, the original order decides
+      // which of that car's records.
+      std::vector<cdr::Connection> original(base.begin() + static_cast<std::ptrdiff_t>(i),
+                                            base.begin() + static_cast<std::ptrdiff_t>(j));
+      std::vector<cdr::Connection> shuffled = original;
+      rng.shuffle(shuffled);
+      std::unordered_map<std::uint32_t, std::vector<std::size_t>> per_car;
+      for (std::size_t k = 0; k < original.size(); ++k) {
+        per_car[original[k].car.value].push_back(k);
+      }
+      std::unordered_map<std::uint32_t, std::size_t> cursor;
+      for (std::size_t k = 0; k < shuffled.size(); ++k) {
+        const std::uint32_t car = shuffled[k].car.value;
+        const std::size_t pick = per_car[car][cursor[car]++];
+        base[i + k] = original[pick];
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+FlakyFeed::FlakyFeed(std::vector<cdr::Connection> arrivals, std::uint64_t seed,
+                     FlakyFeedConfig config)
+    : base_(std::move(arrivals)),
+      config_(config),
+      delivery_rng_(util::Rng(seed).split(2)) {
+  apply_reorder_bursts(base_, util::Rng(seed).split(1), config_);
+}
+
+const cdr::Connection& FlakyFeed::next() {
+  const std::size_t at = position_;
+  const cdr::Connection& record = base_[at];
+  ++position_;
+  ++delivered_;
+  if (at < high_water_) {
+    ++duplicates_;
+  } else {
+    high_water_ = position_;
+  }
+
+  // Seeded disconnect: rewind to the last acknowledged position. Suppressed
+  // at end-of-feed so a draining loop terminates.
+  if (config_.disconnect_rate > 0 && position_ < base_.size() &&
+      delivery_rng_.bernoulli(config_.disconnect_rate)) {
+    ++disconnects_;
+    position_ = ack_position_;
+  }
+  return record;
+}
+
+void FlakyFeed::rewind_to(std::size_t position) {
+  position_ = std::min(position, base_.size());
+  ack_position_ = std::min(ack_position_, position_);
+}
+
+}  // namespace ccms::faults

@@ -1,0 +1,117 @@
+// A deterministic at-least-once feed harness: seeded disconnects with
+// replay-from-last-acknowledgement, plus lateness-safe reorder bursts.
+//
+// FlakyFeed models the delivery layer between a CDR export and the
+// streaming engine the way a real collection pipeline misbehaves: the
+// connection drops and the producer re-sends everything after the last
+// acknowledged record (at-least-once → duplicates), and short bursts arrive
+// shuffled. It exists to *test* crash tolerance: ccms::stream's exactly-once
+// cursors must absorb the duplicates so that a killed-and-restored engine
+// replaying through a FlakyFeed converges to the same report as an
+// uninterrupted run.
+//
+// Determinism is the whole design:
+//  - The *base delivery order* (input order with reorder bursts applied) is
+//    fixed in the constructor from the seed alone. Two feeds built from the
+//    same (records, seed, config) produce the same base order, no matter
+//    when either is killed, rewound or drained.
+//  - Disconnects never invent new orderings: they only rewind the cursor to
+//    the last acknowledged position *within* the fixed base order. The
+//    post-dedup record sequence is therefore identical for every disconnect
+//    and kill pattern — the property the bitwise-parity tests lean on.
+//  - Reorder bursts are contiguous, non-overlapping segments whose start
+//    span is <= lateness_budget, shuffled and then restored to per-car
+//    ascending order. Per-car order preservation keeps the engine's ack
+//    cursors sound (per-car delivery keys stay strictly increasing), and
+//    the bounded span guarantees no record is quarantined as late by an
+//    engine whose allowed_lateness >= lateness_budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cdr/record.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ccms::faults {
+
+struct FlakyFeedConfig {
+  /// Probability, after each delivery, that the link drops and the feed
+  /// rewinds to the last acknowledged position (re-delivering everything
+  /// since). 0 disables disconnects.
+  double disconnect_rate = 0.0;
+
+  /// Probability that a reorder burst starts at a given base position.
+  double reorder_rate = 0.0;
+
+  /// Max records per reorder burst (>= 2 to have any effect).
+  int max_burst = 8;
+
+  /// Max start-time span of one reorder burst, seconds. Keep at or below
+  /// the consuming engine's allowed_lateness and no reordered record can
+  /// fall past its watermark.
+  time::Seconds lateness_budget = 300;
+};
+
+class FlakyFeed {
+ public:
+  /// `arrivals` is the intended delivery order (typically
+  /// stream::arrival_order of a dataset). The base order is derived here,
+  /// once, from `seed`; see the file comment.
+  FlakyFeed(std::vector<cdr::Connection> arrivals, std::uint64_t seed,
+            FlakyFeedConfig config = {});
+
+  /// True when every base record has been delivered and acknowledged-or-
+  /// passed. Disconnects are suppressed at end-of-feed, so a draining loop
+  /// terminates.
+  [[nodiscard]] bool exhausted() const { return position_ >= base_.size(); }
+
+  /// Delivers the next record (possibly a re-delivery after a disconnect).
+  /// Precondition: !exhausted().
+  const cdr::Connection& next();
+
+  /// Acknowledges everything delivered so far: a later disconnect or
+  /// rewind_to_ack() replays from here.
+  void ack() { ack_position_ = position_; }
+
+  /// Rewinds the cursor to an absolute base position — the resume path
+  /// after an engine restore (pass the position recorded with the
+  /// checkpoint, or an earlier one to force duplicate re-delivery).
+  void rewind_to(std::size_t position);
+
+  /// Rewinds to the last acknowledged position (external disconnect).
+  void rewind_to_ack() { position_ = ack_position_; }
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+  [[nodiscard]] std::size_t acked() const { return ack_position_; }
+
+  /// Total deliveries, including re-deliveries.
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  /// Deliveries of records already delivered before (the duplicates an
+  /// exactly-once consumer must drop).
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  /// Seeded disconnects that fired.
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
+
+  /// The fixed base delivery order (input order + reorder bursts).
+  [[nodiscard]] const std::vector<cdr::Connection>& base() const {
+    return base_;
+  }
+
+ private:
+  std::vector<cdr::Connection> base_;
+  FlakyFeedConfig config_;
+  util::Rng delivery_rng_;  ///< disconnect draws (one per delivery)
+
+  std::size_t position_ = 0;
+  std::size_t ack_position_ = 0;
+  std::size_t high_water_ = 0;  ///< furthest base position ever delivered
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t disconnects_ = 0;
+};
+
+}  // namespace ccms::faults

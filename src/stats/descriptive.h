@@ -51,6 +51,28 @@ class Accumulator {
   /// Merge another accumulator into this one (parallel reduction).
   void merge(const Accumulator& other);
 
+  /// Full durable state. min/max are serialized raw (±inf while empty) so a
+  /// checkpoint/restore round trip is bit-exact mid-stream.
+  struct State {
+    std::int64_t n = 0;
+    double mean = 0;
+    double m2 = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] State state() const {
+    return {n_, mean_, m2_, sum_, min_, max_};
+  }
+  void restore(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    sum_ = s.sum;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::int64_t n_ = 0;
   double mean_ = 0;

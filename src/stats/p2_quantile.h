@@ -43,6 +43,31 @@ class P2Quantile {
 
   [[nodiscard]] double q() const { return q_; }
 
+  /// Full durable state: with < 5 observations `heights` doubles as the
+  /// sorted prefix buffer, so everything must round-trip for the estimate to
+  /// stay bit-exact across a checkpoint/restore.
+  struct State {
+    double q = 0.5;
+    std::int64_t count = 0;
+    std::int64_t ignored = 0;
+    std::array<double, 5> heights{};
+    std::array<double, 5> positions{};
+    std::array<double, 5> desired{};
+    std::array<double, 5> increments{};
+  };
+  [[nodiscard]] State state() const {
+    return {q_, count_, ignored_, heights_, positions_, desired_, increments_};
+  }
+  void restore(const State& s) {
+    q_ = s.q;
+    count_ = s.count;
+    ignored_ = s.ignored;
+    heights_ = s.heights;
+    positions_ = s.positions;
+    desired_ = s.desired;
+    increments_ = s.increments;
+  }
+
  private:
   void insert_sorted(double x);
   [[nodiscard]] double parabolic(int i, int d) const;

@@ -9,8 +9,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "cdr/clean.h"
+#include "cdr/record.h"
 #include "cdr/session.h"
 #include "util/time.h"
 
@@ -58,12 +60,38 @@ struct StreamConfig {
   /// for the live view (96 = one day).
   int recent_bins = 96;
 
-  /// Max quarantine entries retained verbatim (counters keep counting).
+  /// Max quarantine entries retained verbatim — the same semantics as
+  /// cdr::IngestOptions::quarantine_cap: counters keep counting past the
+  /// cap (quarantine_overflow), 0 retains no entries at all, and a restore
+  /// re-caps a loaded quarantine to this engine's cap. A pathological
+  /// all-late feed therefore costs at most `quarantine_cap` retained
+  /// entries, never unbounded memory.
   std::size_t quarantine_cap = 64;
 
   /// How many per-cell duration-quantile rows a snapshot reports (the
   /// busiest cells by connection count).
   std::size_t top_cells = 16;
+
+  /// Exactly-once replay dedup for at-least-once feeds (faults::FlakyFeed,
+  /// or any upstream that re-delivers from its last acknowledged position
+  /// after a disconnect or an engine restore). The engine keeps one
+  /// acknowledgement cursor per car — the largest (start, cell, duration)
+  /// key delivered so far — and drops re-delivered records at or below it
+  /// before *any* accounting, so a killed-and-restored run is bitwise
+  /// identical to an uninterrupted one. Requires per-car delivery keys to be
+  /// strictly increasing for fresh records (true for arrival_order feeds and
+  /// FlakyFeed, whose reorder bursts preserve per-car order); feeds that can
+  /// invert same-car records, e.g. FaultInjector::jitter_feed, must leave
+  /// this off.
+  bool exactly_once = false;
+
+  /// Shard-supervision fault hook, run before each record is integrated
+  /// into a shard's operators. A throw from it (or from an operator) marks
+  /// that shard degraded — quarantined, its unprocessed records counted —
+  /// instead of taking down the process; snapshots then carry explicit
+  /// degraded_shards / coverage_fraction accounting. Not part of the
+  /// checkpoint (re-attach after restore).
+  std::function<void(int shard_index, const cdr::Connection&)> operator_hook;
 };
 
 }  // namespace ccms::stream

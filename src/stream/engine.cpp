@@ -1,9 +1,12 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <string>
+#include <utility>
 
 #include "cdr/clean.h"
+#include "util/csv.h"
 #include "util/time.h"
 
 namespace ccms::stream {
@@ -14,6 +17,7 @@ ShardedEngine::ShardedEngine(StreamConfig config)
   config_.batch_records = std::max<std::size_t>(1, config_.batch_records);
   config_.queue_batches = std::max<std::size_t>(1, config_.queue_batches);
   ingest_.mode = cdr::ParseMode::kLenient;
+  routed_per_shard_.assign(static_cast<std::size_t>(config_.shards), 0);
 
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
@@ -42,8 +46,18 @@ void ShardedEngine::worker_loop(Shard& shard) {
     }
     {
       std::lock_guard state_lock(shard.state_mutex);
-      for (const cdr::Connection& c : batch.records) shard.state.offer(c);
-      shard.state.advance(batch.watermark);
+      // A degraded shard keeps draining its queue (so the producer never
+      // deadlocks on backpressure) but applies nothing: its operators stay
+      // consistent as of the record before the failure.
+      if (!shard.degraded) {
+        try {
+          for (const cdr::Connection& c : batch.records) shard.state.offer(c);
+          shard.state.advance(batch.watermark);
+        } catch (const std::exception& e) {
+          shard.degraded = true;
+          shard.degraded_reason = e.what();
+        }
+      }
     }
     {
       std::lock_guard lock(shard.queue_mutex);
@@ -52,7 +66,14 @@ void ShardedEngine::worker_loop(Shard& shard) {
     }
   }
   std::lock_guard state_lock(shard.state_mutex);
-  shard.state.close();
+  if (!shard.degraded) {
+    try {
+      shard.state.close();
+    } catch (const std::exception& e) {
+      shard.degraded = true;
+      shard.degraded_reason = e.what();
+    }
+  }
 }
 
 void ShardedEngine::flush(Shard& shard) {
@@ -85,7 +106,10 @@ void ShardedEngine::quarantine_late(const cdr::Connection& c) {
   if (ingest_.quarantine.size() < config_.quarantine_cap) {
     cdr::QuarantineEntry entry;
     entry.fault = cdr::FaultClass::kOutOfOrderRecord;
-    entry.byte_offset = offered_;  // record ordinal in the feed
+    // Post-dedup delivery ordinal, not the raw offer count: re-delivered
+    // duplicates must not shift the ordinals, or a restored run's
+    // quarantine would diverge from the uninterrupted run's.
+    entry.byte_offset = offered_ - replayed_;
     entry.reason = "arrived past the watermark: start " +
                    std::to_string(c.start) + " < " +
                    std::to_string(watermark_) + " (lateness " +
@@ -97,7 +121,29 @@ void ShardedEngine::quarantine_late(const cdr::Connection& c) {
 }
 
 void ShardedEngine::push(const cdr::Connection& c) {
+  std::lock_guard lock(producer_mutex_);
+  if (finished_) {
+    throw StreamStateError(
+        "ShardedEngine::push after finish(): the stream is closed; "
+        "snapshot()/checkpoint() remain valid");
+  }
   ++offered_;
+
+  // Stage 0 — exactly-once dedup. An at-least-once feed re-delivers from
+  // its last acknowledged position after a disconnect or a restore; the
+  // per-car cursor drops those duplicates before *any* accounting, so every
+  // downstream counter sees the pristine record sequence exactly once.
+  if (config_.exactly_once) {
+    const CursorKey key{c.start, c.cell.value, c.duration_s};
+    auto [it, inserted] = cursors_.try_emplace(c.car.value, key);
+    if (!inserted) {
+      if (key <= it->second) {
+        ++replayed_;
+        return;
+      }
+      it->second = key;
+    }
+  }
   ++ingest_.rows_read;
 
   // Stage 1 — the §3 clean screen, same rules and same precedence as the
@@ -136,6 +182,7 @@ void ShardedEngine::push(const cdr::Connection& c) {
 
   const auto shard_index = static_cast<std::size_t>(
       c.car.value % static_cast<std::uint32_t>(config_.shards));
+  ++routed_per_shard_[shard_index];
   Shard& shard = *shards_[shard_index];
   shard.pending.push_back(c);
   if (shard.pending.size() >= config_.batch_records) flush(shard);
@@ -146,6 +193,11 @@ void ShardedEngine::push(std::span<const cdr::Connection> records) {
 }
 
 void ShardedEngine::finish() {
+  std::lock_guard lock(producer_mutex_);
+  finish_locked();
+}
+
+void ShardedEngine::finish_locked() {
   if (finished_) return;
   for (auto& shard : shards_) flush(*shard);
   for (auto& shard : shards_) {
@@ -159,28 +211,191 @@ void ShardedEngine::finish() {
   finished_ = true;
 }
 
+bool ShardedEngine::finished() const {
+  std::lock_guard lock(producer_mutex_);
+  return finished_;
+}
+
+time::Seconds ShardedEngine::watermark() const {
+  std::lock_guard lock(producer_mutex_);
+  return watermark_;
+}
+
+std::uint64_t ShardedEngine::late_records() const {
+  std::lock_guard lock(producer_mutex_);
+  return ingest_.count(cdr::FaultClass::kOutOfOrderRecord);
+}
+
+std::uint64_t ShardedEngine::replayed_records() const {
+  std::lock_guard lock(producer_mutex_);
+  return replayed_;
+}
+
+std::vector<AckCursor> ShardedEngine::ack_cursors() const {
+  std::lock_guard lock(producer_mutex_);
+  std::vector<AckCursor> cursors;
+  cursors.reserve(cursors_.size());
+  for (const auto& [car, key] : cursors_) {
+    cursors.push_back({car, key.start, key.cell, key.duration_s});
+  }
+  std::sort(cursors.begin(), cursors.end(),
+            [](const AckCursor& a, const AckCursor& b) { return a.car < b.car; });
+  return cursors;
+}
+
 StreamReport ShardedEngine::snapshot() {
+  std::lock_guard lock(producer_mutex_);
+  return snapshot_locked();
+}
+
+StreamReport ShardedEngine::snapshot_locked() {
   if (!finished_) drain();
 
   EngineStats engine;
   engine.shards = config_.shards;
   engine.watermark = watermark_;
   engine.records_offered = offered_;
+  engine.records_replayed = replayed_;
   engine.records_routed = routed_;
 
   std::vector<ShardSnapshot> snapshots;
+  std::vector<DegradedShard> degraded;
   snapshots.reserve(shards_.size());
-  for (auto& shard : shards_) {
-    std::lock_guard state_lock(shard->state_mutex);
-    if (!finished_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard state_lock(shard.state_mutex);
+    if (!finished_ && !shard.degraded) {
       // Everything pushed so far is in the shard; apply the current
-      // watermark so the snapshot is watermark-consistent.
-      shard->state.advance(watermark_);
+      // watermark so the snapshot is watermark-consistent. An operator
+      // failure here degrades the shard like one in the worker would.
+      try {
+        shard.state.advance(watermark_);
+      } catch (const std::exception& e) {
+        shard.degraded = true;
+        shard.degraded_reason = e.what();
+      }
     }
-    snapshots.push_back(shard->state.snapshot());
+    snapshots.push_back(shard.state.snapshot());
+    if (shard.degraded) {
+      DegradedShard d;
+      d.shard = static_cast<int>(i);
+      d.records_lost = routed_per_shard_[i] - snapshots.back().records;
+      d.reason = shard.degraded_reason;
+      degraded.push_back(std::move(d));
+    }
   }
   return merge_snapshots(config_, snapshots, ingest_, clean_, durations_,
-                         engine);
+                         engine, std::move(degraded));
+}
+
+Checkpoint ShardedEngine::checkpoint() {
+  std::lock_guard lock(producer_mutex_);
+  if (!finished_) drain();
+
+  Checkpoint image;
+  image.config = fingerprint_of(config_);
+  image.finished = finished_;
+
+  Checkpoint::Producer& p = image.producer;
+  p.ingest = ingest_;
+  p.clean = clean_;
+  p.durations = durations_.state();
+  p.max_start = max_start_;
+  p.watermark = watermark_;
+  p.offered = offered_;
+  p.routed = routed_;
+  p.replayed = replayed_;
+  p.routed_per_shard = routed_per_shard_;
+  p.cursors.reserve(cursors_.size());
+  for (const auto& [car, key] : cursors_) {
+    p.cursors.push_back({car, key.start, key.cell, key.duration_s});
+  }
+  std::sort(p.cursors.begin(), p.cursors.end(),
+            [](const AckCursor& a, const AckCursor& b) { return a.car < b.car; });
+
+  image.shards.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard state_lock(shard.state_mutex);
+    if (shard.degraded) {
+      throw StreamStateError("ShardedEngine::checkpoint: shard " +
+                             std::to_string(i) + " is degraded (" +
+                             shard.degraded_reason +
+                             "); a lossy state is not a resume point");
+    }
+    shard.state.save(image.shards[i]);
+  }
+  return image;
+}
+
+bool ShardedEngine::restore(const Checkpoint& checkpoint,
+                            cdr::IngestReport* fault_report) {
+  std::lock_guard lock(producer_mutex_);
+  if (finished_ || offered_ > 0) {
+    throw StreamStateError(
+        "ShardedEngine::restore requires a pristine engine (no record "
+        "pushed, not finished)");
+  }
+
+  if (checkpoint.config != fingerprint_of(config_) ||
+      checkpoint.shards.size() != shards_.size()) {
+    const std::string reason =
+        "checkpoint fingerprint does not match the restoring engine's "
+        "analytic configuration";
+    if (fault_report == nullptr) {
+      throw util::CsvError("checkpoint: " + reason);
+    }
+    ++fault_report->records_dropped;
+    ++fault_report->counters[static_cast<std::size_t>(
+        cdr::FaultClass::kCheckpointMismatch)];
+    if (fault_report->quarantine.size() < config_.quarantine_cap) {
+      cdr::QuarantineEntry entry;
+      entry.fault = cdr::FaultClass::kCheckpointMismatch;
+      entry.reason = reason;
+      fault_report->quarantine.push_back(std::move(entry));
+    } else {
+      ++fault_report->quarantine_overflow;
+    }
+    return false;
+  }
+
+  const Checkpoint::Producer& p = checkpoint.producer;
+  ingest_ = p.ingest;
+  // Re-cap the loaded quarantine to *this* engine's cap (quarantine_cap is
+  // a tunable, not part of the fingerprint) — the same discipline as the
+  // chunk-merge re-cap in parallel ingest.
+  if (ingest_.quarantine.size() > config_.quarantine_cap) {
+    ingest_.quarantine_overflow +=
+        ingest_.quarantine.size() - config_.quarantine_cap;
+    ingest_.quarantine.resize(config_.quarantine_cap);
+  }
+  clean_ = p.clean;
+  durations_.restore(p.durations);
+  max_start_ = p.max_start;
+  watermark_ = p.watermark;
+  offered_ = p.offered;
+  routed_ = p.routed;
+  replayed_ = p.replayed;
+  routed_per_shard_ = p.routed_per_shard;
+  routed_per_shard_.resize(shards_.size(), 0);
+  cursors_.clear();
+  cursors_.reserve(p.cursors.size());
+  for (const AckCursor& cursor : p.cursors) {
+    cursors_.emplace(cursor.car,
+                     CursorKey{cursor.start, cursor.cell, cursor.duration_s});
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard state_lock(shard.state_mutex);
+    shard.state.load(checkpoint.shards[i]);
+  }
+
+  // A finished checkpoint restores to a finished engine: join the (idle)
+  // workers; the loaded shard states are already closed, so the close() at
+  // worker exit is a no-op.
+  if (checkpoint.finished) finish_locked();
+  return true;
 }
 
 }  // namespace ccms::stream

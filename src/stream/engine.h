@@ -4,6 +4,8 @@
 // maintained study report:
 //
 //   push(record)                               [producer thread]
+//     -> exactly-once dedup against per-car ack cursors (opt-in; replayed
+//        duplicates are dropped before *any* accounting)
 //     -> inline §3 clean screen (CleanReport accounting)
 //     -> watermark check: records older than max-start-seen minus the
 //        allowed lateness are quarantined into an IngestReport
@@ -12,31 +14,56 @@
 //     -> batched onto the owning shard's bounded queue (car % shards)
 //   worker threads                             [one per shard]
 //     -> reorder window + incremental operators (stream/operators.h)
-//   snapshot()                                 [any time]
+//     -> supervised: an operator failure degrades (quarantines) the shard
+//        instead of crashing the process; the engine counts what was lost
+//   snapshot() / checkpoint()                  [any thread, any time]
 //     -> drains in-flight batches, merges shard states into a StreamReport
-//        directly comparable to core::run_study over the same records
+//        directly comparable to core::run_study over the same records /
+//        serializes the complete durable engine state (stream/checkpoint.h)
+//   restore(checkpoint)                        [pristine engine]
+//     -> resumes bit-exactly; with exactly_once on, replaying the feed from
+//        its last acknowledged position converges to the same report
 //
-// Threading contract: push/finish/snapshot must come from one producer
-// thread; the engine owns the worker threads. Backpressure is blocking: a
-// full shard queue stalls push until the worker catches up.
+// Threading contract: push/finish must come from one producer thread.
+// snapshot() and checkpoint() may be called from any thread at any moment —
+// they serialise against the producer via an internal mutex and against each
+// worker via its state mutex. Backpressure is blocking: a full shard queue
+// stalls push until the worker catches up.
+//
+// Lifecycle: after finish(), snapshot()/checkpoint() stay valid (they report
+// the final state); push() is a defined, diagnosable error — it throws
+// StreamStateError rather than corrupting the closed operators.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cdr/integrity.h"
 #include "cdr/record.h"
+#include "stream/checkpoint.h"
 #include "stream/config.h"
 #include "stream/operators.h"
 #include "stream/report.h"
 
 namespace ccms::stream {
+
+/// Thrown on lifecycle misuse that would otherwise corrupt engine state
+/// silently: push() after finish(), restore() into a non-pristine engine,
+/// checkpoint() of a degraded engine.
+class StreamStateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 class ShardedEngine {
  public:
@@ -47,6 +74,7 @@ class ShardedEngine {
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   /// Feeds one record in arrival order. May block on shard backpressure.
+  /// Throws StreamStateError if the engine is already finished.
   void push(const cdr::Connection& c);
 
   /// Feeds a span of records in arrival order.
@@ -56,19 +84,49 @@ class ShardedEngine {
   /// per-shard state (open sessions and runs are finalised). Idempotent.
   void finish();
 
+  /// True once finish() ran; push() is an error from then on while
+  /// snapshot()/checkpoint() keep reporting the final state.
+  [[nodiscard]] bool finished() const;
+
   /// Merges the current state of every shard into one report. Before
   /// finish() this drains in-flight batches first, so the snapshot reflects
   /// every record pushed so far (watermark semantics still apply: records
-  /// inside the out-of-order window are pending, not lost).
+  /// inside the out-of-order window are pending, not lost). Degraded shards
+  /// are reported, not hidden: see StreamReport::degraded_shards /
+  /// coverage_fraction. Callable from any thread.
   [[nodiscard]] StreamReport snapshot();
 
+  /// Serializes the complete durable engine state after quiescing exactly
+  /// like snapshot(). The image plus the feed replayed from the last
+  /// acknowledged position reproduces the uninterrupted run bit for bit
+  /// (DESIGN.md §11). Callable from any thread. Throws StreamStateError if
+  /// any shard is degraded — a degraded engine has lost records and must not
+  /// masquerade as a clean resume point.
+  [[nodiscard]] Checkpoint checkpoint();
+
+  /// Resumes from a checkpoint. Requires a pristine engine (no record ever
+  /// pushed, not finished) whose config fingerprint matches the image; the
+  /// loaded quarantine is re-capped to this engine's quarantine_cap. On a
+  /// fingerprint mismatch: with `fault_report` non-null the fault is
+  /// accounted there (FaultClass::kCheckpointMismatch) and restore returns
+  /// false; with it null, util::CsvError is thrown. Misuse (non-pristine
+  /// engine) throws StreamStateError.
+  bool restore(const Checkpoint& checkpoint,
+               cdr::IngestReport* fault_report = nullptr);
+
+  /// Per-car acknowledgement cursor positions (ascending by car id): the
+  /// replay position an at-least-once feed should rewind to. Empty unless
+  /// config.exactly_once. Callable from any thread.
+  [[nodiscard]] std::vector<AckCursor> ack_cursors() const;
+
   /// Current watermark (max start seen minus allowed lateness).
-  [[nodiscard]] time::Seconds watermark() const { return watermark_; }
+  [[nodiscard]] time::Seconds watermark() const;
 
   /// Records quarantined as too late so far.
-  [[nodiscard]] std::uint64_t late_records() const {
-    return ingest_.count(cdr::FaultClass::kOutOfOrderRecord);
-  }
+  [[nodiscard]] std::uint64_t late_records() const;
+
+  /// Re-delivered records dropped by the exactly-once cursors so far.
+  [[nodiscard]] std::uint64_t replayed_records() const;
 
   [[nodiscard]] const StreamConfig& config() const { return config_; }
 
@@ -79,7 +137,8 @@ class ShardedEngine {
   };
 
   /// One shard: its bounded batch queue, worker thread and state. The state
-  /// mutex serialises the worker against snapshot().
+  /// mutex serialises the worker against snapshot()/checkpoint(); the
+  /// degraded flag lives under it too.
   struct Shard {
     explicit Shard(const StreamConfig& config, int index)
         : state(config, index) {}
@@ -93,6 +152,8 @@ class ShardedEngine {
 
     std::mutex state_mutex;
     ShardState state;
+    bool degraded = false;        ///< operator failure: shard quarantined
+    std::string degraded_reason;  ///< what() of the first failure
 
     std::vector<cdr::Connection> pending;  ///< producer-side batch buffer
     std::thread worker;
@@ -102,13 +163,20 @@ class ShardedEngine {
   void flush(Shard& shard);
   void drain();
   void quarantine_late(const cdr::Connection& c);
+  void finish_locked();
+  StreamReport snapshot_locked();
 
   StreamConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool finished_ = false;
 
-  // Producer-side accounting; single-threaded, so bit-identical for every
-  // shard count.
+  /// Serialises the producer-side state against snapshot()/checkpoint()
+  /// calls from other threads. Workers never take it, so holding it across
+  /// a drain() (which waits on the workers) cannot deadlock.
+  mutable std::mutex producer_mutex_;
+
+  // Producer-side accounting; mutated only under producer_mutex_ and
+  // single-threaded in the hot path, so bit-identical for every shard count.
   cdr::IngestReport ingest_;
   cdr::CleanReport clean_;
   DurationTally durations_;
@@ -116,6 +184,19 @@ class ShardedEngine {
   time::Seconds watermark_ = std::numeric_limits<time::Seconds>::min();
   std::uint64_t offered_ = 0;
   std::uint64_t routed_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::vector<std::uint64_t> routed_per_shard_;
+
+  /// Exactly-once ack cursors: per car, the largest (start, cell, duration)
+  /// delivery key seen. Only populated when config.exactly_once.
+  struct CursorKey {
+    time::Seconds start = 0;
+    std::uint32_t cell = 0;
+    std::int32_t duration_s = 0;
+
+    friend auto operator<=>(const CursorKey&, const CursorKey&) = default;
+  };
+  std::unordered_map<std::uint32_t, CursorKey> cursors_;
 };
 
 }  // namespace ccms::stream

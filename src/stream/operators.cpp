@@ -123,6 +123,9 @@ void ShardState::fold_bins(time::Seconds watermark) {
 }
 
 void ShardState::integrate(const cdr::Connection& c) {
+  // Supervision hook: a throw here (before any state mutation) degrades the
+  // shard but leaves its operators consistent as of the previous record.
+  if (config_.operator_hook) config_.operator_hook(shard_index_, c);
   ++records_;
   const std::uint32_t car = c.car.value;
   const std::uint32_t cell = c.cell.value;
@@ -213,6 +216,123 @@ ShardSnapshot ShardState::snapshot() const {
     snap.bins.push_back(std::move(counts));
   }
   return snap;
+}
+
+void ShardState::save(ShardCheckpoint& out) const {
+  out = ShardCheckpoint{};
+  out.records = records_;
+  out.max_day_seen = max_day_seen_;
+  out.closed = closed_;
+  out.reorder_peak = reorder_peak_;
+  out.sessions_closed = sessions_closed_;
+  out.session_span = session_span_.state();
+  out.usage = usage_;
+  out.cars_per_day.assign(cars_per_day_.begin(), cars_per_day_.end());
+
+  out.cars.reserve(cars_.size());
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    const CarState& state = cars_[i];
+    if (!state.seen) continue;
+    ShardCheckpoint::Car car;
+    car.local_index = static_cast<std::uint32_t>(i);
+    car.session_open = state.session.open();
+    if (car.session_open) car.open_session = state.session.current();
+    car.full = state.full.state();
+    car.trunc = state.trunc.state();
+    car.day_words = state.days.words();
+    out.cars.push_back(std::move(car));
+  }
+
+  out.cell_days.reserve(cell_days_.size());
+  for (const auto& [cell, bits] : cell_days_) {
+    out.cell_days.emplace_back(cell, bits.words());
+  }
+  std::sort(out.cell_days.begin(), out.cell_days.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  out.cell_durations.reserve(cell_durations_.size());
+  for (const auto& [cell, entry] : cell_durations_) {
+    out.cell_durations.push_back({cell, entry.first, entry.second.state()});
+  }
+  std::sort(out.cell_durations.begin(), out.cell_durations.end(),
+            [](const auto& a, const auto& b) { return a.cell < b.cell; });
+
+  // Heap layout is an implementation detail; export the records sorted by
+  // the integration key (the heap pops in exactly that order anyway).
+  auto heap = reorder_;
+  out.reorder.reserve(heap.size());
+  while (!heap.empty()) {
+    out.reorder.push_back(heap.top());
+    heap.pop();
+  }
+
+  out.active_bins.reserve(active_bins_.size());
+  for (const auto& [bin, active] : active_bins_) {
+    ShardCheckpoint::ActiveBin image;
+    image.bin = bin;
+    image.cars.assign(active.cars.begin(), active.cars.end());
+    std::sort(image.cars.begin(), image.cars.end());
+    image.per_cell.reserve(active.per_cell.size());
+    for (const auto& [cell, cars] : active.per_cell) {
+      std::vector<std::uint32_t> members(cars.begin(), cars.end());
+      std::sort(members.begin(), members.end());
+      image.per_cell.emplace_back(cell, std::move(members));
+    }
+    std::sort(image.per_cell.begin(), image.per_cell.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.active_bins.push_back(std::move(image));
+  }
+  out.folded_bins.assign(folded_bins_.begin(), folded_bins_.end());
+}
+
+void ShardState::load(const ShardCheckpoint& in) {
+  records_ = in.records;
+  max_day_seen_ = in.max_day_seen;
+  closed_ = in.closed;
+  reorder_peak_ = in.reorder_peak;
+  sessions_closed_ = in.sessions_closed;
+  session_span_.restore(in.session_span);
+  usage_ = in.usage;
+  cars_per_day_.assign(in.cars_per_day.begin(), in.cars_per_day.end());
+
+  cars_.clear();
+  for (const ShardCheckpoint::Car& car : in.cars) {
+    if (car.local_index >= cars_.size()) cars_.resize(car.local_index + 1);
+    CarState& state = cars_[car.local_index];
+    state.seen = true;
+    state.session = cdr::SessionBuilder(config_.session_gap);
+    if (car.session_open) state.session.resume(car.open_session);
+    state.full.restore(car.full);
+    state.trunc.restore(car.trunc);
+    state.days.assign_words(car.day_words);
+  }
+
+  cell_days_.clear();
+  for (const auto& [cell, words] : in.cell_days) {
+    cell_days_[cell].assign_words(words);
+  }
+
+  cell_durations_.clear();
+  for (const ShardCheckpoint::CellDuration& entry : in.cell_durations) {
+    auto [it, inserted] = cell_durations_.try_emplace(
+        entry.cell, std::piecewise_construct, std::forward_as_tuple(0),
+        std::forward_as_tuple(0.5));
+    it->second.first = entry.connections;
+    it->second.second.restore(entry.median);
+  }
+
+  reorder_ = {};
+  for (const cdr::Connection& c : in.reorder) reorder_.push(c);
+
+  active_bins_.clear();
+  for (const ShardCheckpoint::ActiveBin& image : in.active_bins) {
+    ActiveBin& bin = active_bins_[image.bin];
+    bin.cars.insert(image.cars.begin(), image.cars.end());
+    for (const auto& [cell, members] : image.per_cell) {
+      bin.per_cell[cell].insert(members.begin(), members.end());
+    }
+  }
+  folded_bins_.assign(in.folded_bins.begin(), in.folded_bins.end());
 }
 
 }  // namespace ccms::stream

@@ -89,6 +89,54 @@ struct ShardSnapshot {
   std::size_t reorder_pending = 0;
 };
 
+/// Durable image of one shard's full operator state: everything save()
+/// exports and load() needs to resume bit-exactly — including the reorder
+/// heap's pending records and every estimator's internal markers. All
+/// associative content is exported in sorted key order so equal states
+/// always serialize to equal bytes.
+struct ShardCheckpoint {
+  struct Car {
+    std::uint32_t local_index = 0;  ///< index into the shard's car table
+    bool session_open = false;
+    cdr::Session open_session;  ///< valid only when session_open
+    cdr::IntervalUnionRun::State full;
+    cdr::IntervalUnionRun::State trunc;
+    std::vector<std::uint64_t> day_words;
+  };
+  std::vector<Car> cars;  ///< seen cars only, ascending local index
+
+  std::vector<std::uint32_t> cars_per_day;
+  /// Per-cell day bitsets, ascending by cell id.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>> cell_days;
+  core::Matrix24x7 usage;
+  std::uint64_t sessions_closed = 0;
+  stats::Accumulator::State session_span;
+
+  struct CellDuration {
+    std::uint32_t cell = 0;
+    std::uint64_t connections = 0;
+    stats::P2Quantile::State median;
+  };
+  std::vector<CellDuration> cell_durations;  ///< ascending by cell id
+
+  /// Reorder-heap contents in ascending (start, car, cell, duration) order.
+  std::vector<cdr::Connection> reorder;
+  std::uint64_t reorder_peak = 0;
+
+  struct ActiveBin {
+    std::int64_t bin = 0;
+    std::vector<std::uint32_t> cars;  ///< ascending
+    /// Ascending by cell; member cars ascending.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> per_cell;
+  };
+  std::vector<ActiveBin> active_bins;  ///< ascending by bin
+  std::vector<BinCounts> folded_bins;  ///< deque order (ascending by bin)
+
+  std::uint64_t records = 0;
+  std::int64_t max_day_seen = -1;
+  bool closed = false;
+};
+
 /// State of one shard. Single-writer; see file comment.
 class ShardState {
  public:
@@ -111,6 +159,15 @@ class ShardState {
   /// interval runs are reported provisionally (their current extent counts)
   /// so mid-stream snapshots are meaningful.
   [[nodiscard]] ShardSnapshot snapshot() const;
+
+  /// Exports the complete durable state (deterministic: equal states save
+  /// to equal images).
+  void save(ShardCheckpoint& out) const;
+
+  /// Replaces this shard's whole state with a previously saved image. The
+  /// resumed shard integrates the remaining stream bit-identically to one
+  /// that never stopped.
+  void load(const ShardCheckpoint& in);
 
  private:
   struct CarState {

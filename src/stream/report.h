@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cdr/clean.h"
@@ -59,6 +60,28 @@ class DurationTally {
   /// (no per-record sample is kept); every scalar is exact.
   [[nodiscard]] core::CellSessionStats to_cell_stats() const;
 
+  /// Full durable state for checkpoint/restore. The exact histogram and the
+  /// P2 markers both round-trip, so a restored tally continues bit-exactly.
+  struct State {
+    std::int32_t cap = 600;
+    std::vector<std::uint64_t> hist;
+    std::uint64_t count = 0;
+    std::int64_t sum_full = 0;
+    std::int64_t sum_trunc = 0;
+    stats::P2Quantile::State p2;
+  };
+  [[nodiscard]] State state() const {
+    return {cap_, hist_, count_, sum_full_, sum_trunc_, p2_.state()};
+  }
+  void restore(const State& s) {
+    cap_ = s.cap;
+    hist_ = s.hist;
+    count_ = s.count;
+    sum_full_ = s.sum_full;
+    sum_trunc_ = s.sum_trunc;
+    p2_.restore(s.p2);
+  }
+
  private:
   std::int32_t cap_ = 600;
   std::vector<std::uint64_t> hist_;  ///< hist_[d] = multiplicity of d
@@ -73,6 +96,8 @@ struct EngineStats {
   int shards = 1;
   time::Seconds watermark = 0;
   std::uint64_t records_offered = 0;     ///< records pushed into the engine
+  std::uint64_t records_replayed = 0;    ///< re-delivered dups dropped by the
+                                         ///< exactly-once ack cursors
   std::uint64_t records_routed = 0;      ///< survived clean + watermark
   std::uint64_t records_integrated = 0;  ///< merged into shard state so far
   std::size_t reorder_peak = 0;          ///< max reorder-heap depth, any shard
@@ -86,6 +111,16 @@ struct CellActivity {
   std::uint64_t connections = 0;
   double median_s = 0;
   int days_active = 0;
+};
+
+/// One quarantined (degraded) shard in a snapshot: the worker hit an
+/// operator failure, kept draining its queue without applying it, and the
+/// engine counted what was lost instead of crashing or under-reporting
+/// silently.
+struct DegradedShard {
+  int shard = 0;
+  std::uint64_t records_lost = 0;  ///< routed but never integrated
+  std::string reason;              ///< what() of the first failure
 };
 
 /// One engine snapshot, comparable to core::StudyReport piece by piece.
@@ -114,16 +149,36 @@ struct StreamReport {
   /// Merged recent 15-minute concurrency bins, ascending by bin index.
   std::vector<BinCounts> recent_bins;
 
+  /// Shards quarantined after an operator failure, ascending by shard
+  /// index. Empty on a healthy run.
+  std::vector<DegradedShard> degraded_shards;
+  /// Fraction of routed records that reached an operator: 1.0 when healthy,
+  /// 1 - sum(records_lost) / records_routed when shards degraded.
+  double coverage_fraction = 1.0;
+
   EngineStats engine;
 };
 
 /// Merges shard snapshots and producer accounting into one report.
 /// Distinct-car counts add across shards because cars are partitioned;
-/// per-cell day sets are OR-ed because cells span shards.
+/// per-cell day sets are OR-ed because cells span shards. `degraded` lists
+/// quarantined shards (ascending by index, empty when healthy).
 [[nodiscard]] StreamReport merge_snapshots(
     const StreamConfig& config, const std::vector<ShardSnapshot>& shards,
     const cdr::IngestReport& ingest, const cdr::CleanReport& clean,
-    const DurationTally& durations, const EngineStats& engine);
+    const DurationTally& durations, const EngineStats& engine,
+    std::vector<DegradedShard> degraded = {});
+
+/// True iff two stream reports describe bit-identical analytic state: every
+/// counter, distribution, quantile estimate and quarantine entry equal —
+/// the contract a kill-and-restore run must meet against an uninterrupted
+/// one. Excludes delivery telemetry that legitimately differs across
+/// equivalent runs (records_offered, records_replayed, reorder peaks).
+/// When `why` is non-null and the reports differ, it receives the first
+/// differing field's name.
+[[nodiscard]] bool reports_identical(const StreamReport& a,
+                                     const StreamReport& b,
+                                     std::string* why = nullptr);
 
 /// Field-by-field diff of a stream snapshot against a batch study over the
 /// same records. All `*_delta` fields are absolute differences; exact

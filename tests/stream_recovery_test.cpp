@@ -1,0 +1,236 @@
+// Exactly-once recovery: a FlakyFeed (seeded disconnects, at-least-once
+// replay, lateness-safe reorder bursts) driven through a ShardedEngine with
+// ack-cursor dedup must produce the same report as a clean run — and a
+// kill + checkpoint/restore + replay-from-last-ack cycle must be bitwise
+// identical to a run that never stopped.
+#include "faults/flaky_feed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+#include "stream/report.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace ccms::stream {
+namespace {
+
+using faults::FlakyFeed;
+using faults::FlakyFeedConfig;
+using test::conn;
+
+StreamConfig recovery_config(int shards) {
+  StreamConfig config;
+  config.shards = shards;
+  config.allowed_lateness = 300;
+  config.fleet_size = 32;
+  config.study_days = 7;
+  config.batch_records = 8;
+  config.exactly_once = true;
+  return config;
+}
+
+/// Clean, arrival-ordered records with strictly increasing starts — so
+/// per-car delivery keys are strictly increasing, the precondition of the
+/// exactly-once cursors (asserted below, not assumed).
+std::vector<cdr::Connection> clean_feed(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cdr::Connection> records;
+  records.reserve(n);
+  time::Seconds t = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform_int(1, 30);
+    const auto car = static_cast<std::uint32_t>(rng.uniform_int(0, 31));
+    const auto cell = static_cast<std::uint32_t>(rng.uniform_int(0, 31));
+    const auto duration = static_cast<std::int32_t>(rng.uniform_int(1, 600));
+    records.push_back(conn(car, cell, t, duration));
+  }
+  return records;
+}
+
+FlakyFeedConfig flaky(double disconnect, double reorder) {
+  FlakyFeedConfig config;
+  config.disconnect_rate = disconnect;
+  config.reorder_rate = reorder;
+  config.max_burst = 6;
+  config.lateness_budget = 300;
+  return config;
+}
+
+constexpr std::size_t kAckInterval = 64;
+
+/// Drives `feed` into `engine` with periodic acknowledgements until drained.
+void drive(FlakyFeed& feed, ShardedEngine& engine) {
+  std::size_t since_ack = 0;
+  while (!feed.exhausted()) {
+    engine.push(feed.next());
+    if (++since_ack >= kAckInterval) {
+      feed.ack();
+      since_ack = 0;
+    }
+  }
+  feed.ack();
+}
+
+TEST(StreamRecoveryTest, BaseOrderIsSeedDeterministic) {
+  const std::vector<cdr::Connection> records = clean_feed(1500, 5);
+  FlakyFeed a(records, 99, flaky(0.02, 0.05));
+  FlakyFeed b(records, 99, flaky(0.02, 0.05));
+  EXPECT_EQ(a.base(), b.base());
+
+  // Draining one with disconnects and rewinds never perturbs its base.
+  const std::vector<cdr::Connection> before = a.base();
+  ShardedEngine engine(recovery_config(2));
+  drive(a, engine);
+  engine.finish();
+  EXPECT_EQ(a.base(), before);
+  EXPECT_GT(a.disconnects(), 0u);
+  EXPECT_GT(a.duplicates(), 0u);
+
+  FlakyFeed c(records, 100, flaky(0.02, 0.05));
+  EXPECT_NE(c.base(), before);  // a different seed reorders differently
+}
+
+TEST(StreamRecoveryTest, ReorderBurstsPreservePerCarOrderAndLatenessBudget) {
+  const std::vector<cdr::Connection> records = clean_feed(2000, 17);
+  FlakyFeed feed(records, 1234, flaky(0.0, 0.15));
+
+  // Same multiset of records.
+  auto sorted_key = [](const cdr::Connection& c) {
+    return std::tuple(c.start, c.car.value, c.cell.value, c.duration_s);
+  };
+  std::vector<cdr::Connection> base = feed.base();
+  std::vector<cdr::Connection> input = records;
+  auto by_key = [&](const cdr::Connection& x, const cdr::Connection& y) {
+    return sorted_key(x) < sorted_key(y);
+  };
+  std::sort(base.begin(), base.end(), by_key);
+  std::sort(input.begin(), input.end(), by_key);
+  EXPECT_EQ(base, input);
+  EXPECT_NE(feed.base(), records);  // but genuinely reordered
+
+  // Per-car relative order is intact (strictly increasing starts).
+  std::map<std::uint32_t, time::Seconds> last_start;
+  for (const cdr::Connection& c : feed.base()) {
+    auto it = last_start.find(c.car.value);
+    if (it != last_start.end()) {
+      EXPECT_LT(it->second, c.start) << "car " << c.car.value;
+    }
+    last_start[c.car.value] = c.start;
+  }
+
+  // Lateness safety: an engine with allowed_lateness == lateness_budget
+  // quarantines nothing.
+  ShardedEngine engine(recovery_config(4));
+  drive(feed, engine);
+  engine.finish();
+  EXPECT_EQ(engine.late_records(), 0u);
+}
+
+TEST(StreamRecoveryTest, CursorsAbsorbRedeliveredDuplicates) {
+  const std::vector<cdr::Connection> records = clean_feed(1500, 23);
+
+  // Reference: the same base order delivered exactly once.
+  FlakyFeed clean(records, 7, flaky(0.0, 0.08));
+  ShardedEngine reference_engine(recovery_config(4));
+  drive(clean, reference_engine);
+  reference_engine.finish();
+  const StreamReport reference = reference_engine.snapshot();
+
+  // At-least-once delivery of the *same* base order (same seed).
+  FlakyFeed noisy(records, 7, flaky(0.03, 0.08));
+  ShardedEngine engine(recovery_config(4));
+  drive(noisy, engine);
+  engine.finish();
+
+  EXPECT_GT(noisy.duplicates(), 0u);
+  EXPECT_EQ(engine.replayed_records(), noisy.duplicates());
+  const StreamReport report = engine.snapshot();
+  EXPECT_EQ(report.engine.records_replayed, noisy.duplicates());
+
+  std::string why;
+  EXPECT_TRUE(reports_identical(reference, report, &why)) << why;
+}
+
+TEST(StreamRecoveryTest, KillRestoreReplayIsBitwiseIdentical) {
+  const std::vector<cdr::Connection> records = clean_feed(2500, 31);
+  const FlakyFeedConfig feed_config = flaky(0.02, 0.06);
+  const std::uint64_t feed_seed = 77;
+
+  for (int shards : {1, 4, 8}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+
+    // Reference: uninterrupted flaky run.
+    FlakyFeed uninterrupted(records, feed_seed, feed_config);
+    ShardedEngine reference_engine(recovery_config(shards));
+    drive(uninterrupted, reference_engine);
+    reference_engine.finish();
+    const StreamReport reference = reference_engine.snapshot();
+
+    for (double kill_fraction : {0.2, 0.6}) {
+      SCOPED_TRACE(testing::Message() << "kill_fraction=" << kill_fraction);
+
+      // First life: drive until the kill point, checkpointing what the
+      // engine knows and remembering only what a real upstream remembers —
+      // the last acknowledged feed position.
+      FlakyFeed first_feed(records, feed_seed, feed_config);
+      ShardedEngine first(recovery_config(shards));
+      const auto kill_after = static_cast<std::size_t>(
+          kill_fraction * static_cast<double>(records.size()));
+      std::size_t since_ack = 0;
+      while (!first_feed.exhausted() && first_feed.delivered() < kill_after) {
+        first.push(first_feed.next());
+        if (++since_ack >= kAckInterval) {
+          first_feed.ack();
+          since_ack = 0;
+        }
+      }
+      const Checkpoint saved = first.checkpoint();
+      const std::size_t resume_from = first_feed.acked();
+      // The engine is typically ahead of the last ack: the gap is exactly
+      // the duplicate re-delivery the cursors must absorb.
+      ASSERT_LE(resume_from, first_feed.position());
+
+      // Second life: fresh feed (same seed -> same base order), rewound to
+      // the last acknowledged position; fresh engine restored from the
+      // checkpoint.
+      FlakyFeed second_feed(records, feed_seed, feed_config);
+      second_feed.rewind_to(resume_from);
+      ShardedEngine second(recovery_config(shards));
+      ASSERT_TRUE(second.restore(saved));
+      drive(second_feed, second);
+      second.finish();
+
+      if (first_feed.position() > resume_from) {
+        EXPECT_GT(second.replayed_records(), saved.producer.replayed);
+      }
+      std::string why;
+      EXPECT_TRUE(reports_identical(reference, second.snapshot(), &why))
+          << why;
+    }
+  }
+}
+
+TEST(StreamRecoveryTest, AckCursorsAreReportedSorted) {
+  const std::vector<cdr::Connection> records = clean_feed(400, 3);
+  ShardedEngine engine(recovery_config(2));
+  for (const cdr::Connection& c : records) engine.push(c);
+  const std::vector<AckCursor> cursors = engine.ack_cursors();
+  ASSERT_FALSE(cursors.empty());
+  for (std::size_t i = 1; i < cursors.size(); ++i) {
+    EXPECT_LT(cursors[i - 1].car, cursors[i].car);
+  }
+  // The checkpoint carries the same cursors.
+  const Checkpoint saved = engine.checkpoint();
+  EXPECT_EQ(saved.producer.cursors, cursors);
+}
+
+}  // namespace
+}  // namespace ccms::stream

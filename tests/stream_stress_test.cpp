@@ -1,0 +1,173 @@
+// Stress and supervision: snapshot()/checkpoint() hammered from other
+// threads while the producer pushes at full rate (run under TSan via the
+// "parallel" label), and injected operator failures that must degrade a
+// shard — quarantined and counted — instead of crashing the process or
+// silently under-reporting (run under ASan/UBSan via "robustness").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+#include "stream/report.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace ccms::stream {
+namespace {
+
+using test::conn;
+
+StreamConfig stress_config(int shards) {
+  StreamConfig config;
+  config.shards = shards;
+  config.allowed_lateness = 300;
+  config.fleet_size = 64;
+  config.study_days = 7;
+  config.batch_records = 16;
+  config.queue_batches = 4;  // small queues force backpressure stalls
+  return config;
+}
+
+std::vector<cdr::Connection> stress_feed(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<cdr::Connection> records;
+  records.reserve(n);
+  time::Seconds t = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform_int(1, 20);
+    const auto car = static_cast<std::uint32_t>(rng.uniform_int(0, 63));
+    const auto cell = static_cast<std::uint32_t>(rng.uniform_int(0, 31));
+    std::int32_t duration = static_cast<std::int32_t>(rng.uniform_int(1, 600));
+    const double dice = rng.uniform();
+    if (dice < 0.02) duration = 3600;   // clean-screen traffic under load
+    if (dice > 0.98) duration = 0;
+    records.push_back(conn(car, cell, t, duration));
+  }
+  return records;
+}
+
+TEST(StreamStressTest, ConcurrentSnapshotsDoNotPerturbFinalState) {
+  const std::vector<cdr::Connection> records = stress_feed(30000, 9);
+
+  // Reference: no concurrent observers.
+  ShardedEngine reference_engine(stress_config(4));
+  for (const cdr::Connection& c : records) reference_engine.push(c);
+  reference_engine.finish();
+  const StreamReport reference = reference_engine.snapshot();
+
+  // Observed run: snapshot() and checkpoint() hammer the engine from other
+  // threads while the producer pushes.
+  ShardedEngine engine(stress_config(4));
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> observed{0};
+
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const StreamReport report = engine.snapshot();
+      // Mid-stream invariant: what was routed is integrated or pending.
+      EXPECT_EQ(report.engine.records_routed,
+                report.engine.records_integrated +
+                    report.engine.reorder_pending);
+      EXPECT_TRUE(report.degraded_shards.empty());
+      observed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread checkpointer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const Checkpoint image = engine.checkpoint();
+      EXPECT_EQ(image.shards.size(), 4u);
+      std::this_thread::yield();
+    }
+  });
+
+  for (const cdr::Connection& c : records) engine.push(c);
+  done.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  checkpointer.join();
+  engine.finish();
+
+  EXPECT_GT(observed.load(), 0u);
+  std::string why;
+  EXPECT_TRUE(reports_identical(reference, engine.snapshot(), &why)) << why;
+}
+
+TEST(StreamStressTest, OperatorFailureDegradesShardNotProcess) {
+  constexpr int kShards = 4;
+  constexpr int kFailShard = 1;
+  StreamConfig config = stress_config(kShards);
+  std::atomic<std::uint64_t> hook_hits{0};
+  config.operator_hook = [&](int shard_index, const cdr::Connection&) {
+    if (shard_index == kFailShard &&
+        hook_hits.fetch_add(1, std::memory_order_relaxed) >= 200) {
+      throw std::runtime_error("injected operator fault");
+    }
+  };
+
+  ShardedEngine engine(config);
+  const std::vector<cdr::Connection> records = stress_feed(20000, 13);
+  for (const cdr::Connection& c : records) engine.push(c);
+
+  // A mid-stream snapshot of the degraded engine is still served.
+  const StreamReport mid = engine.snapshot();
+  engine.finish();
+  const StreamReport report = engine.snapshot();
+
+  ASSERT_EQ(report.degraded_shards.size(), 1u);
+  EXPECT_EQ(report.degraded_shards[0].shard, kFailShard);
+  EXPECT_NE(report.degraded_shards[0].reason.find("injected"),
+            std::string::npos);
+  EXPECT_GT(report.degraded_shards[0].records_lost, 0u);
+
+  // Lossy, but accounted: every routed record is either integrated or
+  // counted lost (records_lost subsumes the degraded shard's stuck reorder
+  // heap), and the coverage fraction reflects exactly that split.
+  EXPECT_EQ(report.engine.records_routed,
+            report.engine.records_integrated +
+                report.degraded_shards[0].records_lost);
+  EXPECT_LE(report.engine.reorder_pending,
+            report.degraded_shards[0].records_lost);
+  EXPECT_LT(report.coverage_fraction, 1.0);
+  EXPECT_GT(report.coverage_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(
+      report.coverage_fraction,
+      1.0 - static_cast<double>(report.degraded_shards[0].records_lost) /
+                static_cast<double>(report.engine.records_routed));
+  EXPECT_LE(mid.coverage_fraction, 1.0);
+
+  // A degraded engine must refuse to pose as a resume point.
+  EXPECT_THROW((void)engine.checkpoint(), StreamStateError);
+}
+
+TEST(StreamStressTest, HookThatNeverFiresChangesNothing) {
+  StreamConfig plain = stress_config(2);
+  ShardedEngine reference_engine(plain);
+
+  StreamConfig hooked = stress_config(2);
+  std::atomic<std::uint64_t> hits{0};
+  hooked.operator_hook = [&](int, const cdr::Connection&) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  };
+  ShardedEngine engine(hooked);
+
+  const std::vector<cdr::Connection> records = stress_feed(5000, 21);
+  for (const cdr::Connection& c : records) {
+    reference_engine.push(c);
+    engine.push(c);
+  }
+  reference_engine.finish();
+  engine.finish();
+
+  EXPECT_GT(hits.load(), 0u);
+  std::string why;
+  EXPECT_TRUE(
+      reports_identical(reference_engine.snapshot(), engine.snapshot(), &why))
+      << why;
+}
+
+}  // namespace
+}  // namespace ccms::stream
