@@ -2,22 +2,24 @@
 //
 // The perf benches print human-readable tables on stdout *and* drop a small
 // JSON file (records/sec, wall seconds, peak RSS, environment) so CI and
-// regression tooling can diff runs without scraping text. The writer is a
-// deliberately tiny append-only serializer — no dependency, no reflection —
-// sufficient for flat objects with nested arrays of flat objects.
+// regression tooling can diff runs without scraping text. The serializer
+// lives in util/json.h (shared with the invariants harness); this header
+// adds the bench-only pieces: the RSS probe and the wall-clock stopwatch.
 #pragma once
 
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <string_view>
+
+#include "util/json.h"
 
 namespace ccms::bench {
+
+using util::JsonArray;
+using util::JsonObject;
 
 /// Peak resident set size of this process, bytes (Linux ru_maxrss is KiB).
 inline std::int64_t peak_rss_bytes() {
@@ -40,76 +42,9 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Append-only JSON object/array builder. Keys are emitted in call order;
-/// values are numbers, strings, bools or raw (pre-serialized) JSON.
-class JsonObject {
- public:
-  JsonObject& add(std::string_view key, double value) {
-    std::ostringstream os;
-    os.precision(15);  // round-trippable for any value we emit
-    os << value;
-    return raw(key, os.str());
-  }
-  JsonObject& add(std::string_view key, std::int64_t value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& add(std::string_view key, std::uint64_t value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& add(std::string_view key, int value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonObject& add(std::string_view key, bool value) {
-    return raw(key, value ? "true" : "false");
-  }
-  // Without this overload a string literal would convert to bool.
-  JsonObject& add(std::string_view key, const char* value) {
-    return add(key, std::string_view(value));
-  }
-  JsonObject& add(std::string_view key, std::string_view value) {
-    std::string quoted = "\"";
-    for (const char c : value) {
-      if (c == '"' || c == '\\') quoted += '\\';
-      quoted += c;
-    }
-    quoted += '"';
-    return raw(key, quoted);
-  }
-  /// Nested object / array: pass pre-serialized JSON.
-  JsonObject& raw(std::string_view key, std::string_view json) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += '"';
-    body_ += key;
-    body_ += "\": ";
-    body_ += json;
-    return *this;
-  }
-
-  [[nodiscard]] std::string dump() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
-
-/// Serializes a sequence of pre-serialized JSON values as an array.
-class JsonArray {
- public:
-  JsonArray& push(std::string_view json) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += json;
-    return *this;
-  }
-  [[nodiscard]] std::string dump() const { return "[" + body_ + "]"; }
-
- private:
-  std::string body_;
-};
-
 /// Writes `json` to `path` and echoes the path on stderr.
 inline void write_bench_json(const std::string& path, const std::string& json) {
-  std::ofstream out(path, std::ios::trunc);
-  out << json << "\n";
-  out.close();
+  util::write_json_file(path, json);
   std::cerr << "[bench] wrote " << path << "\n";
 }
 

@@ -1,0 +1,53 @@
+// harness_replay: deterministic re-run of a flight-recorder bundle.
+//
+//   harness_replay BUNDLE_DIR
+//
+// Loads the bundle harness_run wrote on a violation, re-runs the recorded
+// (scenario, seed) from scratch and verifies the same invariant fails at
+// the same stage with an identical detail string — and that every recorded
+// checkpoint image re-derives byte-identically. Exit 0 iff the failure is
+// reproduced exactly; 1 when the run now passes or diverges (the code
+// changed, not the inputs); 2 on a bad bundle.
+#include <cstdio>
+#include <string>
+
+#include "harness/replay.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: harness_replay BUNDLE_DIR\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  std::string error;
+  const auto bundle = ccms::harness::load_bundle(dir, &error);
+  if (!bundle.has_value()) {
+    std::fprintf(stderr, "cannot load bundle: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("replaying %s seed=%llu (recorded violation: %s @ %s)\n",
+              bundle->scenario.name.c_str(),
+              static_cast<unsigned long long>(bundle->seed),
+              bundle->violation.invariant.c_str(),
+              bundle->violation.stage.c_str());
+
+  const ccms::harness::ReplayOutcome outcome =
+      ccms::harness::replay_bundle(*bundle);
+
+  const ccms::harness::CheckResult* failure = outcome.result.first_failure();
+  if (failure == nullptr) {
+    std::printf("replay PASSED all checks — violation NOT reproduced\n");
+    return 1;
+  }
+  std::printf("replay violation: %s @ %s: %s\n", failure->invariant.c_str(),
+              failure->stage.c_str(), failure->detail.c_str());
+  std::printf("  signature identical:  %s\n",
+              outcome.violation_reproduced ? "yes" : "NO");
+  std::printf("  checkpoints identical: %s (%zu image(s))\n",
+              outcome.checkpoints_identical ? "yes" : "NO",
+              bundle->checkpoint_images.size());
+  std::printf("-> %s\n", outcome.reproduced() ? "REPRODUCED bit for bit"
+                                              : "DIVERGED");
+  return outcome.reproduced() ? 0 : 1;
+}

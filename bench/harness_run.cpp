@@ -1,0 +1,156 @@
+// harness_run: the scenario-pack driver of the invariants harness.
+//
+// Runs the shipped scenarios (or one, via --scenario) across a seed list,
+// prints a per-run table, writes harness_summary.json and — on any
+// violation — a flight-recorder replay bundle that harness_replay re-runs
+// to the same failure. Exit status: 0 iff every check passed.
+//
+//   harness_run [--list]
+//               [--scenario NAME]           run one scenario (default: all)
+//               [--seeds N]                 seeds base..base+N-1 (default 3)
+//               [--out PATH]                summary path
+//                                           (default harness_summary.json)
+//               [--bundle-dir DIR]          where a violation bundle goes
+//                                           (default harness_replay_bundle)
+//               [--sabotage]                plant a silent mid-feed drop —
+//                                           the negative test: conservation
+//                                           must fail and produce a bundle
+//
+// Env overrides: CCMS_CARS / CCMS_DAYS scale every scenario's workload,
+// CCMS_SEED sets the base seed (default 20170901).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "harness/replay.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace ccms;
+
+void list_scenarios() {
+  std::printf("shipped scenarios:\n");
+  for (const harness::Scenario& s : harness::named_scenarios()) {
+    std::printf("  %-26s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::printf("\ninvariant registry:\n");
+  for (const harness::InvariantInfo& info : harness::invariant_registry()) {
+    std::printf("  %-26.*s %.*s\n", static_cast<int>(info.name.size()),
+                info.name.data(), static_cast<int>(info.description.size()),
+                info.description.data());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only_scenario;
+  std::string out_path = "harness_summary.json";
+  std::string bundle_dir = "harness_replay_bundle";
+  int seed_count = 3;
+  bool sabotage = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_scenarios();
+      return 0;
+    } else if (arg == "--scenario") {
+      only_scenario = value();
+    } else if (arg == "--seeds") {
+      seed_count = std::atoi(value());
+      if (seed_count < 1) seed_count = 1;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--bundle-dir") {
+      bundle_dir = value();
+    } else if (arg == "--sabotage") {
+      sabotage = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --list)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<harness::Scenario> scenarios;
+  if (only_scenario.empty()) {
+    scenarios = harness::named_scenarios();
+  } else {
+    const harness::Scenario* found = harness::find_scenario(only_scenario);
+    if (found == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   only_scenario.c_str());
+      return 2;
+    }
+    scenarios.push_back(*found);
+  }
+
+  // Env scale knobs apply to every scenario's workload uniformly.
+  const int cars = bench::env_int("CCMS_CARS", 0);
+  const int days = bench::env_int("CCMS_DAYS", 0);
+  for (harness::Scenario& s : scenarios) {
+    if (cars > 0) s.workload.cars = static_cast<std::uint32_t>(cars);
+    if (days > 0) s.workload.days = days;
+    if (sabotage) s.faults.sabotage_drop = true;
+  }
+
+  const auto base_seed =
+      static_cast<std::uint64_t>(bench::env_int("CCMS_SEED", 20170901));
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < seed_count; ++i) {
+    seeds.push_back(base_seed + static_cast<std::uint64_t>(i));
+  }
+
+  std::printf("invariants harness: %zu scenario(s) x %zu seed(s)%s\n\n",
+              scenarios.size(), seeds.size(),
+              sabotage ? "  [SABOTAGE: planted silent drop]" : "");
+  std::printf("  %-26s %-12s %9s %9s %7s %5s  %s\n", "scenario", "seed",
+              "records", "delivers", "checks", "fail", "verdict");
+
+  harness::HarnessSummary summary;
+  bool bundle_written = false;
+  for (const harness::Scenario& scenario : scenarios) {
+    for (const std::uint64_t seed : seeds) {
+      harness::ScenarioResult result = harness::run_scenario(scenario, seed);
+      std::printf("  %-26s %-12llu %9llu %9llu %7zu %5zu  %s\n",
+                  result.scenario.c_str(),
+                  static_cast<unsigned long long>(result.seed),
+                  static_cast<unsigned long long>(result.records),
+                  static_cast<unsigned long long>(result.stream_deliveries),
+                  result.checks.size(), result.failures(),
+                  result.pass() ? "ok" : "VIOLATION");
+      if (!result.pass()) {
+        const harness::CheckResult* f = result.first_failure();
+        std::printf("      first violation: %s @ %s: %s\n",
+                    f->invariant.c_str(), f->stage.c_str(),
+                    f->detail.c_str());
+        if (!bundle_written) {
+          const std::string written =
+              harness::write_bundle(bundle_dir, scenario, result);
+          std::fprintf(stderr, "[harness] replay bundle: %s\n",
+                       written.c_str());
+          bundle_written = true;
+        }
+      }
+      summary.results.push_back(std::move(result));
+    }
+  }
+
+  bench::write_bench_json(out_path, harness::summary_json(summary));
+  std::printf("\n  %zu checks, %zu failure(s) -> %s\n",
+              summary.total_checks(), summary.total_failures(),
+              summary.pass() ? "PASS" : "FAIL");
+  return summary.pass() ? 0 : 1;
+}

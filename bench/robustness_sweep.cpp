@@ -14,9 +14,12 @@
 // bit-for-bit — corruption upstream must never open a batch/stream gap.
 //
 // Env overrides: CCMS_CARS (default 800), CCMS_DAYS (42), CCMS_SEED.
+// Artifact: BENCH_robustness.json (env CCMS_BENCH_OUT), one `rate_runs` row
+// per corruption rate plus the two gate verdicts — see bench/BENCH_SCHEMA.md.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "cdr/io.h"
 #include "core/busy_time.h"
 #include "core/connected_time.h"
@@ -123,9 +126,12 @@ int main() {
                                       0.02, 0.05,  0.10};
 
   std::vector<SweepPoint> points;
+  std::vector<double> point_wall_s;
   for (const double rate : kRates) {
+    const ccms::bench::Stopwatch watch;
     points.push_back(
         run_point(csv, rate, config.seed ^ 0xFA017, options, env, load));
+    point_wall_s.push_back(watch.seconds());
   }
   const SweepPoint& base = points.front();
 
@@ -161,5 +167,48 @@ int main() {
               drift_at_1pct, drift_ok ? "PASS" : "FAIL");
   std::printf("  batch/stream parity at every corruption rate -> %s\n",
               stream_ok ? "PASS" : "FAIL");
+
+  // Machine-readable artifact alongside the table (BENCH_SCHEMA.md).
+  {
+    using ccms::bench::JsonArray;
+    using ccms::bench::JsonObject;
+    JsonArray rows;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      rows.push(JsonObject{}
+                    .add("rate", p.rate)
+                    .add("wall_s", point_wall_s[i])
+                    .add("ingest_dropped", p.ingest.records_dropped)
+                    .add("ingest_repaired", p.ingest.records_repaired)
+                    .add("clean_removed", p.clean.total_removed())
+                    .add("ct_median", p.ct_median)
+                    .add("ct_median_drift_pct",
+                         drift_pct(p.ct_median, base.ct_median))
+                    .add("busy_over_half", p.busy_over_half)
+                    .add("rare_b_total", p.rare_b_total)
+                    .add("stream_clean_removed", p.stream_clean_drop)
+                    .add("stream_late", p.stream_late)
+                    .add("stream_ct_median", p.stream_ct_median)
+                    .add("stream_parity_ok", p.stream_parity)
+                    .dump());
+    }
+    const std::string json =
+        JsonObject{}
+            .add("bench", "robustness_sweep")
+            .add("records", study.raw.size())
+            .add("cars", static_cast<int>(config.fleet.size))
+            .add("study_days", config.study_days)
+            .add("seed", config.seed)
+            .add("peak_rss_bytes", ccms::bench::peak_rss_bytes())
+            .add("ct_median_drift_at_1pct", drift_at_1pct)
+            .add("drift_gate_ok", drift_ok)
+            .add("stream_parity_gate_ok", stream_ok)
+            .add("pass", drift_ok && stream_ok)
+            .raw("rate_runs", rows.dump())
+            .dump();
+    const char* out = std::getenv("CCMS_BENCH_OUT");
+    ccms::bench::write_bench_json(
+        out != nullptr ? out : "BENCH_robustness.json", json);
+  }
   return drift_ok && stream_ok ? 0 : 1;
 }

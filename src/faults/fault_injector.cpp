@@ -449,19 +449,33 @@ FaultInjector::JitteredFeed FaultInjector::jitter_feed(
   //    x.start + L < r.arrival, so when r arrives the watermark is already
   //    >= x.start - L >= r.start + 1: r is past the window.
   // Quarantined records never advance the watermark, so late records cannot
-  // eject one another's witnesses.
+  // eject one another's witnesses. Records the engine's clean screen removes
+  // (see `screened` below) never reach the watermark at all, so they are
+  // excluded from both roles.
   const std::size_t n = start_sorted_feed.size();
   const time::Seconds lateness = std::max<time::Seconds>(0,
                                                          jitter.allowed_lateness);
   const time::Seconds max_delay =
       std::clamp<time::Seconds>(jitter.max_delay, 0, lateness);
 
+  // A record the engine's clean screen removes never reaches the watermark:
+  // it cannot be quarantined as late, and as a witness it would never
+  // advance the watermark past its flagged record's start.
+  const auto screened = [&](std::size_t i) {
+    const std::int32_t d = start_sorted_feed[i].duration_s;
+    return d <= 0 ||
+           (jitter.artifact_duration_s > 0 &&
+            d == jitter.artifact_duration_s) ||
+           (jitter.max_plausible_duration_s > 0 &&
+            d > jitter.max_plausible_duration_s);
+  };
+
   // One flag draw + one delay draw per record, unconditionally, so the rng
   // stream (and thus the whole feed) is deterministic per seed.
   std::vector<char> flagged(n, 0);
   std::vector<time::Seconds> delay(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    flagged[i] = rng_.uniform() < jitter.late_rate ? 1 : 0;
+    flagged[i] = rng_.uniform() < jitter.late_rate && !screened(i) ? 1 : 0;
     delay[i] = max_delay > 0 ? rng_.uniform_int(0, max_delay) : 0;
   }
 
@@ -482,7 +496,10 @@ FaultInjector::JitteredFeed FaultInjector::jitter_feed(
           start_sorted_feed.begin(), start_sorted_feed.end(), needed,
           [](const cdr::Connection& c, time::Seconds t) { return c.start < t; });
       while (w != start_sorted_feed.end() &&
-             flagged[static_cast<std::size_t>(w - start_sorted_feed.begin())]) {
+             (flagged[static_cast<std::size_t>(w -
+                                               start_sorted_feed.begin())] ||
+              screened(static_cast<std::size_t>(w -
+                                                start_sorted_feed.begin())))) {
         ++w;
       }
       if (w != start_sorted_feed.end()) {

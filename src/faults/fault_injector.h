@@ -142,6 +142,14 @@ class FaultInjector {
     double late_rate = 0;
     /// The engine's out-of-order window the feed is aimed at.
     time::Seconds allowed_lateness = 300;
+    /// The engine's §3 clean-screen thresholds (0 disables each rule).
+    /// Screened records — nonpositive durations always, these two when set —
+    /// are dropped before the engine's watermark check, so jitter_feed
+    /// neither flags them late nor uses them as late-record witnesses: a
+    /// screened witness would never advance the watermark, silently letting
+    /// its "provably late" record through.
+    std::int32_t artifact_duration_s = 0;
+    std::int32_t max_plausible_duration_s = 0;
   };
   struct JitteredFeed {
     /// The records in perturbed arrival order.

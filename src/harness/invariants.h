@@ -1,0 +1,75 @@
+// The invariant registry: every universal property the harness asserts,
+// with the paper-facing guarantee each one protects.
+//
+// The registry is declarative — one InvariantInfo per property — so the
+// runner, the JSON summary, the docs table and the CI gate all speak the
+// same names. A check result must carry a registered name; Checker enforces
+// that at the call site, so an invariant cannot silently drift out of the
+// documented registry.
+//
+// The properties themselves are the integrity laws the study's §3/§4
+// accounting already almost asserts piecewise (DESIGN.md §7/§8/§11),
+// promoted to named, machine-checked form:
+//
+//   conservation   nothing is ever silently dropped at any stage
+//   partition      every stage's accounting tiles its input exactly
+//   monotonicity   watermarks only advance
+//   idempotence    checkpoints re-encode to identical bytes
+//   determinism    equal (scenario, seed) -> bit-identical reports
+//   bounds         quarantine retention and P2 error stay bounded
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccms::harness {
+
+/// One registered invariant.
+struct InvariantInfo {
+  std::string_view name;         ///< stable machine name (kebab-case)
+  std::string_view description;  ///< what must hold
+  std::string_view protects;     ///< the paper-facing guarantee at stake
+};
+
+/// Every invariant the harness may check, in documentation order.
+[[nodiscard]] const std::vector<InvariantInfo>& invariant_registry();
+
+/// Registry lookup; nullptr when unknown.
+[[nodiscard]] const InvariantInfo* find_invariant(std::string_view name);
+
+/// One evaluated check: an invariant applied at one stage of one scenario
+/// run.
+struct CheckResult {
+  std::string invariant;  ///< a registered name
+  std::string stage;      ///< "batch" | "stream" | "restore"
+  bool pass = false;
+  std::string detail;  ///< observed values; for failures this is the
+                       ///< reproducible violation signature
+};
+
+/// Accumulates check results, enforcing that every name is registered.
+class Checker {
+ public:
+  /// Records one result. Aborts (assert-style, via std::abort after a
+  /// diagnostic) if `invariant` is not in the registry — a misspelled
+  /// check is a harness bug, not a scenario failure.
+  void check(std::string_view invariant, std::string_view stage, bool pass,
+             std::string detail);
+
+  [[nodiscard]] const std::vector<CheckResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] bool all_passed() const;
+  /// First failing result, or nullptr when green.
+  [[nodiscard]] const CheckResult* first_failure() const;
+
+  [[nodiscard]] std::vector<CheckResult> take() && {
+    return std::move(results_);
+  }
+
+ private:
+  std::vector<CheckResult> results_;
+};
+
+}  // namespace ccms::harness

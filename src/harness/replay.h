@@ -1,0 +1,64 @@
+// The flight recorder: replay bundles for invariant violations.
+//
+// When a scenario run violates an invariant, the harness writes a bundle
+// directory holding everything needed to reproduce the failure bit for bit:
+//
+//   scenario.txt        serialize_scenario(scenario, seed) — the complete
+//                       declarative input (workload, fault plan, stages)
+//   violation.txt       the first failing check: invariant, stage, detail
+//   checkpoint_<i>.bin  encoded engine checkpoints the restore stage
+//                       produced, in kill-point order (absent otherwise)
+//
+// replay_bundle() re-runs the scenario from the bundle alone and verifies
+// the same violation reappears with an identical signature (invariant,
+// stage, detail) and that every re-derived checkpoint image is byte-equal
+// to the recorded one — run_scenario is a pure function of (scenario,
+// seed), so a divergence means the *code* changed, not the inputs. The
+// harness_replay CLI wraps this for CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace ccms::harness {
+
+struct ReplayBundle {
+  Scenario scenario;
+  std::uint64_t seed = 0;
+  CheckResult violation;  ///< the recorded first failure
+  std::vector<std::vector<std::uint8_t>> checkpoint_images;
+};
+
+/// Writes the bundle for `result` (which must have a failing check) into
+/// `dir`, creating it. Returns the directory path. Throws util::CsvError on
+/// I/O failure, std::logic_error if `result` has no failure.
+std::string write_bundle(const std::string& dir, const Scenario& scenario,
+                         const ScenarioResult& result);
+
+/// Loads a bundle directory. Strict: a missing or malformed file returns
+/// nullopt and fills `error` — a replay bundle must not half-load.
+[[nodiscard]] std::optional<ReplayBundle> load_bundle(
+    const std::string& dir, std::string* error = nullptr);
+
+struct ReplayOutcome {
+  ScenarioResult result;  ///< the fresh re-run
+  /// The re-run failed the same (invariant, stage) with an identical
+  /// detail string.
+  bool violation_reproduced = false;
+  /// Every recorded checkpoint image was re-derived byte-identically.
+  bool checkpoints_identical = false;
+
+  [[nodiscard]] bool reproduced() const {
+    return violation_reproduced && checkpoints_identical;
+  }
+};
+
+/// Re-runs the bundle's scenario and compares against the recorded failure.
+[[nodiscard]] ReplayOutcome replay_bundle(const ReplayBundle& bundle);
+
+}  // namespace ccms::harness

@@ -1,0 +1,74 @@
+// The scenario runner: executes one declarative Scenario end to end and
+// checks every registered invariant that applies at each stage.
+//
+// run_scenario is a pure function of (scenario, seed): it simulates the
+// workload, applies the fault plan, drives the batch pipeline, the stream
+// engine and (optionally) the kill+restore matrix, and returns every
+// CheckResult plus the checkpoint images the restore stage produced. The
+// same inputs reproduce the same result bit for bit — the property the
+// flight recorder (harness/replay.h) turns into a replayable bundle.
+//
+// run_pack crosses a scenario list with a seed list; summary_json renders
+// the outcome as harness_summary.json (schema: bench/BENCH_SCHEMA.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/invariants.h"
+#include "harness/scenario.h"
+
+namespace ccms::harness {
+
+/// The outcome of one (scenario, seed) run.
+struct ScenarioResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  /// Every invariant check evaluated, in execution order.
+  std::vector<CheckResult> checks;
+
+  /// Workload telemetry for the summary: simulated records, stream
+  /// deliveries (incl. at-least-once re-deliveries) and injected CSV
+  /// faults.
+  std::uint64_t records = 0;
+  std::uint64_t stream_deliveries = 0;
+  std::uint64_t injected_faults = 0;
+  double wall_s = 0;
+
+  /// Encoded checkpoint images from the restore stage (one per kill point,
+  /// in kill-point order) — recorded into replay bundles so a replay can
+  /// assert bitwise-identical engine state, not just an equal verdict.
+  std::vector<std::vector<std::uint8_t>> checkpoint_images;
+
+  [[nodiscard]] bool pass() const;
+  [[nodiscard]] std::size_t failures() const;
+  /// First failing check, or nullptr when green.
+  [[nodiscard]] const CheckResult* first_failure() const;
+};
+
+/// Runs one scenario under one seed. Deterministic: equal inputs produce an
+/// equal ScenarioResult (including checkpoint image bytes).
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario,
+                                          std::uint64_t seed);
+
+/// A scenario pack crossed with a seed list.
+struct HarnessSummary {
+  std::vector<ScenarioResult> results;
+
+  [[nodiscard]] bool pass() const;
+  [[nodiscard]] std::size_t total_checks() const;
+  [[nodiscard]] std::size_t total_failures() const;
+};
+
+[[nodiscard]] HarnessSummary run_pack(std::span<const Scenario> scenarios,
+                                      std::span<const std::uint64_t> seeds);
+
+/// Renders a summary as the harness_summary.json document (schema
+/// "ccms-harness-summary-v1"; see bench/BENCH_SCHEMA.md): top-level verdict,
+/// per-invariant rollup, per-run results with violation details.
+[[nodiscard]] std::string summary_json(const HarnessSummary& summary);
+
+}  // namespace ccms::harness

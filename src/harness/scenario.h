@@ -1,0 +1,142 @@
+// Declarative scenarios for the invariants harness.
+//
+// A Scenario is a complete, seeded description of one adversarial run:
+// a workload (fleet size, days, topology), a fault plan (CSV corruption,
+// provably-late jitter, flaky at-least-once delivery, duplicate floods,
+// shard death, kill+restore points, backpressure and quarantine pressure)
+// and the stages to execute (batch pipeline, stream replay, checkpoint/
+// restore matrix). Everything is derived from (scenario, seed) alone, so a
+// run reproduces bit for bit from its serialized form — the property the
+// flight recorder (harness/replay.h) leans on.
+//
+// The shipped pack (named_scenarios) covers the failure modes a passive
+// measurement study must stay correct under: dirty telemetry, reordered
+// and disconnecting feeds, duplicate storms, dying shards, mid-run kills
+// and quarantine saturation. Each named scenario runs green through
+// harness::run_scenario for any seed; see DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ccms::harness {
+
+/// The seeded workload a scenario simulates. `pristine` starts from
+/// sim::SimConfig::pristine() (no modelled quirks) so injected faults are
+/// the only dirt in the trace and detection counts can be asserted exactly.
+struct Workload {
+  std::uint32_t cars = 400;
+  int days = 14;
+  int grid = 10;  ///< topology grid width == height
+  bool pristine = true;
+};
+
+/// The composable fault plan. Fields default to "off"; a scenario switches
+/// on the dimensions it stresses. Feed perturbations are mutually
+/// exclusive by precedence: flaky (disconnect/reorder) > jitter
+/// (late/delay) > duplicate flood > plain arrival order.
+struct FaultPlan {
+  /// CSV corruption rate, an even mix of every fault class
+  /// (faults::CsvFaultRates::uniform), applied to the exported study
+  /// before ingest. 0 = canonical CSV.
+  double csv_corruption = 0;
+
+  /// Fraction of records made provably late (quarantined past the
+  /// watermark) by faults::FaultInjector::jitter_feed.
+  double feed_late_rate = 0;
+  /// Uniform arrival delay bound for jitter_feed, seconds. > 0 enables
+  /// jitter even when feed_late_rate == 0.
+  time::Seconds feed_max_delay = 0;
+
+  /// faults::FlakyFeed at-least-once delivery: disconnect and reorder
+  /// burst rates. > 0 requires Scenario::exactly_once.
+  double disconnect_rate = 0;
+  double reorder_rate = 0;
+
+  /// Every record delivered this many times back to back (>= 2 is a
+  /// duplicate flood the exactly-once cursors must absorb).
+  int duplicate_factor = 1;
+
+  /// Shard death: the operator hook throws on this shard (-1 = none)...
+  int kill_shard = -1;
+  /// ...once the shard has integrated this many records.
+  std::uint64_t kill_shard_after = 0;
+
+  /// Kill+restore matrix (restore stage): feed fractions at which the
+  /// engine is killed, checkpoint-restored and replayed from the last
+  /// acknowledged feed position.
+  std::vector<double> kill_points;
+
+  /// Engine pressure knobs: quarantine retention cap and the queue/batch
+  /// geometry (small queues force producer backpressure).
+  std::size_t quarantine_cap = 64;
+  std::size_t queue_batches = 64;
+  std::size_t batch_records = 512;
+
+  /// Negative-test sabotage: silently skip delivering one mid-feed record
+  /// while still counting it as presented. Violates conservation-presented
+  /// by construction — exists to prove the harness catches silent loss and
+  /// to exercise the flight-recorder path.
+  bool sabotage_drop = false;
+};
+
+/// One named, self-contained harness scenario.
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  Workload workload;
+  FaultPlan faults;
+
+  int shards = 4;
+  bool exactly_once = false;
+  time::Seconds allowed_lateness = 300;
+
+  /// Stages to execute.
+  bool run_batch = true;
+  bool run_stream = true;
+  bool run_restore = false;  ///< requires exactly_once + a flaky feed
+
+  /// Check batch/stream parity (against the survivors minus the provably
+  /// late set). Off for scenarios that lose records by design (shard
+  /// death).
+  bool check_parity = true;
+  /// The scenario is *supposed* to degrade shards; coverage accounting is
+  /// then asserted lossy, not clean.
+  bool expect_degraded = false;
+  /// Run the stream stage twice and require bitwise-identical reports.
+  bool check_rerun_determinism = false;
+  /// Mid-run checkpoint -> restore into a fresh engine -> re-checkpoint
+  /// must re-encode to identical bytes.
+  bool check_checkpoint_idempotence = false;
+};
+
+/// The shipped scenario pack (~8 scenarios; see file comment).
+[[nodiscard]] const std::vector<Scenario>& named_scenarios();
+
+/// Looks up a shipped scenario by name; nullptr when unknown.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// Serializes (scenario, seed) as deterministic `key=value` lines — the
+/// flight-recorder format. parse() round-trips it exactly.
+[[nodiscard]] std::string serialize_scenario(const Scenario& scenario,
+                                             std::uint64_t seed);
+
+struct ParsedScenario {
+  Scenario scenario;
+  std::uint64_t seed = 0;
+};
+
+/// Parses serialize_scenario output. Unknown keys and malformed values are
+/// errors (a replay bundle must not half-load): returns nullopt and fills
+/// `error`.
+[[nodiscard]] std::optional<ParsedScenario> parse_scenario(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace ccms::harness

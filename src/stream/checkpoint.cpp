@@ -609,10 +609,14 @@ std::vector<std::uint8_t> encode(const Checkpoint& checkpoint) {
   }
   append_section(out, kTagProducer, payload);
 
-  for (const ShardCheckpoint& shard : checkpoint.shards) {
+  for (std::size_t i = 0; i < checkpoint.shards.size(); ++i) {
     payload.clear();
     Writer w(payload);
-    write_shard(w, shard);
+    // The payload leads with its own shard index: SHRD sections all carry
+    // the same tag, so without it two swapped (individually valid) shard
+    // images would silently restore into the wrong shards.
+    w.u32(static_cast<std::uint32_t>(i));
+    write_shard(w, checkpoint.shards[i]);
     append_section(out, kTagShard, payload);
   }
   return out;
@@ -688,6 +692,14 @@ std::optional<Checkpoint> decode(std::span<const std::uint8_t> bytes,
       } else if (sections_seen == 1) {
         read_producer(r, checkpoint.producer);
       } else {
+        const std::uint32_t index = r.u32();
+        if (index != checkpoint.shards.size()) {
+          throw ParseFault{cdr::FaultClass::kCheckpointMismatch,
+                           "shard section " +
+                               std::to_string(checkpoint.shards.size()) +
+                               " carries index " + std::to_string(index) +
+                               " (sections out of order)"};
+        }
         ShardCheckpoint shard;
         read_shard(r, shard);
         checkpoint.shards.push_back(std::move(shard));

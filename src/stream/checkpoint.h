@@ -17,8 +17,10 @@
 //
 // with exactly one CONF section (config fingerprint + finished flag), one
 // PROD section (producer state) and one SHRD section per shard, in shard
-// order. All integers are little-endian; all associative state inside the
-// payloads is sorted, so equal engine states encode to equal bytes.
+// order. Each SHRD payload leads with its own shard index so reordered
+// sections are a kCheckpointMismatch, never a silent shard swap. All
+// integers are little-endian; all associative state inside the payloads is
+// sorted, so equal engine states encode to equal bytes.
 //
 // Reading obeys the same Strict/Lenient discipline as the CDR readers: a
 // damaged magic/header is kBadHeader, a section whose payload overruns the
@@ -84,7 +86,8 @@ struct AckCursor {
 
 /// Complete durable image of a quiesced ShardedEngine.
 struct Checkpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;  ///< v2: SHRD payloads lead
+                                                ///< with their shard index
 
   ConfigFingerprint config;
   bool finished = false;  ///< checkpoint of an already-finished engine

@@ -281,6 +281,11 @@ StreamReport ShardedEngine::snapshot_locked() {
       d.shard = static_cast<int>(i);
       d.records_lost = routed_per_shard_[i] - snapshots.back().records;
       d.reason = shard.degraded_reason;
+      // Records parked in a degraded shard's reorder heap will never be
+      // integrated: they are part of records_lost above. Reporting them as
+      // pending too would double-count them and break
+      // routed == integrated + pending + lost.
+      snapshots.back().reorder_pending = 0;
       degraded.push_back(std::move(d));
     }
   }

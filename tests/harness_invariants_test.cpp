@@ -1,0 +1,118 @@
+// The invariant registry and the declarative scenario model: registry
+// integrity, Checker bookkeeping, and the serialize/parse round trip the
+// flight recorder depends on.
+#include "harness/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "harness/scenario.h"
+
+namespace ccms::harness {
+namespace {
+
+TEST(InvariantRegistry, NamesAreUniqueKebabCaseAndDocumented) {
+  const auto& registry = invariant_registry();
+  ASSERT_GE(registry.size(), 16u);
+  std::set<std::string_view> names;
+  for (const InvariantInfo& info : registry) {
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate invariant name: " << info.name;
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_FALSE(info.protects.empty()) << info.name;
+    for (const char c : info.name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')
+          << "non-kebab character '" << c << "' in " << info.name;
+    }
+  }
+}
+
+TEST(InvariantRegistry, LookupFindsEveryEntryAndRejectsUnknown) {
+  for (const InvariantInfo& info : invariant_registry()) {
+    const InvariantInfo* found = find_invariant(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->name, info.name);
+  }
+  EXPECT_EQ(find_invariant("no-such-invariant"), nullptr);
+  EXPECT_EQ(find_invariant(""), nullptr);
+}
+
+TEST(Checker, RecordsResultsAndReportsFirstFailure) {
+  Checker checker;
+  checker.check("conservation-presented", "stream", true, "offered=10");
+  EXPECT_TRUE(checker.all_passed());
+  EXPECT_EQ(checker.first_failure(), nullptr);
+
+  checker.check("watermark-monotone", "stream", false, "regressed");
+  checker.check("exactly-once", "stream", false, "replayed=1");
+  EXPECT_FALSE(checker.all_passed());
+  ASSERT_NE(checker.first_failure(), nullptr);
+  EXPECT_EQ(checker.first_failure()->invariant, "watermark-monotone");
+  EXPECT_EQ(checker.first_failure()->stage, "stream");
+  EXPECT_EQ(checker.first_failure()->detail, "regressed");
+
+  const auto results = std::move(checker).take();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].pass);
+  EXPECT_FALSE(results[1].pass);
+}
+
+TEST(CheckerDeathTest, UnregisteredInvariantNameAborts) {
+  Checker checker;
+  EXPECT_DEATH(checker.check("definitely-not-registered", "stream", true, ""),
+               "unregistered invariant");
+}
+
+TEST(ScenarioPack, ShipsNamedScenariosWithUniqueNames) {
+  const auto& pack = named_scenarios();
+  ASSERT_GE(pack.size(), 8u);
+  std::set<std::string> names;
+  for (const Scenario& s : pack) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    const Scenario* found = find_scenario(s.name);
+    ASSERT_NE(found, nullptr) << s.name;
+    EXPECT_EQ(found->name, s.name);
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioSerialization, RoundTripsEveryNamedScenario) {
+  for (const Scenario& s : named_scenarios()) {
+    for (const std::uint64_t seed : {1ull, 20170901ull, 0xFFFFFFFFFFFFull}) {
+      const std::string text = serialize_scenario(s, seed);
+      std::string error;
+      const auto parsed = parse_scenario(text, &error);
+      ASSERT_TRUE(parsed.has_value()) << s.name << ": " << error;
+      EXPECT_EQ(parsed->seed, seed) << s.name;
+      EXPECT_EQ(parsed->scenario.name, s.name);
+      // Field-exact round trip: re-serializing reproduces the bytes.
+      EXPECT_EQ(serialize_scenario(parsed->scenario, parsed->seed), text)
+          << s.name;
+    }
+  }
+}
+
+TEST(ScenarioSerialization, ParseRejectsDamagedInput) {
+  const Scenario& s = named_scenarios().front();
+  const std::string good = serialize_scenario(s, 7);
+
+  std::string error;
+  EXPECT_FALSE(parse_scenario("", &error).has_value());
+  EXPECT_FALSE(parse_scenario("not a scenario\n", &error).has_value());
+  EXPECT_FALSE(parse_scenario(good + "mystery_key=1\n", &error).has_value());
+
+  // Malformed value in a known key.
+  std::string bad = good;
+  const auto at = bad.find("seed=");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 5, "seed=banana\n#");
+  EXPECT_FALSE(parse_scenario(bad, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace ccms::harness

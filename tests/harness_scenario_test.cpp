@@ -1,0 +1,144 @@
+// End-to-end harness runs at test scale: the shipped scenario pack stays
+// green across seeds, run_scenario is bitwise deterministic, the degraded
+// shard accounting closes exactly, and a sabotaged run produces a flight-
+// recorder bundle that replays to the same violation bit for bit.
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/replay.h"
+#include "harness/scenario.h"
+
+namespace ccms::harness {
+namespace {
+
+/// Shrinks a scenario's workload to test scale; the fault plan and stage
+/// flags are untouched, so every code path still executes.
+Scenario at_test_scale(Scenario s) {
+  s.workload.cars = 80;
+  s.workload.days = 6;
+  s.workload.grid = 8;
+  return s;
+}
+
+TEST(HarnessPack, EveryNamedScenarioGreenAcrossSeeds) {
+  std::vector<Scenario> pack;
+  for (const Scenario& s : named_scenarios()) pack.push_back(at_test_scale(s));
+  const std::vector<std::uint64_t> seeds = {20170901, 20170902};
+
+  const HarnessSummary summary = run_pack(pack, seeds);
+  ASSERT_EQ(summary.results.size(), pack.size() * seeds.size());
+  for (const ScenarioResult& r : summary.results) {
+    EXPECT_TRUE(r.pass()) << r.scenario << " seed " << r.seed << ": "
+                          << (r.first_failure() != nullptr
+                                  ? r.first_failure()->invariant + " @ " +
+                                        r.first_failure()->stage + ": " +
+                                        r.first_failure()->detail
+                                  : std::string());
+    EXPECT_GT(r.records, 0u) << r.scenario;
+    EXPECT_FALSE(r.checks.empty()) << r.scenario;
+  }
+  EXPECT_TRUE(summary.pass());
+  EXPECT_EQ(summary.total_failures(), 0u);
+
+  // The summary document carries the verdict and the schema marker.
+  const std::string json = summary_json(summary);
+  EXPECT_NE(json.find("ccms-harness-summary-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
+}
+
+TEST(HarnessRun, SameInputsReproduceBitIdenticalResults) {
+  const Scenario s = at_test_scale(*find_scenario("kill-restore-matrix"));
+  const ScenarioResult a = run_scenario(s, 42);
+  const ScenarioResult b = run_scenario(s, 42);
+
+  ASSERT_EQ(a.checks.size(), b.checks.size());
+  for (std::size_t i = 0; i < a.checks.size(); ++i) {
+    EXPECT_EQ(a.checks[i].invariant, b.checks[i].invariant);
+    EXPECT_EQ(a.checks[i].stage, b.checks[i].stage);
+    EXPECT_EQ(a.checks[i].pass, b.checks[i].pass);
+    EXPECT_EQ(a.checks[i].detail, b.checks[i].detail) << a.checks[i].invariant;
+  }
+  // The restore stage re-derives byte-identical checkpoint images.
+  ASSERT_FALSE(a.checkpoint_images.empty());
+  ASSERT_EQ(a.checkpoint_images.size(), b.checkpoint_images.size());
+  for (std::size_t i = 0; i < a.checkpoint_images.size(); ++i) {
+    EXPECT_EQ(a.checkpoint_images[i], b.checkpoint_images[i]);
+  }
+}
+
+TEST(HarnessRun, ShardDeathAccountingClosesExactly) {
+  // The degraded-shard scenario must pass conservation-routed at every
+  // snapshot: routed == integrated + reorder-pending + lost, with the
+  // killed shard's parked reorder heap counted as lost, not pending.
+  const Scenario s = at_test_scale(*find_scenario("shard-death-under-load"));
+  ASSERT_TRUE(s.expect_degraded);
+  const ScenarioResult r = run_scenario(s, 31337);
+  EXPECT_TRUE(r.pass()) << (r.first_failure() != nullptr
+                                ? r.first_failure()->detail
+                                : std::string());
+
+  std::size_t routed_checks = 0, coverage_checks = 0;
+  for (const CheckResult& c : r.checks) {
+    if (c.invariant == "conservation-routed") ++routed_checks;
+    if (c.invariant == "coverage-accounting") ++coverage_checks;
+  }
+  EXPECT_GE(routed_checks, 1u);
+  EXPECT_GE(coverage_checks, 1u);
+}
+
+TEST(HarnessReplay, SabotagedRunWritesBundleThatReproduces) {
+  Scenario s = at_test_scale(*find_scenario("kill-restore-matrix"));
+  s.faults.sabotage_drop = true;
+
+  const ScenarioResult result = run_scenario(s, 7);
+  ASSERT_FALSE(result.pass());
+  ASSERT_NE(result.first_failure(), nullptr);
+  EXPECT_EQ(result.first_failure()->invariant, "conservation-presented");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ccms_harness_bundle_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  write_bundle(dir, s, result);
+
+  std::string error;
+  const auto bundle = load_bundle(dir, &error);
+  ASSERT_TRUE(bundle.has_value()) << error;
+  EXPECT_EQ(bundle->seed, 7u);
+  EXPECT_EQ(bundle->violation.invariant, result.first_failure()->invariant);
+  EXPECT_EQ(bundle->checkpoint_images.size(), result.checkpoint_images.size());
+
+  const ReplayOutcome outcome = replay_bundle(*bundle);
+  EXPECT_TRUE(outcome.violation_reproduced);
+  EXPECT_TRUE(outcome.checkpoints_identical);
+  EXPECT_TRUE(outcome.reproduced());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HarnessReplay, LoadRejectsDamagedBundles) {
+  std::string error;
+  EXPECT_FALSE(load_bundle("/nonexistent/bundle/dir", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // A bundle whose scenario file is garbage must not half-load.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ccms_harness_bad_bundle";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir / "scenario.txt");
+    out << "not a scenario\n";
+  }
+  EXPECT_FALSE(load_bundle(dir.string(), &error).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ccms::harness

@@ -9,16 +9,22 @@
 #include "core/presence.h"
 #include "core/segmentation.h"
 #include "sim/simulator.h"
+#include "test_helpers.h"
 
 namespace ccms {
 namespace {
 
+test::SimParams sweep_params(std::uint64_t seed) {
+  return {.seed = seed, .fleet = 250, .days = 21, .quick = true};
+}
+
 sim::SimConfig sweep_base(std::uint64_t seed) {
-  sim::SimConfig config = sim::SimConfig::quick();
-  config.seed = seed;
-  config.fleet.size = 250;
-  config.study_days = 21;
-  return config;
+  return test::sim_config_for(sweep_params(seed));
+}
+
+// Tests that use the sweep point unmodified share one cached simulation.
+const sim::Study& sweep_study(std::uint64_t seed) {
+  return test::cached_study(sweep_params(seed));
 }
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -55,7 +61,7 @@ TEST_P(SeedSweep, StrongTrendIsDetectedByRegression) {
 }
 
 TEST_P(SeedSweep, ArtifactFilterRemovesExactlyTheArtifacts) {
-  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  const sim::Study& study = sweep_study(GetParam());
   std::size_t artifacts = 0;
   for (const auto& c : study.raw.all()) artifacts += c.duration_s == 3600;
 
@@ -66,7 +72,7 @@ TEST_P(SeedSweep, ArtifactFilterRemovesExactlyTheArtifacts) {
 }
 
 TEST_P(SeedSweep, BusyThresholdMonotone) {
-  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  const sim::Study& study = sweep_study(GetParam());
   const auto load = core::CellLoad::from_background(study.background);
   const auto strict = core::analyze_busy_time(study.raw, load, 0.9);
   const auto loose = core::analyze_busy_time(study.raw, load, 0.6);
@@ -79,7 +85,7 @@ TEST_P(SeedSweep, BusyThresholdMonotone) {
 }
 
 TEST_P(SeedSweep, RareBoundaryMonotone) {
-  const sim::Study study = sim::simulate(sweep_base(GetParam()));
+  const sim::Study& study = sweep_study(GetParam());
   const auto load = core::CellLoad::from_background(study.background);
   const auto days = core::analyze_days_on_network(study.raw);
   const auto busy = core::analyze_busy_time(study.raw, load);

@@ -13,43 +13,16 @@
 #include "core/load_view.h"
 #include "core/presence.h"
 #include "sim/simulator.h"
+#include "test_helpers.h"
 
 namespace ccms {
 namespace {
 
-struct SimParams {
-  std::uint64_t seed;
-  int fleet;
-  int days;
-  int grid;
-};
-
-std::string param_name(const ::testing::TestParamInfo<SimParams>& info) {
-  return "seed" + std::to_string(info.param.seed) + "_cars" +
-         std::to_string(info.param.fleet) + "_days" +
-         std::to_string(info.param.days);
-}
+using test::SimParams;
 
 class SimProperty : public ::testing::TestWithParam<SimParams> {
  protected:
-  static const sim::Study& study() {
-    static std::map<std::uint64_t, sim::Study> cache;
-    const SimParams p = GetParam();
-    const std::uint64_t key =
-        p.seed * 1000003 + static_cast<std::uint64_t>(p.fleet) * 131 +
-        static_cast<std::uint64_t>(p.days);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      sim::SimConfig config;
-      config.seed = p.seed;
-      config.fleet.size = p.fleet;
-      config.study_days = p.days;
-      config.topology.grid_width = p.grid;
-      config.topology.grid_height = p.grid;
-      it = cache.emplace(key, sim::simulate(config)).first;
-    }
-    return it->second;
-  }
+  static const sim::Study& study() { return test::cached_study(GetParam()); }
 };
 
 TEST_P(SimProperty, RecordsAreWellFormed) {
@@ -191,7 +164,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SimParams{1, 150, 21, 10}, SimParams{2, 150, 21, 10},
                       SimParams{99, 300, 14, 12}, SimParams{7, 80, 35, 8},
                       SimParams{123456789, 200, 28, 14}),
-    param_name);
+    test::sim_param_name<::testing::TestParamInfo<SimParams>>);
 
 /// Session-aggregation properties on synthetic record streams (independent
 /// of the simulator), swept over gap values.

@@ -1,0 +1,209 @@
+// Deterministic fuzz corpus over stream::Checkpoint binary images: bit
+// flips, truncations and section reorders of a real engine image. Decode
+// must never crash and never hand back partial state — every damaged image
+// is rejected through the Strict/Lenient discipline with a binary-reader
+// fault class (kBadHeader / kTruncatedPayload / kChecksumMismatch /
+// kCheckpointMismatch), and strict mode throws util::CsvError at the same
+// damage lenient mode accounts.
+#include "stream/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cdr/integrity.h"
+#include "stream/engine.h"
+#include "test_helpers.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace ccms::stream {
+namespace {
+
+using test::conn;
+
+/// A checkpoint image with real state in every section: clean-screen drops,
+/// quarantined late records, mid-session sessionizers, P2 markers and
+/// exactly-once cursors.
+std::vector<std::uint8_t> engine_image() {
+  StreamConfig config;
+  config.shards = 3;
+  config.allowed_lateness = 300;
+  config.fleet_size = 24;
+  config.study_days = 7;
+  config.batch_records = 16;
+  config.exactly_once = true;
+
+  ShardedEngine engine(config);
+  util::Rng rng(0xFE2u);
+  time::Seconds t = 1000;
+  for (int i = 0; i < 600; ++i) {
+    t += rng.uniform_int(1, 40);
+    const auto car = static_cast<std::uint32_t>(rng.uniform_int(0, 23));
+    const auto cell = static_cast<std::uint32_t>(rng.uniform_int(0, 63));
+    auto duration = static_cast<std::int32_t>(rng.uniform_int(1, 900));
+    const double dice = rng.uniform();
+    if (dice < 0.02) duration = 3600;          // hour artifact
+    else if (dice < 0.04) duration = 0;        // nonpositive
+    else if (dice < 0.05) duration = 500000;   // implausible
+    time::Seconds start = t;
+    if (dice > 0.97 && t > 2000) start = t - 1500;  // quarantined late
+    engine.push(conn(car, cell, start, duration));
+  }
+  return encode(engine.checkpoint());
+}
+
+const std::vector<std::uint8_t>& image() {
+  static const std::vector<std::uint8_t> bytes = engine_image();
+  return bytes;
+}
+
+cdr::IngestOptions mode(cdr::ParseMode m) {
+  cdr::IngestOptions options;
+  options.mode = m;
+  return options;
+}
+
+/// The four fault classes the binary reader is allowed to surface.
+std::uint64_t binary_faults(const cdr::IngestReport& report) {
+  return report.count(cdr::FaultClass::kBadHeader) +
+         report.count(cdr::FaultClass::kTruncatedPayload) +
+         report.count(cdr::FaultClass::kChecksumMismatch) +
+         report.count(cdr::FaultClass::kCheckpointMismatch);
+}
+
+/// Lenient decode must reject the image outright (no partial state) with at
+/// least one fault, all of them binary-reader classes; strict decode must
+/// throw util::CsvError on the same bytes.
+void expect_rejected(const std::vector<std::uint8_t>& bytes,
+                     const std::string& what) {
+  cdr::IngestReport report;
+  const auto decoded = decode(bytes, mode(cdr::ParseMode::kLenient), report);
+  EXPECT_FALSE(decoded.has_value()) << what;
+  EXPECT_GE(report.total_faults(), 1u) << what;
+  EXPECT_EQ(binary_faults(report), report.total_faults())
+      << what << ": non-binary fault class surfaced";
+
+  cdr::IngestReport strict_report;
+  EXPECT_THROW(static_cast<void>(
+                   decode(bytes, mode(cdr::ParseMode::kStrict), strict_report)),
+               util::CsvError)
+      << what;
+}
+
+TEST(CheckpointFuzz, CleanImageRoundTripsByteIdentically) {
+  cdr::IngestReport report;
+  const auto decoded = decode(image(), mode(cdr::ParseMode::kLenient), report);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(report.total_faults(), 0u);
+  EXPECT_EQ(encode(*decoded), image());
+}
+
+TEST(CheckpointFuzz, EverySingleBitFlipIsRejected) {
+  // Exhaustive over the header and framing-dense prefix, sampled beyond.
+  std::vector<std::size_t> positions;
+  const std::size_t n = image().size();
+  for (std::size_t byte = 0; byte < std::min<std::size_t>(n, 64); ++byte) {
+    positions.push_back(byte);
+  }
+  util::Rng rng(0xB17F11u);
+  for (int i = 0; i < 400; ++i) {
+    positions.push_back(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  for (const std::size_t byte : positions) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> damaged = image();
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      expect_rejected(damaged, "flip byte " + std::to_string(byte) + " bit " +
+                                   std::to_string(bit));
+    }
+  }
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejected) {
+  const std::size_t n = image().size();
+  std::vector<std::size_t> lengths;
+  // Exhaustive through the header + first frames, then a deterministic
+  // stride, always including the off-by-one tail.
+  for (std::size_t len = 0; len < std::min<std::size_t>(n, 256); ++len) {
+    lengths.push_back(len);
+  }
+  for (std::size_t len = 256; len < n; len += 97) lengths.push_back(len);
+  lengths.push_back(n - 1);
+  for (const std::size_t len : lengths) {
+    const std::vector<std::uint8_t> damaged(image().begin(),
+                                            image().begin() + len);
+    expect_rejected(damaged, "truncate to " + std::to_string(len));
+  }
+}
+
+/// One framed section: [tag u32 | len u64 | payload | crc u32].
+struct Frame {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Splits the image into its header and section frames by walking the
+/// declared lengths (the image is known-good, so framing is trusted here).
+std::vector<Frame> frames(const std::vector<std::uint8_t>& bytes,
+                          std::size_t header_len = 8) {
+  std::vector<Frame> out;
+  std::size_t pos = header_len;
+  while (pos < bytes.size()) {
+    std::uint64_t payload_len = 0;
+    std::memcpy(&payload_len, bytes.data() + pos + 4, sizeof(payload_len));
+    const std::size_t total = 4 + 8 + payload_len + 4;
+    out.push_back({pos, pos + total});
+    pos += total;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> reassemble(const std::vector<std::uint8_t>& bytes,
+                                     const std::vector<Frame>& order) {
+  std::vector<std::uint8_t> out(bytes.begin(), bytes.begin() + 8);
+  for (const Frame& f : order) {
+    out.insert(out.end(), bytes.begin() + f.begin, bytes.begin() + f.end);
+  }
+  return out;
+}
+
+TEST(CheckpointFuzz, SectionReordersAreRejected) {
+  const auto sections = frames(image());
+  // CONF + PROD + one per shard.
+  ASSERT_EQ(sections.size(), 5u);
+
+  // Every adjacent swap.
+  for (std::size_t i = 0; i + 1 < sections.size(); ++i) {
+    auto order = sections;
+    std::swap(order[i], order[i + 1]);
+    expect_rejected(reassemble(image(), order),
+                    "swap sections " + std::to_string(i) + "," +
+                        std::to_string(i + 1));
+  }
+  // Full reversal.
+  {
+    auto order = sections;
+    std::reverse(order.begin(), order.end());
+    expect_rejected(reassemble(image(), order), "reverse sections");
+  }
+  // A duplicated trailing section and a dropped one change the geometry.
+  {
+    auto order = sections;
+    order.push_back(order.back());
+    expect_rejected(reassemble(image(), order), "duplicate last section");
+  }
+  {
+    auto order = sections;
+    order.pop_back();
+    expect_rejected(reassemble(image(), order), "drop last section");
+  }
+}
+
+}  // namespace
+}  // namespace ccms::stream

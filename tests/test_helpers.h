@@ -1,11 +1,16 @@
-// Shared fixtures for CCMS tests: tiny topologies, hand-built datasets.
+// Shared fixtures for CCMS tests: tiny topologies, hand-built datasets and
+// the cached simulated-study fixture the parameterized suites share.
 #pragma once
 
+#include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "cdr/dataset.h"
 #include "net/load.h"
 #include "net/topology.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace ccms::test {
@@ -35,6 +40,53 @@ inline cdr::Dataset make_dataset(std::vector<cdr::Connection> records,
   for (const auto& r : records) dataset.add(r);
   dataset.finalize();
   return dataset;
+}
+
+/// One point of a seeded simulation sweep. `quick` starts from
+/// sim::SimConfig::quick() (small fleet/topology defaults); otherwise the
+/// full paper-default config is the base. 0 leaves a dimension at the
+/// base's value.
+struct SimParams {
+  std::uint64_t seed = 1;
+  int fleet = 0;
+  int days = 0;
+  int grid = 0;
+  bool quick = false;
+};
+
+inline sim::SimConfig sim_config_for(const SimParams& p) {
+  sim::SimConfig config = p.quick ? sim::SimConfig::quick() : sim::SimConfig{};
+  config.seed = p.seed;
+  if (p.fleet > 0) config.fleet.size = static_cast<std::uint32_t>(p.fleet);
+  if (p.days > 0) config.study_days = p.days;
+  if (p.grid > 0) {
+    config.topology.grid_width = p.grid;
+    config.topology.grid_height = p.grid;
+  }
+  return config;
+}
+
+/// gtest parameter namer for SimParams suites (templated so this header
+/// stays gtest-free).
+template <typename ParamInfo>
+std::string sim_param_name(const ParamInfo& info) {
+  return "seed" + std::to_string(info.param.seed) + "_cars" +
+         std::to_string(info.param.fleet) + "_days" +
+         std::to_string(info.param.days);
+}
+
+/// Process-wide study cache: parameterized suites hitting the same
+/// SimParams share one simulation instead of re-simulating per test case.
+/// Keyed on the full parameter tuple (no hash collisions).
+inline const sim::Study& cached_study(const SimParams& p) {
+  static std::map<std::tuple<std::uint64_t, int, int, int, bool>, sim::Study>
+      cache;
+  const auto key = std::tuple(p.seed, p.fleet, p.days, p.grid, p.quick);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, sim::simulate(sim_config_for(p))).first;
+  }
+  return it->second;
 }
 
 }  // namespace ccms::test
