@@ -15,6 +15,14 @@ void Dataset::add(const Connection& c) {
 }
 
 void Dataset::add(std::span<const Connection> records) {
+  // Bulk chunks (ingest hands whole parsed chunks over) get an exact
+  // reserve, avoiding the up-to-2x overshoot of growth doubling on the last
+  // reallocation. Small spans keep the geometric growth path so repeated
+  // tiny adds stay amortized O(1).
+  if (records.size() > records_.size() / 2 &&
+      records_.capacity() - records_.size() < records.size()) {
+    records_.reserve(records_.size() + records.size());
+  }
   records_.insert(records_.end(), records.begin(), records.end());
   finalized_ = false;
 }
@@ -132,6 +140,12 @@ void Dataset::finalize_impl(exec::ThreadPool* pool) {
   }
 
   finalized_ = true;
+}
+
+void Dataset::shrink_to_fit() {
+  records_.shrink_to_fit();
+  by_cell_.shrink_to_fit();
+  car_offsets_.shrink_to_fit();
 }
 
 std::span<const Connection> Dataset::of_car(CarId car) const {

@@ -33,6 +33,12 @@ class Dataset {
   /// Reserve capacity for `n` records.
   void reserve(std::size_t n) { records_.reserve(n); }
 
+  /// Trims storage capacity to size. Call after the final finalize() on
+  /// datasets that will live long (ingest over-reserves from size hints; a
+  /// 90-day dataset should not hold a vacant tail allocation for the whole
+  /// study).
+  void shrink_to_fit();
+
   /// Sorts and builds indexes. Must be called after the last add() and
   /// before any accessor; idempotent. Stable-sort semantics: with the
   /// total-order comparators in record.h the result is unique, so the

@@ -38,31 +38,43 @@ ConcurrencyGrid ConcurrencyGrid::build(const cdr::Dataset& dataset,
 
 ConcurrencyGrid ConcurrencyGrid::from_pairs(std::vector<std::uint64_t> pairs,
                                             int study_days) {
+  // Sort, run-length encode and delegate: multiplicity aggregation is the
+  // same whether the multiset arrives flat or as runs.
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < pairs.size();) {
+    std::size_t j = i + 1;
+    while (j < pairs.size() && pairs[j] == pairs[i]) ++j;
+    keys.push_back(pairs[i]);
+    counts.push_back(j - i);
+    i = j;
+  }
+  return from_bin_counts(keys, counts, study_days);
+}
+
+ConcurrencyGrid ConcurrencyGrid::from_bin_counts(
+    std::span<const std::uint64_t> keys, std::span<const std::uint64_t> counts,
+    int study_days) {
   ConcurrencyGrid grid;
   grid.study_days_ = std::max(1, study_days);
 
-  // Pass 2: aggregate per (cell, bin) multiplicity into per-cell weekly
-  // averages.
-  std::sort(pairs.begin(), pairs.end());
+  // Aggregate per (cell, bin) multiplicity into per-cell weekly averages.
   const std::vector<int> occurrences = bin_occurrences(grid.study_days_);
 
   std::size_t i = 0;
-  while (i < pairs.size()) {
-    const auto cell_value = static_cast<std::uint32_t>(pairs[i] >> 24);
+  while (i < keys.size()) {
+    const auto cell_value = static_cast<std::uint32_t>(keys[i] >> 24);
     CellConcurrency profile;
     profile.cell = CellId{cell_value};
     std::vector<std::int64_t> week_totals(time::kBins15PerWeek, 0);
 
-    while (i < pairs.size() &&
-           static_cast<std::uint32_t>(pairs[i] >> 24) == cell_value) {
+    while (i < keys.size() &&
+           static_cast<std::uint32_t>(keys[i] >> 24) == cell_value) {
       const auto abs_bin =
-          static_cast<std::int64_t>(pairs[i] & 0xFFFFFFu);
-      std::int64_t count = 0;
-      const std::uint64_t key = pairs[i];
-      while (i < pairs.size() && pairs[i] == key) {
-        ++count;
-        ++i;
-      }
+          static_cast<std::int64_t>(keys[i] & 0xFFFFFFu);
+      const auto count = static_cast<std::int64_t>(counts[i]);
+      ++i;
       const int day = static_cast<int>(abs_bin / time::kBins15PerDay);
       const int dow = day % time::kDaysPerWeek;
       const int bin_of_day =

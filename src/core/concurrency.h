@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cdr/dataset.h"
@@ -50,6 +51,15 @@ class ConcurrencyGrid {
   /// ConcurrencyPairsAccumulator.
   [[nodiscard]] static ConcurrencyGrid from_pairs(
       std::vector<std::uint64_t> pairs, int study_days);
+
+  /// Same aggregation from the run-length form: strictly ascending unique
+  /// keys and a multiplicity per key (ConcurrencyCountsAccumulator's
+  /// output). from_pairs delegates here after sorting + run-length encoding
+  /// its flat list, so both entry points produce identical grids for the
+  /// same observation multiset.
+  [[nodiscard]] static ConcurrencyGrid from_bin_counts(
+      std::span<const std::uint64_t> keys,
+      std::span<const std::uint64_t> counts, int study_days);
 
   /// All cells with at least one observation, ascending by cell id.
   [[nodiscard]] const std::vector<CellConcurrency>& cells() const {

@@ -5,8 +5,88 @@
 #include <utility>
 
 #include "cdr/clean.h"
+#include "stats/quantile.h"
 
 namespace ccms::core {
+
+namespace {
+
+/// Merge-joins sorted (value, count) runs from `add_*` into `values`/`counts`
+/// (both strictly ascending): counts of equal values add. The run form is a
+/// canonical encoding of the underlying multiset, so any merge order yields
+/// the same store.
+template <typename V>
+void merge_runs(std::vector<V>& values, std::vector<std::uint64_t>& counts,
+                const std::vector<V>& add_values,
+                const std::vector<std::uint64_t>& add_counts) {
+  if (add_values.empty()) return;
+  if (values.empty()) {
+    values = add_values;
+    counts = add_counts;
+    return;
+  }
+  std::vector<V> merged_values;
+  std::vector<std::uint64_t> merged_counts;
+  merged_values.reserve(values.size() + add_values.size());
+  merged_counts.reserve(values.size() + add_values.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < values.size() || j < add_values.size()) {
+    if (j >= add_values.size() ||
+        (i < values.size() && values[i] < add_values[j])) {
+      merged_values.push_back(values[i]);
+      merged_counts.push_back(counts[i]);
+      ++i;
+    } else if (i >= values.size() || add_values[j] < values[i]) {
+      merged_values.push_back(add_values[j]);
+      merged_counts.push_back(add_counts[j]);
+      ++j;
+    } else {
+      merged_values.push_back(values[i]);
+      merged_counts.push_back(counts[i] + add_counts[j]);
+      ++i;
+      ++j;
+    }
+  }
+  values = std::move(merged_values);
+  counts = std::move(merged_counts);
+}
+
+/// Sorts `raw` and run-length encodes it into `values`/`counts`.
+template <typename V>
+void encode_runs(std::vector<V>& raw, std::vector<V>& values,
+                 std::vector<std::uint64_t>& counts) {
+  std::sort(raw.begin(), raw.end());
+  values.clear();
+  counts.clear();
+  for (std::size_t i = 0; i < raw.size();) {
+    std::size_t j = i + 1;
+    while (j < raw.size() && raw[j] == raw[i]) ++j;
+    values.push_back(raw[i]);
+    counts.push_back(j - i);
+    i = j;
+  }
+}
+
+void bump_histogram(std::vector<std::uint64_t>& hist, std::size_t value) {
+  if (value >= hist.size()) hist.resize(value + 1, 0);
+  ++hist[value];
+}
+
+stats::EmpiricalDistribution distribution_from_histogram(
+    const std::vector<std::uint64_t>& hist) {
+  std::vector<double> values;
+  std::vector<std::uint64_t> counts;
+  for (std::size_t v = 0; v < hist.size(); ++v) {
+    if (hist[v] == 0) continue;
+    values.push_back(static_cast<double>(v));
+    counts.push_back(hist[v]);
+  }
+  return stats::EmpiricalDistribution::from_sorted_runs(std::move(values),
+                                                        std::move(counts));
+}
+
+}  // namespace
 
 bool DayBits::set(std::int64_t day) {
   const auto word = static_cast<std::size_t>(day / 64);
@@ -50,6 +130,21 @@ void PresenceAccumulator::add_car(CarId /*car*/,
   for (const cdr::Connection& c : records) {
     const DayRange range = study_day_range(c.start, c.end(), days_);
     DayBits& cell_bits = cell_days_[c.cell.value];
+    for (std::int64_t d = range.first; d <= range.last; ++d) {
+      if (scratch_.set(d)) ++cars_per_day_[static_cast<std::size_t>(d)];
+      cell_bits.set(d);
+    }
+  }
+}
+
+void PresenceAccumulator::add_car(const cdr::ColumnCarView& view) {
+  scratch_.reset();
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const time::Seconds start = view.start[i];
+    const DayRange range =
+        study_day_range(start, start + view.duration[i], days_);
+    DayBits& cell_bits = cell_days_[view.cell[i]];
     for (std::int64_t d = range.first; d <= range.last; ++d) {
       if (scratch_.set(d)) ++cars_per_day_[static_cast<std::size_t>(d)];
       cell_bits.set(d);
@@ -113,6 +208,25 @@ void ConnectedTimeAccumulator::add_car(
   truncated_.push_back(static_cast<double>(t_trunc) / study_seconds_);
 }
 
+void ConnectedTimeAccumulator::add_car(const cdr::ColumnCarView& view) {
+  if (study_seconds_ <= 0) return;
+  // Starts are ascending within a car, so feeding IntervalUnionRun directly
+  // performs the same add() sequence union_connected_time[_truncated] makes
+  // after its (no-op) sort — identical integer totals, no interval vector.
+  cdr::IntervalUnionRun full;
+  cdr::IntervalUnionRun truncated;
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const time::Seconds start = view.start[i];
+    const std::int32_t d = view.duration[i];
+    full.add(start, start + d);
+    truncated.add(start, start + cdr::truncated_duration(d, cap_));
+  }
+  full_.push_back(static_cast<double>(full.total()) / study_seconds_);
+  truncated_.push_back(static_cast<double>(truncated.total()) /
+                       study_seconds_);
+}
+
 void ConnectedTimeAccumulator::merge(ConnectedTimeAccumulator&& other) {
   full_.insert(full_.end(), other.full_.begin(), other.full_.end());
   truncated_.insert(truncated_.end(), other.truncated_.begin(),
@@ -145,6 +259,23 @@ void DaysAccumulator::add_car(CarId car,
     }
   }
   cars_.push_back(car);
+  days_per_car_.push_back(count);
+}
+
+void DaysAccumulator::add_car(const cdr::ColumnCarView& view) {
+  scratch_.reset();
+  int count = 0;
+  const int horizon = std::max(1, study_days_);
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const time::Seconds start = view.start[i];
+    const DayRange range =
+        study_day_range(start, start + view.duration[i], horizon);
+    for (std::int64_t d = range.first; d <= range.last; ++d) {
+      if (scratch_.set(d)) ++count;
+    }
+  }
+  cars_.push_back(CarId{view.car});
   days_per_car_.push_back(count);
 }
 
@@ -186,6 +317,34 @@ void BusyTimeAccumulator::add_car(CarId car,
   }
   CarBusyShare entry;
   entry.car = car;
+  entry.connected = total;
+  entry.share =
+      total > 0 ? static_cast<double>(busy) / static_cast<double>(total) : 0.0;
+  per_car_.push_back(entry);
+}
+
+void BusyTimeAccumulator::add_car(const cdr::ColumnCarView& view) {
+  time::Seconds busy = 0;
+  time::Seconds total = 0;
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    time::Seconds t = view.start[i];
+    const time::Seconds end = t + view.duration[i];
+    const CellId cell{view.cell[i]};
+    while (t < end) {
+      const time::Seconds next_bin =
+          (t / time::kSecondsPerBin15 + 1) * time::kSecondsPerBin15;
+      const time::Seconds slice_end = std::min(next_bin, end);
+      const time::Seconds slice = slice_end - t;
+      total += slice;
+      if (load_->busy(cell, time::bin15_of_week(t), threshold_)) {
+        busy += slice;
+      }
+      t = slice_end;
+    }
+  }
+  CarBusyShare entry;
+  entry.car = CarId{view.car};
   entry.connected = total;
   entry.share =
       total > 0 ? static_cast<double>(busy) / static_cast<double>(total) : 0.0;
@@ -241,13 +400,13 @@ void HandoverAccumulator::add_car(CarId /*car*/,
       ++counts_[static_cast<std::size_t>(type)];
       if (type != net::HandoverType::kNone) ++handovers;
     }
-    per_session_.push_back(handovers);
+    bump_histogram(per_session_hist_, static_cast<std::size_t>(handovers));
 
     std::sort(scratch_stations_.begin(), scratch_stations_.end());
     scratch_stations_.erase(
         std::unique(scratch_stations_.begin(), scratch_stations_.end()),
         scratch_stations_.end());
-    stations_.push_back(static_cast<double>(scratch_stations_.size()));
+    bump_histogram(stations_hist_, scratch_stations_.size());
   }
 }
 
@@ -255,10 +414,18 @@ void HandoverAccumulator::merge(HandoverAccumulator&& other) {
   for (std::size_t t = 0; t < counts_.size(); ++t) {
     counts_[t] += other.counts_[t];
   }
-  per_session_.insert(per_session_.end(), other.per_session_.begin(),
-                      other.per_session_.end());
-  stations_.insert(stations_.end(), other.stations_.begin(),
-                   other.stations_.end());
+  if (other.per_session_hist_.size() > per_session_hist_.size()) {
+    per_session_hist_.resize(other.per_session_hist_.size(), 0);
+  }
+  for (std::size_t v = 0; v < other.per_session_hist_.size(); ++v) {
+    per_session_hist_[v] += other.per_session_hist_[v];
+  }
+  if (other.stations_hist_.size() > stations_hist_.size()) {
+    stations_hist_.resize(other.stations_hist_.size(), 0);
+  }
+  for (std::size_t v = 0; v < other.stations_hist_.size(); ++v) {
+    stations_hist_[v] += other.stations_hist_[v];
+  }
   session_count_ += other.session_count_;
 }
 
@@ -266,9 +433,8 @@ HandoverStats HandoverAccumulator::finalize() && {
   HandoverStats result;
   result.counts = counts_;
   result.session_count = session_count_;
-  result.per_session = stats::EmpiricalDistribution(std::move(per_session_));
-  result.stations_per_session =
-      stats::EmpiricalDistribution(std::move(stations_));
+  result.per_session = distribution_from_histogram(per_session_hist_);
+  result.stations_per_session = distribution_from_histogram(stations_hist_);
   result.median = result.per_session.quantile(0.5);
   result.p70 = result.per_session.quantile(0.7);
   result.p90 = result.per_session.quantile(0.9);
@@ -288,6 +454,20 @@ void CarrierUsageAccumulator::add_car(
     const CarrierId carrier = cells_->info(c.cell).carrier;
     used[carrier.value] = true;
     seconds_[carrier.value] += c.duration_s;
+  }
+  for (std::size_t k = 0; k < net::kCarrierCount; ++k) {
+    if (used[k]) ++car_counts_[k];
+  }
+}
+
+void CarrierUsageAccumulator::add_car(const cdr::ColumnCarView& view) {
+  ++car_count_;
+  std::array<bool, net::kCarrierCount> used{};
+  const std::size_t n = view.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const CarrierId carrier = cells_->info(CellId{view.cell[i]}).carrier;
+    used[carrier.value] = true;
+    seconds_[carrier.value] += view.duration[i];
   }
   for (std::size_t k = 0; k < net::kCarrierCount; ++k) {
     if (used[k]) ++car_counts_[k];
@@ -362,14 +542,84 @@ std::vector<std::uint64_t> ConcurrencyPairsAccumulator::take_pairs() && {
   return std::move(pairs_);
 }
 
+// --- Concurrency counts -----------------------------------------------------
+
+ConcurrencyCountsAccumulator::ConcurrencyCountsAccumulator(
+    int study_days, time::Seconds session_gap)
+    : total_bins_(static_cast<std::int64_t>(std::max(1, study_days)) *
+                  time::kBins15PerDay),
+      session_gap_(session_gap) {}
+
+void ConcurrencyCountsAccumulator::add_car(
+    CarId /*car*/, std::span<const cdr::Connection> records) {
+  // Identical per-car dedup to ConcurrencyPairsAccumulator::add_car; the
+  // deduped keys then feed the run store instead of a flat list.
+  scratch_.clear();
+  const auto sessions = cdr::aggregate_sessions(records, session_gap_);
+  for (const cdr::Session& s : sessions) {
+    for (const cdr::SessionLeg& leg : s.legs) {
+      const std::int64_t b0 = std::clamp<std::int64_t>(
+          leg.when.start / time::kSecondsPerBin15, 0, total_bins_ - 1);
+      const std::int64_t b1 = std::clamp<std::int64_t>(
+          (leg.when.end - 1) / time::kSecondsPerBin15, 0, total_bins_ - 1);
+      for (std::int64_t b = b0; b <= b1; ++b) {
+        scratch_.push_back(
+            (static_cast<std::uint64_t>(leg.cell.value) << 24) |
+            static_cast<std::uint64_t>(b));
+      }
+    }
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  pending_.insert(pending_.end(), scratch_.begin(), scratch_.end());
+  if (pending_.size() >= kPassFlushRecords) flush_pending();
+}
+
+void ConcurrencyCountsAccumulator::flush_pending() {
+  if (pending_.empty()) return;
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> counts;
+  encode_runs(pending_, values, counts);
+  merge_runs(keys_, counts_, values, counts);
+  pending_.clear();
+}
+
+void ConcurrencyCountsAccumulator::merge(ConcurrencyCountsAccumulator&& other) {
+  other.flush_pending();
+  flush_pending();
+  merge_runs(keys_, counts_, other.keys_, other.counts_);
+}
+
+std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>
+ConcurrencyCountsAccumulator::take_counts() && {
+  flush_pending();
+  return {std::move(keys_), std::move(counts_)};
+}
+
 // --- Cell sessions ----------------------------------------------------------
 
 CellSessionsAccumulator::CellSessionsAccumulator(std::int32_t truncation_cap)
     : cap_(truncation_cap) {}
 
+void CellSessionsAccumulator::add_duration(std::int32_t duration_s) {
+  pending_.push_back(duration_s);
+  truncated_sum_ += cdr::truncated_duration(duration_s, cap_);
+  ++count_;
+  if (pending_.size() >= kPassFlushRecords) flush_pending();
+}
+
+void CellSessionsAccumulator::flush_pending() {
+  if (pending_.empty()) return;
+  std::vector<std::int32_t> values;
+  std::vector<std::uint64_t> counts;
+  encode_runs(pending_, values, counts);
+  merge_runs(run_values_, run_counts_, values, counts);
+  pending_.clear();
+}
+
 void CellSessionsAccumulator::add(const cdr::Connection& c) {
-  durations_.push_back(static_cast<double>(c.duration_s));
-  truncated_sum_ += cdr::truncated_duration(c.duration_s, cap_);
+  add_duration(c.duration_s);
 }
 
 void CellSessionsAccumulator::add_cell(
@@ -378,17 +628,26 @@ void CellSessionsAccumulator::add_cell(
   for (const std::uint32_t idx : indices) add(dataset.at(idx));
 }
 
+void CellSessionsAccumulator::add_car(const cdr::ColumnCarView& view) {
+  for (const std::int32_t d : view.duration) add_duration(d);
+}
+
 void CellSessionsAccumulator::merge(CellSessionsAccumulator&& other) {
-  durations_.insert(durations_.end(), other.durations_.begin(),
-                    other.durations_.end());
+  other.flush_pending();
+  flush_pending();
+  merge_runs(run_values_, run_counts_, other.run_values_, other.run_counts_);
+  count_ += other.count_;
   truncated_sum_ += other.truncated_sum_;
 }
 
 CellSessionStats CellSessionsAccumulator::finalize() && {
+  flush_pending();
   CellSessionStats result;
   result.cap = cap_;
-  const auto n = durations_.size();
-  result.durations = stats::EmpiricalDistribution(std::move(durations_));
+  const std::uint64_t n = count_;
+  std::vector<double> values(run_values_.begin(), run_values_.end());
+  result.durations = stats::EmpiricalDistribution::from_sorted_runs(
+      std::move(values), std::move(run_counts_));
   result.median = result.durations.median();
   result.mean_full = result.durations.mean();
   result.mean_truncated =

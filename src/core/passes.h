@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "cdr/columnar.h"
 #include "cdr/dataset.h"
 #include "cdr/session.h"
 #include "core/busy_time.h"
@@ -41,14 +43,26 @@
 
 namespace ccms::core {
 
+/// Unflushed-record threshold for the RLE accumulators (cell sessions,
+/// concurrency counts): pending raw values are sorted and merge-joined into
+/// the run-length store once this many pile up, bounding per-accumulator
+/// memory by O(distinct values) + O(flush window) instead of O(records).
+inline constexpr std::size_t kPassFlushRecords = std::size_t{1} << 16;
+
 /// Fig 2 / Table 1 pass: per-day distinct-car counts (cars partition across
 /// chunks, so counts add) and per-cell day bitsets (cells span chunks, so
 /// sets OR together).
+///
+/// Every accumulator below that takes a cdr::ColumnCarView overload consumes
+/// one car's decoded column spans directly — the out-of-core sweep's path.
+/// Each overload performs the exact arithmetic of its record-span twin, so
+/// the two paths are bitwise interchangeable.
 class PresenceAccumulator {
  public:
   explicit PresenceAccumulator(int study_days);
 
   void add_car(CarId car, std::span<const cdr::Connection> records);
+  void add_car(const cdr::ColumnCarView& view);
   void merge(PresenceAccumulator&& other);
   [[nodiscard]] DailyPresence finalize(std::uint32_t fleet_size) const;
 
@@ -66,6 +80,7 @@ class ConnectedTimeAccumulator {
   ConnectedTimeAccumulator(int study_days, std::int32_t truncation_cap);
 
   void add_car(CarId car, std::span<const cdr::Connection> records);
+  void add_car(const cdr::ColumnCarView& view);
   void merge(ConnectedTimeAccumulator&& other);
   [[nodiscard]] ConnectedTime finalize() &&;
 
@@ -83,6 +98,7 @@ class DaysAccumulator {
   explicit DaysAccumulator(int study_days);
 
   void add_car(CarId car, std::span<const cdr::Connection> records);
+  void add_car(const cdr::ColumnCarView& view);
   void merge(DaysAccumulator&& other);
   [[nodiscard]] DaysOnNetwork finalize() &&;
 
@@ -99,6 +115,7 @@ class BusyTimeAccumulator {
   BusyTimeAccumulator(const CellLoad* load, double threshold);
 
   void add_car(CarId car, std::span<const cdr::Connection> records);
+  void add_car(const cdr::ColumnCarView& view);
   void merge(BusyTimeAccumulator&& other);
   [[nodiscard]] BusyTime finalize() &&;
 
@@ -108,8 +125,14 @@ class BusyTimeAccumulator {
   std::vector<CarBusyShare> per_car_;
 };
 
-/// §4.5 pass: handover type counts (integer adds) plus per-session counts
-/// and distinct-station counts appended in ascending car order.
+/// §4.5 pass: handover type counts (integer adds) plus per-session handover
+/// and distinct-station counts. Both per-session statistics are small
+/// non-negative integers, so they are stored as dense count histograms
+/// indexed by value — O(max value) per accumulator instead of O(sessions),
+/// which is what lets the merged partials of a billion-session sweep fit in
+/// memory. Merging is elementwise addition (canonical multiset form, so the
+/// result is independent of the merge partition), and finalize() hands the
+/// runs straight to stats::EmpiricalDistribution::from_sorted_runs.
 class HandoverAccumulator {
  public:
   HandoverAccumulator(const net::CellTable* cells, time::Seconds journey_gap);
@@ -122,8 +145,8 @@ class HandoverAccumulator {
   const net::CellTable* cells_ = nullptr;
   time::Seconds journey_gap_ = cdr::kJourneyGap;
   std::array<std::uint64_t, net::kHandoverTypeCount> counts_{};
-  std::vector<double> per_session_;
-  std::vector<double> stations_;
+  std::vector<std::uint64_t> per_session_hist_;  ///< index = handovers/session
+  std::vector<std::uint64_t> stations_hist_;     ///< index = stations/session
   std::uint64_t session_count_ = 0;
   std::vector<std::uint32_t> scratch_stations_;
 };
@@ -135,6 +158,7 @@ class CarrierUsageAccumulator {
   explicit CarrierUsageAccumulator(const net::CellTable* cells);
 
   void add_car(CarId car, std::span<const cdr::Connection> records);
+  void add_car(const cdr::ColumnCarView& view);
   void merge(const CarrierUsageAccumulator& other);
   [[nodiscard]] CarrierUsage finalize() const;
 
@@ -164,8 +188,44 @@ class ConcurrencyPairsAccumulator {
   std::vector<std::uint64_t> scratch_;
 };
 
-/// Fig 9 pass, cell side: connection durations (the multiset feeds the
-/// exact CDF) and the truncated-duration sum, exact as integers.
+/// Fig 10/11 pass, out-of-core car side: the same per-car deduplicated
+/// (cell << 24) | absolute_bin observations, but aggregated into sorted
+/// (key, multiplicity) runs instead of a flat pair list — O(distinct pairs)
+/// memory instead of O(observations), which is the difference between fitting
+/// and not fitting a 1M-car sweep. Raw per-car keys buffer in `pending_` and
+/// are sorted + merge-joined into the run store every kPassFlushRecords.
+/// The runs are a canonical encoding of the observation multiset, so merges
+/// commute and ConcurrencyGrid::from_bin_counts sees exactly the multiset
+/// ConcurrencyPairsAccumulator would have produced.
+class ConcurrencyCountsAccumulator {
+ public:
+  ConcurrencyCountsAccumulator(int study_days, time::Seconds session_gap);
+
+  void add_car(CarId car, std::span<const cdr::Connection> records);
+  void merge(ConcurrencyCountsAccumulator&& other);
+  /// Sorted keys and their multiplicities (ConcurrencyGrid::from_bin_counts'
+  /// input form).
+  [[nodiscard]] std::pair<std::vector<std::uint64_t>,
+                          std::vector<std::uint64_t>>
+  take_counts() &&;
+
+ private:
+  void flush_pending();
+
+  std::int64_t total_bins_ = 0;
+  time::Seconds session_gap_ = cdr::kSessionGap;
+  std::vector<std::uint64_t> pending_;  ///< per-car deduped keys, unflushed
+  std::vector<std::uint64_t> keys_;     ///< sorted, unique
+  std::vector<std::uint64_t> counts_;   ///< multiplicity per key
+  std::vector<std::uint64_t> scratch_;
+};
+
+/// Fig 9 pass, cell side: connection durations and the truncated-duration
+/// sum, exact as integers. Durations are kept run-length encoded (sorted
+/// unique values + multiplicities, with a pending buffer flushed every
+/// kPassFlushRecords), so the accumulator holds O(distinct durations), not
+/// O(records) — the representation stats::EmpiricalDistribution uses
+/// natively, handed over via from_sorted_runs at finalize.
 class CellSessionsAccumulator {
  public:
   explicit CellSessionsAccumulator(std::int32_t truncation_cap);
@@ -175,12 +235,21 @@ class CellSessionsAccumulator {
   /// Folds one cell's span of by-cell indices.
   void add_cell(const cdr::Dataset& dataset, CellId cell,
                 std::span<const std::uint32_t> indices);
+  /// Folds one car's duration column (the out-of-core sweep is cell-blind
+  /// here: the duration multiset is all Fig 9 needs).
+  void add_car(const cdr::ColumnCarView& view);
   void merge(CellSessionsAccumulator&& other);
   [[nodiscard]] CellSessionStats finalize() &&;
 
  private:
+  void add_duration(std::int32_t duration_s);
+  void flush_pending();
+
   std::int32_t cap_ = 600;
-  std::vector<double> durations_;
+  std::vector<std::int32_t> pending_;      ///< raw durations, unflushed
+  std::vector<std::int32_t> run_values_;   ///< sorted, unique
+  std::vector<std::uint64_t> run_counts_;  ///< multiplicity per value
+  std::uint64_t count_ = 0;
   std::int64_t truncated_sum_ = 0;
 };
 

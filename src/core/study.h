@@ -7,8 +7,10 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "cdr/clean.h"
+#include "cdr/columnar.h"
 #include "cdr/integrity.h"
 #include "core/busy_time.h"
 #include "core/carrier_usage.h"
@@ -78,5 +80,40 @@ struct StudyReport {
                                            const net::CellTable& cells,
                                            const CellLoad& load,
                                            const StudyOptions& options = {});
+
+/// The out-of-core pipeline: streams an open CCDR2 file block by block,
+/// never materializing a Dataset. Peak memory is bounded by the decode
+/// window (a few blocks per executor thread) plus the pass accumulators'
+/// run-length state — independent of the record count. The report is
+/// bitwise identical to read_columnar + run_study, at every thread width
+/// (see DESIGN.md §13 for the argument). `open_report` is the ingest
+/// report ColumnarFile::open/from_buffer filled (structural faults, bytes
+/// consumed); record-level accounting is merged into it.
+[[nodiscard]] StudyReport run_study_columnar(const cdr::ColumnarFile& file,
+                                             const net::CellTable& cells,
+                                             const CellLoad& load,
+                                             const StudyOptions& options = {},
+                                             cdr::IngestReport open_report = {});
+
+/// Same, opening `path` first; structural open faults (bad header, damaged
+/// index) land in the returned report's ingest accounting per
+/// options.ingest.
+[[nodiscard]] StudyReport run_study_columnar(const std::string& path,
+                                             const net::CellTable& cells,
+                                             const CellLoad& load,
+                                             const StudyOptions& options = {});
+
+/// Same, over an in-memory CCDR2 buffer (must stay alive for the call).
+[[nodiscard]] StudyReport run_study_columnar_buffer(
+    std::string_view bytes, const net::CellTable& cells, const CellLoad& load,
+    const StudyOptions& options = {}, const std::string& label = "<memory>");
+
+/// Field-by-field bitwise equality of two study reports, including every
+/// per-car sample vector and the ingest/clean accounting. On mismatch,
+/// `why` (if non-null) names the first differing field. Shared by the
+/// harness's columnar-roundtrip invariant and the equivalence tests.
+[[nodiscard]] bool study_reports_identical(const StudyReport& a,
+                                           const StudyReport& b,
+                                           std::string* why = nullptr);
 
 }  // namespace ccms::core

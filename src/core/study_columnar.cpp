@@ -1,0 +1,550 @@
+// Out-of-core batch driver: run_study over a CCDR2 file without ever
+// holding the records in memory.
+//
+// The sweep folds car-aligned column blocks through the same pass
+// accumulators run_study uses, in fixed-size block chunks merged in
+// ascending order. Determinism and exactness rest on three properties,
+// argued in DESIGN.md §13:
+//
+//   1. Blocks are car-aligned, so every chunk boundary is a car boundary
+//      and the accumulators' "other's ids strictly after ours" merge
+//      contract holds for any fixed chunk partition.
+//   2. The chunk partition is a function of the file alone (never of the
+//      thread count), and chunks merge in ascending order — so every pool
+//      width folds and merges the identical operation sequence.
+//   3. Record screening resets its previous-record state at every block
+//      boundary on the sequential path too (see cdr::RecordScreen), so the
+//      per-chunk ingest accounting tiles exactly.
+//
+// Memory: chunks are folded in waves of a few per thread; each wave's
+// partials merge into the running total before the next wave starts, so at
+// most O(threads) chunk partials are ever alive, each holding run-length
+// state sized by distinct values, not records. Consumed blocks are dropped
+// from the page cache as the sweep passes them.
+
+#include "core/study.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdr/columnar.h"
+#include "core/passes.h"
+#include "exec/thread_pool.h"
+
+namespace ccms::core {
+
+namespace {
+
+/// Blocks folded per chunk. Fixed — never derived from the thread count —
+/// so the merge sequence (and with it every figure) is identical for every
+/// pool width.
+constexpr std::size_t kBlocksPerChunk = 4;
+
+/// All per-chunk sweep state: ingest + clean accounting and the seven
+/// car-grouped pass accumulators plus the cell-blind duration pass.
+struct ColumnarSweep {
+  cdr::IngestReport ingest;
+  cdr::CleanReport clean;
+  std::uint32_t max_car = 0;
+  bool any_accepted = false;
+
+  PresenceAccumulator presence;
+  ConnectedTimeAccumulator connected;
+  DaysAccumulator days;
+  BusyTimeAccumulator busy;
+  HandoverAccumulator handovers;
+  CarrierUsageAccumulator carriers;
+  ConcurrencyCountsAccumulator concurrency;
+  CellSessionsAccumulator cell_sessions;
+
+  ColumnarSweep(int study_days, const net::CellTable& cells,
+                const CellLoad& load, const StudyOptions& options)
+      : presence(study_days),
+        connected(study_days, options.truncation_cap),
+        days(study_days),
+        busy(&load, options.busy_prb_threshold),
+        handovers(&cells, cdr::kJourneyGap),
+        carriers(&cells),
+        concurrency(study_days, cdr::kSessionGap),
+        cell_sessions(options.truncation_cap) {}
+
+  /// Merges a sweep whose blocks (hence cars) are strictly after this
+  /// one's. `quarantine_cap` re-applies the global quarantine bound after
+  /// the per-chunk quarantines concatenate.
+  void merge(ColumnarSweep&& other, std::size_t quarantine_cap) {
+    merge_ingest(ingest, std::move(other.ingest), quarantine_cap);
+    clean.input_records += other.clean.input_records;
+    clean.hour_artifacts_removed += other.clean.hour_artifacts_removed;
+    clean.nonpositive_removed += other.clean.nonpositive_removed;
+    clean.implausible_removed += other.clean.implausible_removed;
+    max_car = std::max(max_car, other.max_car);
+    any_accepted = any_accepted || other.any_accepted;
+    presence.merge(std::move(other.presence));
+    connected.merge(std::move(other.connected));
+    days.merge(std::move(other.days));
+    busy.merge(std::move(other.busy));
+    handovers.merge(std::move(other.handovers));
+    carriers.merge(other.carriers);
+    concurrency.merge(std::move(other.concurrency));
+    cell_sessions.merge(std::move(other.cell_sessions));
+  }
+
+  /// The ingest-report fold io.cpp's chunked readers use: counters add,
+  /// quarantines concatenate in stream order, then the global cap is
+  /// re-applied (each side retained a prefix of its own entries, so the
+  /// concatenation's first `cap` are exactly the sequential retained set).
+  static void merge_ingest(cdr::IngestReport& into, cdr::IngestReport&& from,
+                           std::size_t cap) {
+    into.rows_read += from.rows_read;
+    into.records_accepted += from.records_accepted;
+    into.records_dropped += from.records_dropped;
+    into.records_repaired += from.records_repaired;
+    into.bom_stripped = into.bom_stripped || from.bom_stripped;
+    for (std::size_t i = 0; i < cdr::kFaultClassCount; ++i) {
+      into.counters[i] += from.counters[i];
+    }
+    into.quarantine.insert(into.quarantine.end(),
+                           std::make_move_iterator(from.quarantine.begin()),
+                           std::make_move_iterator(from.quarantine.end()));
+    into.quarantine_overflow += from.quarantine_overflow;
+    if (into.quarantine.size() > cap) {
+      into.quarantine_overflow += into.quarantine.size() - cap;
+      into.quarantine.resize(cap);
+    }
+  }
+};
+
+/// Per-thread decode and per-car staging buffers. Kept thread_local rather
+/// than inside the chunk accumulators so scratch capacity scales with the
+/// thread count, not the chunk count.
+struct DecodeScratch {
+  cdr::ColumnBlock block;
+  std::vector<std::uint32_t> cell;
+  std::vector<std::int64_t> start;
+  std::vector<std::int32_t> duration;
+  std::vector<cdr::Connection> records;
+};
+
+DecodeScratch& scratch_for_thread() {
+  thread_local DecodeScratch scratch;
+  return scratch;
+}
+
+/// Feeds one staged car — its cleaned records, as parallel column spans —
+/// to every accumulator, then clears the staging buffers.
+void flush_car(ColumnarSweep& acc, DecodeScratch& s, std::uint32_t car) {
+  if (s.cell.empty()) return;
+  const cdr::ColumnCarView view{car, s.cell, s.start, s.duration};
+  acc.presence.add_car(view);
+  acc.connected.add_car(view);
+  acc.days.add_car(view);
+  acc.busy.add_car(view);
+  acc.carriers.add_car(view);
+  acc.cell_sessions.add_car(view);
+  // The session-structured passes walk record structs; bridge the cleaned
+  // columns once per car.
+  s.records.clear();
+  s.records.reserve(s.cell.size());
+  for (std::size_t i = 0; i < s.cell.size(); ++i) {
+    s.records.push_back(cdr::Connection{CarId{car}, CellId{s.cell[i]},
+                                        s.start[i], s.duration[i]});
+  }
+  acc.handovers.add_car(CarId{car}, s.records);
+  acc.concurrency.add_car(CarId{car}, s.records);
+  s.cell.clear();
+  s.start.clear();
+  s.duration.clear();
+}
+
+/// Folds one block: decode, screen (§7), clean (§3), stage per car. The
+/// screen/clean order and accounting mirror read_columnar + cdr::clean
+/// record for record.
+void fold_block(ColumnarSweep& acc, const cdr::ColumnarFile& file,
+                std::size_t b, const StudyOptions& options,
+                const std::string& label) {
+  DecodeScratch& s = scratch_for_thread();
+  cdr::RecordScreen screen(options.ingest, acc.ingest, label);
+  const cdr::ColumnarBlockDesc& desc = file.blocks()[b];
+  const cdr::ColumnarFile::DecodeStatus status = file.decode_block(b, s.block);
+  if (status != cdr::ColumnarFile::DecodeStatus::kOk) {
+    screen.fault(
+        status == cdr::ColumnarFile::DecodeStatus::kChecksumMismatch
+            ? cdr::FaultClass::kChecksumMismatch
+            : cdr::FaultClass::kTruncatedPayload,
+        desc.offset,
+        "block " + std::to_string(b) +
+            (status == cdr::ColumnarFile::DecodeStatus::kChecksumMismatch
+                 ? " payload CRC32 does not match"
+                 : " column stream is malformed"));
+    acc.ingest.rows_read += desc.records;
+    acc.ingest.records_dropped += desc.records;
+    return;
+  }
+  const cdr::CleanOptions& clean = options.clean;
+  std::uint32_t car = 0;
+  for (std::size_t i = 0; i < s.block.size(); ++i) {
+    const cdr::Connection c{CarId{s.block.car[i]}, CellId{s.block.cell[i]},
+                            s.block.start[i], s.block.duration[i]};
+    if (!screen.screen(c, desc.offset)) continue;
+    acc.any_accepted = true;
+    acc.max_car = std::max(acc.max_car, c.car.value);
+    ++acc.clean.input_records;
+    if (c.duration_s <= 0) {
+      ++acc.clean.nonpositive_removed;
+      continue;
+    }
+    if (clean.artifact_duration_s > 0 &&
+        c.duration_s == clean.artifact_duration_s) {
+      ++acc.clean.hour_artifacts_removed;
+      continue;
+    }
+    if (clean.max_plausible_duration_s > 0 &&
+        c.duration_s > clean.max_plausible_duration_s) {
+      ++acc.clean.implausible_removed;
+      continue;
+    }
+    if (!s.cell.empty() && c.car.value != car) flush_car(acc, s, car);
+    car = c.car.value;
+    s.cell.push_back(c.cell.value);
+    s.start.push_back(c.start);
+    s.duration.push_back(c.duration_s);
+  }
+  flush_car(acc, s, car);
+}
+
+StudyReport run_columnar_impl(const cdr::ColumnarFile& file,
+                              const net::CellTable& cells, const CellLoad& load,
+                              const StudyOptions& options,
+                              cdr::IngestReport base,
+                              const std::string& label) {
+  base.mode = options.ingest.mode;
+  if (file.study_days() <= 0) {
+    // A header without a day count (hand-built or zeroed) leaves the study
+    // geometry unknown until every record is seen, which is exactly what
+    // streaming cannot do. Such a file is degenerate — materialize it and
+    // take the in-memory path, which derives study_days in finalize().
+    cdr::Dataset raw =
+        cdr::materialize_columnar(file, options.ingest, base, label);
+    StudyReport report = run_study(raw, cells, load, options);
+    report.ingest = std::move(base);
+    return report;
+  }
+
+  const int study_days = file.study_days();
+  exec::ThreadPool pool(options.threads);
+  file.advise_sequential();
+
+  const std::size_t n_blocks = file.blocks().size();
+  const std::size_t chunks = (n_blocks + kBlocksPerChunk - 1) / kBlocksPerChunk;
+  const std::size_t cap = options.ingest.quarantine_cap;
+
+  ColumnarSweep total(study_days, cells, load, options);
+  // Fold in waves of a few chunks per thread; merge each wave (ascending)
+  // into the running total before the next starts. The wave width only
+  // schedules work — the fold/merge sequence, hence the result, is the
+  // same for every width.
+  const std::size_t wave =
+      std::max<std::size_t>(std::size_t{2} * static_cast<std::size_t>(
+                                                 std::max(1, pool.size())),
+                            2);
+  std::vector<std::optional<ColumnarSweep>> partials(std::min(wave, chunks));
+  for (std::size_t first = 0; first < chunks; first += wave) {
+    const std::size_t count = std::min(wave, chunks - first);
+    pool.parallel_for(count, [&](std::size_t i) {
+      ColumnarSweep acc(study_days, cells, load, options);
+      const std::size_t lo = (first + i) * kBlocksPerChunk;
+      const std::size_t hi = std::min(n_blocks, lo + kBlocksPerChunk);
+      for (std::size_t b = lo; b < hi; ++b) {
+        fold_block(acc, file, b, options, label);
+      }
+      partials[i].emplace(std::move(acc));
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      total.merge(std::move(*partials[i]), cap);
+      partials[i].reset();
+    }
+    file.drop_consumed(first * kBlocksPerChunk,
+                       std::min(n_blocks, (first + count) * kBlocksPerChunk));
+  }
+
+  // The fleet-size bump Dataset::finalize applies: accepted records can
+  // name cars beyond the header's declared fleet.
+  std::uint32_t fleet_size = file.fleet_size();
+  if (total.any_accepted && fleet_size < total.max_car + 1) {
+    fleet_size = total.max_car + 1;
+  }
+
+  StudyReport report;
+  ColumnarSweep::merge_ingest(base, std::move(total.ingest), cap);
+  report.ingest = std::move(base);
+  report.clean = total.clean;
+  report.presence = total.presence.finalize(fleet_size);
+  report.connected_time = std::move(total.connected).finalize();
+  report.days = std::move(total.days).finalize();
+  report.busy_time = std::move(total.busy).finalize();
+  report.segmentation =
+      segment_cars(report.days, report.busy_time, options.segmentation);
+  report.cell_sessions = std::move(total.cell_sessions).finalize();
+  report.handovers = std::move(total.handovers).finalize();
+  report.carriers = total.carriers.finalize();
+
+  auto [keys, counts] = std::move(total.concurrency).take_counts();
+  const ConcurrencyGrid grid =
+      ConcurrencyGrid::from_bin_counts(keys, counts, study_days);
+  report.clusters =
+      cluster_busy_cells(grid, load, options.cluster_load_threshold,
+                         options.cluster_k, options.cluster_seed);
+  return report;
+}
+
+}  // namespace
+
+StudyReport run_study_columnar(const cdr::ColumnarFile& file,
+                               const net::CellTable& cells,
+                               const CellLoad& load,
+                               const StudyOptions& options,
+                               cdr::IngestReport open_report) {
+  return run_columnar_impl(file, cells, load, options, std::move(open_report),
+                           "<columnar>");
+}
+
+StudyReport run_study_columnar(const std::string& path,
+                               const net::CellTable& cells,
+                               const CellLoad& load,
+                               const StudyOptions& options) {
+  cdr::IngestReport base;
+  const cdr::ColumnarFile file =
+      cdr::ColumnarFile::open(path, options.ingest, base);
+  return run_columnar_impl(file, cells, load, options, std::move(base), path);
+}
+
+StudyReport run_study_columnar_buffer(std::string_view bytes,
+                                      const net::CellTable& cells,
+                                      const CellLoad& load,
+                                      const StudyOptions& options,
+                                      const std::string& label) {
+  cdr::IngestReport base;
+  const cdr::ColumnarFile file =
+      cdr::ColumnarFile::from_buffer(bytes, options.ingest, base, label);
+  return run_columnar_impl(file, cells, load, options, std::move(base), label);
+}
+
+// --- Report identity --------------------------------------------------------
+
+namespace {
+
+/// First-difference recorder (mirrors stream/report.cpp's comparator).
+struct IdentityCheck {
+  std::string* why;
+  bool ok = true;
+  bool check(bool equal, const char* field) {
+    if (!equal && ok) {
+      ok = false;
+      if (why != nullptr) *why = field;
+    }
+    return equal;
+  }
+};
+
+bool distributions_equal(const stats::EmpiricalDistribution& a,
+                         const stats::EmpiricalDistribution& b) {
+  return a.values() == b.values() && a.counts() == b.counts();
+}
+
+bool stats_equal(const PresenceStat& a, const PresenceStat& b) {
+  return a.mean == b.mean && a.stdev == b.stdev;
+}
+
+bool fits_equal(const stats::LinearFit& a, const stats::LinearFit& b) {
+  return a.slope == b.slope && a.intercept == b.intercept &&
+         a.r_squared == b.r_squared && a.n == b.n;
+}
+
+bool rows_equal(const SegmentRow& a, const SegmentRow& b) {
+  return a.busy == b.busy && a.non_busy == b.non_busy && a.both == b.both;
+}
+
+}  // namespace
+
+bool study_reports_identical(const StudyReport& a, const StudyReport& b,
+                             std::string* why) {
+  IdentityCheck id{why};
+
+  // Ingest + clean accounting.
+  id.check(a.ingest.mode == b.ingest.mode, "ingest.mode");
+  id.check(a.ingest.bytes_consumed == b.ingest.bytes_consumed,
+           "ingest.bytes_consumed");
+  id.check(a.ingest.rows_read == b.ingest.rows_read, "ingest.rows_read");
+  id.check(a.ingest.records_accepted == b.ingest.records_accepted,
+           "ingest.records_accepted");
+  id.check(a.ingest.records_dropped == b.ingest.records_dropped,
+           "ingest.records_dropped");
+  id.check(a.ingest.records_repaired == b.ingest.records_repaired,
+           "ingest.records_repaired");
+  id.check(a.ingest.bom_stripped == b.ingest.bom_stripped,
+           "ingest.bom_stripped");
+  id.check(a.ingest.counters == b.ingest.counters, "ingest.counters");
+  id.check(a.ingest.quarantine_overflow == b.ingest.quarantine_overflow,
+           "ingest.quarantine_overflow");
+  {
+    bool equal = a.ingest.quarantine.size() == b.ingest.quarantine.size();
+    for (std::size_t i = 0; equal && i < a.ingest.quarantine.size(); ++i) {
+      const auto& qa = a.ingest.quarantine[i];
+      const auto& qb = b.ingest.quarantine[i];
+      equal = qa.fault == qb.fault && qa.byte_offset == qb.byte_offset &&
+              qa.reason == qb.reason && qa.raw == qb.raw;
+    }
+    id.check(equal, "ingest.quarantine");
+  }
+  id.check(a.clean.input_records == b.clean.input_records,
+           "clean.input_records");
+  id.check(a.clean.hour_artifacts_removed == b.clean.hour_artifacts_removed,
+           "clean.hour_artifacts_removed");
+  id.check(a.clean.nonpositive_removed == b.clean.nonpositive_removed,
+           "clean.nonpositive_removed");
+  id.check(a.clean.implausible_removed == b.clean.implausible_removed,
+           "clean.implausible_removed");
+
+  // Presence (Fig 2, Table 1).
+  id.check(a.presence.cars_fraction == b.presence.cars_fraction,
+           "presence.cars_fraction");
+  id.check(a.presence.cells_fraction == b.presence.cells_fraction,
+           "presence.cells_fraction");
+  id.check(fits_equal(a.presence.cars_trend, b.presence.cars_trend),
+           "presence.cars_trend");
+  id.check(fits_equal(a.presence.cells_trend, b.presence.cells_trend),
+           "presence.cells_trend");
+  for (std::size_t d = 0; d < 7; ++d) {
+    id.check(stats_equal(a.presence.cars_by_weekday[d],
+                         b.presence.cars_by_weekday[d]),
+             "presence.cars_by_weekday");
+    id.check(stats_equal(a.presence.cells_by_weekday[d],
+                         b.presence.cells_by_weekday[d]),
+             "presence.cells_by_weekday");
+  }
+  id.check(stats_equal(a.presence.cars_overall, b.presence.cars_overall),
+           "presence.cars_overall");
+  id.check(stats_equal(a.presence.cells_overall, b.presence.cells_overall),
+           "presence.cells_overall");
+  id.check(a.presence.fleet_size == b.presence.fleet_size,
+           "presence.fleet_size");
+  id.check(a.presence.ever_touched_cells == b.presence.ever_touched_cells,
+           "presence.ever_touched_cells");
+
+  // Connected time (Fig 3).
+  id.check(distributions_equal(a.connected_time.full, b.connected_time.full),
+           "connected_time.full");
+  id.check(distributions_equal(a.connected_time.truncated,
+                               b.connected_time.truncated),
+           "connected_time.truncated");
+  id.check(a.connected_time.mean_full == b.connected_time.mean_full,
+           "connected_time.mean_full");
+  id.check(a.connected_time.mean_truncated == b.connected_time.mean_truncated,
+           "connected_time.mean_truncated");
+  id.check(a.connected_time.p995_full == b.connected_time.p995_full,
+           "connected_time.p995_full");
+  id.check(a.connected_time.p995_truncated == b.connected_time.p995_truncated,
+           "connected_time.p995_truncated");
+  id.check(a.connected_time.study_days == b.connected_time.study_days,
+           "connected_time.study_days");
+
+  // Days on network (Fig 6).
+  id.check(a.days.cars == b.days.cars, "days.cars");
+  id.check(a.days.days_per_car == b.days.days_per_car, "days.days_per_car");
+  id.check(a.days.histogram.counts() == b.days.histogram.counts(),
+           "days.histogram");
+  id.check(a.days.knee_days == b.days.knee_days, "days.knee_days");
+
+  // Busy time (Fig 7).
+  {
+    bool equal = a.busy_time.per_car.size() == b.busy_time.per_car.size();
+    for (std::size_t i = 0; equal && i < a.busy_time.per_car.size(); ++i) {
+      const auto& ca = a.busy_time.per_car[i];
+      const auto& cb = b.busy_time.per_car[i];
+      equal = ca.car == cb.car && ca.share == cb.share &&
+              ca.connected == cb.connected;
+    }
+    id.check(equal, "busy_time.per_car");
+  }
+  id.check(distributions_equal(a.busy_time.shares, b.busy_time.shares),
+           "busy_time.shares");
+  id.check(a.busy_time.fraction_over_half == b.busy_time.fraction_over_half,
+           "busy_time.fraction_over_half");
+  id.check(a.busy_time.fraction_all == b.busy_time.fraction_all,
+           "busy_time.fraction_all");
+
+  // Segmentation (Table 2).
+  id.check(rows_equal(a.segmentation.rare_a, b.segmentation.rare_a),
+           "segmentation.rare_a");
+  id.check(rows_equal(a.segmentation.common_a, b.segmentation.common_a),
+           "segmentation.common_a");
+  id.check(rows_equal(a.segmentation.rare_b, b.segmentation.rare_b),
+           "segmentation.rare_b");
+  id.check(rows_equal(a.segmentation.common_b, b.segmentation.common_b),
+           "segmentation.common_b");
+  id.check(a.segmentation.car_count == b.segmentation.car_count,
+           "segmentation.car_count");
+
+  // Cell sessions (Fig 9).
+  id.check(distributions_equal(a.cell_sessions.durations,
+                               b.cell_sessions.durations),
+           "cell_sessions.durations");
+  id.check(a.cell_sessions.median == b.cell_sessions.median,
+           "cell_sessions.median");
+  id.check(a.cell_sessions.mean_full == b.cell_sessions.mean_full,
+           "cell_sessions.mean_full");
+  id.check(a.cell_sessions.mean_truncated == b.cell_sessions.mean_truncated,
+           "cell_sessions.mean_truncated");
+  id.check(a.cell_sessions.cdf_at_cap == b.cell_sessions.cdf_at_cap,
+           "cell_sessions.cdf_at_cap");
+  id.check(a.cell_sessions.cap == b.cell_sessions.cap, "cell_sessions.cap");
+
+  // Handovers (§4.5).
+  id.check(a.handovers.counts == b.handovers.counts, "handovers.counts");
+  id.check(
+      distributions_equal(a.handovers.per_session, b.handovers.per_session),
+      "handovers.per_session");
+  id.check(a.handovers.median == b.handovers.median, "handovers.median");
+  id.check(a.handovers.p70 == b.handovers.p70, "handovers.p70");
+  id.check(a.handovers.p90 == b.handovers.p90, "handovers.p90");
+  id.check(distributions_equal(a.handovers.stations_per_session,
+                               b.handovers.stations_per_session),
+           "handovers.stations_per_session");
+  id.check(a.handovers.session_count == b.handovers.session_count,
+           "handovers.session_count");
+
+  // Carriers (Table 3).
+  id.check(a.carriers.cars_fraction == b.carriers.cars_fraction,
+           "carriers.cars_fraction");
+  id.check(a.carriers.time_fraction == b.carriers.time_fraction,
+           "carriers.time_fraction");
+  id.check(a.carriers.seconds == b.carriers.seconds, "carriers.seconds");
+  id.check(a.carriers.car_count == b.carriers.car_count, "carriers.car_count");
+
+  // Clusters (Fig 11).
+  id.check(a.clusters.busy_cells == b.clusters.busy_cells,
+           "clusters.busy_cells");
+  id.check(a.clusters.assignment == b.clusters.assignment,
+           "clusters.assignment");
+  {
+    bool equal = a.clusters.clusters.size() == b.clusters.clusters.size();
+    for (std::size_t i = 0; equal && i < a.clusters.clusters.size(); ++i) {
+      const auto& ka = a.clusters.clusters[i];
+      const auto& kb = b.clusters.clusters[i];
+      equal = ka.centroid == kb.centroid && ka.cell_count == kb.cell_count &&
+              ka.mean_cars == kb.mean_cars && ka.peak_cars == kb.peak_cars;
+    }
+    id.check(equal, "clusters.clusters");
+  }
+  id.check(a.clusters.load_threshold == b.clusters.load_threshold,
+           "clusters.load_threshold");
+
+  return id.ok;
+}
+
+}  // namespace ccms::core

@@ -79,6 +79,11 @@ const std::vector<InvariantInfo>& invariant_registry() {
        "report",
        "every figure is reproducible from config + seed — the flight "
        "recorder's precondition"},
+      {"columnar-roundtrip",
+       "read_columnar(write_columnar(ds)) and the out-of-core columnar "
+       "sweep reproduce every batch StudyReport field bitwise",
+       "the paper-scale batch path (1M cars x 90 days on one box) computes "
+       "the same figures as the in-memory study"},
   };
   return registry;
 }

@@ -459,6 +459,41 @@ void run_batch_stage(const Scenario& scenario, const sim::Study& study,
                      report.connected_time.mean_full,
                      report.connected_time.p995_full, report.days,
                      raw.study_days());
+
+  if (scenario.check_columnar) {
+    // Round-trip the lenient dataset through the CCDR2 columnar format.
+    // `raw` is already screened and finalize-sorted, so re-screening on
+    // decode is a pure pass-through — except dedup, which would eat natural
+    // exact duplicates the sort made adjacent; disable it.
+    core::StudyOptions columnar_options = options;
+    columnar_options.ingest.mode = cdr::ParseMode::kLenient;
+    columnar_options.ingest.check_duplicates = false;
+    const std::string bytes = cdr::write_columnar_buffer(raw);
+    cdr::IngestReport columnar_ingest;
+    const cdr::Dataset round = cdr::read_columnar_buffer(
+        bytes, columnar_options.ingest, columnar_ingest, "<harness>");
+    core::StudyReport via_dataset =
+        core::run_study(round, study.topology.cells(), load, columnar_options);
+    std::string why;
+    const bool round_trip_ok =
+        core::study_reports_identical(report, via_dataset, &why);
+    checker.check("columnar-roundtrip", "batch", round_trip_ok,
+                  round_trip_ok
+                      ? cat("read(write(ds)) reproduced every figure, bytes=",
+                            bytes.size())
+                      : cat("materialized round trip diverged: ", why));
+
+    // The out-of-core sweep must equal materialize + run_study including
+    // the ingest accounting the decode produced.
+    via_dataset.ingest = columnar_ingest;
+    const core::StudyReport via_sweep = core::run_study_columnar_buffer(
+        bytes, study.topology.cells(), load, columnar_options, "<harness>");
+    const bool sweep_ok =
+        core::study_reports_identical(via_dataset, via_sweep, &why);
+    checker.check("columnar-roundtrip", "batch", sweep_ok,
+                  sweep_ok ? "out-of-core sweep == materialized study"
+                           : cat("out-of-core sweep diverged: ", why));
+  }
 }
 
 void run_restore_stage(const Scenario& scenario, const DeliveryPlan& plan,

@@ -115,9 +115,13 @@ struct Scenario {
   /// Mid-run checkpoint -> restore into a fresh engine -> re-checkpoint
   /// must re-encode to identical bytes.
   bool check_checkpoint_idempotence = false;
+  /// Round-trip the lenient dataset through the CCDR2 columnar format and
+  /// require both the materialized round trip and the out-of-core columnar
+  /// sweep to reproduce every batch figure bitwise.
+  bool check_columnar = false;
 };
 
-/// The shipped scenario pack (~8 scenarios; see file comment).
+/// The shipped scenario pack (~10 scenarios; see file comment).
 [[nodiscard]] const std::vector<Scenario>& named_scenarios();
 
 /// Looks up a shipped scenario by name; nullptr when unknown.

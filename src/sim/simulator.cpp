@@ -34,36 +34,101 @@ SimConfig SimConfig::pristine() {
   return config;
 }
 
-Study simulate(const SimConfig& config) {
-  util::Rng master(config.seed);
-  util::Rng topo_rng = master.split(0x701ULL);
-  util::Rng load_rng = master.split(0x10ADULL);
-  util::Rng fleet_rng = master.split(0xF1EE7ULL);
-  util::Rng day_rng = master.split(0xDA75ULL);
-
-
+StreamSim::StreamSim(const SimConfig& config)
+    : config_(config),
+      master_(config.seed),
+      topology_([&] {
+        util::Rng topo_rng = master_.split(0x701ULL);
+        return net::Topology(config.topology, topo_rng);
+      }()),
+      background_([&] {
+        util::Rng load_rng = master_.split(0x10ADULL);
+        return net::BackgroundLoad(topology_, config.load, load_rng);
+      }()),
+      generator_(topology_, config_.gen),
+      study_end_(static_cast<time::Seconds>(config.study_days) *
+                 time::kSecondsPerDay) {
   exec::ThreadPool pool(config.threads);
-
-  net::Topology topology(config.topology, topo_rng);
-  net::BackgroundLoad background(topology, config.load, load_rng);
-  std::vector<fleet::CarProfile> cars =
-      fleet::build_fleet(topology, config.fleet, fleet_rng, pool);
+  util::Rng fleet_rng = master_.split(0xF1EE7ULL);
+  fleet_ = fleet::build_fleet(topology_, config.fleet, fleet_rng, pool);
 
   // Global per-day activity factors: slow adoption trend plus day-of-week
   // dependent variability (Friday/Saturday are the noisy days in Table 1).
-  std::vector<double> day_factors(static_cast<std::size_t>(config.study_days),
-                                  1.0);
+  util::Rng day_rng = master_.split(0xDA75ULL);
+  day_factors_.assign(static_cast<std::size_t>(config.study_days), 1.0);
   for (int d = 0; d < config.study_days; ++d) {
     const auto dow = static_cast<std::size_t>(
         time::weekday(static_cast<time::Seconds>(d) * time::kSecondsPerDay));
     const double noise = day_rng.normal(0.0, config.dow_noise_sigma[dow]);
-    day_factors[static_cast<std::size_t>(d)] =
+    day_factors_[static_cast<std::size_t>(d)] =
         std::max(0.2, (1.0 + config.daily_trend * d) * (1.0 + noise));
   }
 
-  const fleet::ConnectionGenerator generator(topology, config.gen);
-  const time::Seconds study_end =
-      static_cast<time::Seconds>(config.study_days) * time::kSecondsPerDay;
+  lossy_day_.assign(static_cast<std::size_t>(config.study_days), 0);
+  for (const int d : config.data_loss_days) {
+    if (d >= 0 && d < config.study_days) {
+      lossy_day_[static_cast<std::size_t>(d)] = 1;
+    }
+  }
+}
+
+void StreamSim::emit_car(std::size_t i,
+                         std::vector<cdr::Connection>& raw_scratch,
+                         std::vector<cdr::Connection>& out) const {
+  const fleet::CarProfile& car = fleet_[i];
+  raw_scratch.clear();
+  util::Rng car_rng = master_.split(0xCACA000000ULL + car.id.value);
+  for (int day = 0; day < config_.study_days; ++day) {
+    const fleet::DayContext ctx{
+        day, day_factors_[static_cast<std::size_t>(day)]};
+    const std::vector<fleet::Trip> trips =
+        fleet::plan_day(car, topology_, ctx, car_rng);
+    for (const fleet::Trip& trip : trips) {
+      generator_.generate_trip(car, trip, car_rng, raw_scratch);
+    }
+  }
+
+  // Right-censor at the study boundary (the export window ends), drop
+  // records that fall outside entirely, and apply the partial-loss days.
+  // Per-record decisions (the loss draw comes from a fresh counter-based
+  // stream per (car, day)), so filtering per car here yields exactly the
+  // records the whole-trace filter kept.
+  for (cdr::Connection c : raw_scratch) {
+    if (c.start >= study_end_ || c.end() <= 0) continue;
+    if (c.start < 0) {
+      c.duration_s = static_cast<std::int32_t>(c.end());
+      c.start = 0;
+    }
+    if (c.end() > study_end_) {
+      c.duration_s = static_cast<std::int32_t>(study_end_ - c.start);
+    }
+    if (c.duration_s <= 0) continue;
+    // Data loss hits whole reporting chains: either a car's records for a
+    // lossy day all survive or they are all gone - that is what makes "the
+    // number of cars appear smaller" on those days (S4).
+    const auto day = static_cast<std::size_t>(time::day_index(c.start));
+    if (day < lossy_day_.size() && lossy_day_[day]) {
+      util::Rng chain_rng = master_.split(
+          0x1055'0000'0000ULL +
+          static_cast<std::uint64_t>(c.car.value) * 1000003ULL + day);
+      if (chain_rng.bernoulli(config_.data_loss_fraction)) continue;
+    }
+    out.push_back(c);
+  }
+}
+
+Study StreamSim::into_study(cdr::Dataset raw) && {
+  return Study{std::move(config_),
+               std::move(topology_),
+               std::move(background_),
+               std::move(fleet_),
+               std::move(raw),
+               std::move(day_factors_)};
+}
+
+Study simulate(const SimConfig& config) {
+  StreamSim sim(config);
+  exec::ThreadPool pool(config.threads);
 
   // Per-car trace generation, parallelized over fixed-size car chunks.
   // Every car's draws come from its own counter-based stream
@@ -71,83 +136,35 @@ Study simulate(const SimConfig& config) {
   // order, so the record sequence below is byte-for-byte the one the
   // sequential loop produced.
   constexpr std::size_t kCarChunk = 32;
-  const std::size_t chunk_count =
-      (cars.size() + kCarChunk - 1) / kCarChunk;
+  const std::size_t car_count = sim.fleet().size();
+  const std::size_t chunk_count = (car_count + kCarChunk - 1) / kCarChunk;
   std::vector<std::vector<cdr::Connection>> chunks(chunk_count);
   pool.parallel_for(chunk_count, [&](std::size_t c) {
     std::vector<cdr::Connection>& out = chunks[c];
     const std::size_t begin = c * kCarChunk;
-    const std::size_t end = std::min(cars.size(), begin + kCarChunk);
+    const std::size_t end = std::min(car_count, begin + kCarChunk);
     out.reserve((end - begin) *
                 static_cast<std::size_t>(config.study_days) * 8);
+    std::vector<cdr::Connection> raw_scratch;
     for (std::size_t i = begin; i < end; ++i) {
-      const fleet::CarProfile& car = cars[i];
-      util::Rng car_rng = master.split(0xCACA000000ULL + car.id.value);
-      for (int day = 0; day < config.study_days; ++day) {
-        const fleet::DayContext ctx{day,
-                                    day_factors[static_cast<std::size_t>(day)]};
-        const std::vector<fleet::Trip> trips =
-            fleet::plan_day(car, topology, ctx, car_rng);
-        for (const fleet::Trip& trip : trips) {
-          generator.generate_trip(car, trip, car_rng, out);
-        }
-      }
+      sim.emit_car(i, raw_scratch, out);
     }
   });
-
-  std::size_t total_records = 0;
-  for (const auto& chunk : chunks) total_records += chunk.size();
-  std::vector<cdr::Connection> records;
-  records.reserve(total_records);
-  for (auto& chunk : chunks) {
-    records.insert(records.end(), chunk.begin(), chunk.end());
-  }
-  chunks.clear();
-  chunks.shrink_to_fit();
-
-  // Right-censor at the study boundary (the export window ends), drop
-  // records that fall outside entirely, and apply the partial-loss days.
-  std::vector<char> lossy_day(static_cast<std::size_t>(config.study_days), 0);
-  for (const int d : config.data_loss_days) {
-    if (d >= 0 && d < config.study_days) {
-      lossy_day[static_cast<std::size_t>(d)] = 1;
-    }
-  }
 
   cdr::Dataset dataset;
   dataset.set_fleet_size(static_cast<std::uint32_t>(config.fleet.size));
   dataset.set_study_days(config.study_days);
-  dataset.reserve(records.size());
-  for (cdr::Connection c : records) {
-    if (c.start >= study_end || c.end() <= 0) continue;
-    if (c.start < 0) {
-      c.duration_s = static_cast<std::int32_t>(c.end());
-      c.start = 0;
-    }
-    if (c.end() > study_end) {
-      c.duration_s = static_cast<std::int32_t>(study_end - c.start);
-    }
-    if (c.duration_s <= 0) continue;
-    // Data loss hits whole reporting chains: either a car's records for a
-    // lossy day all survive or they are all gone - that is what makes "the
-    // number of cars appear smaller" on those days (S4).
-    const auto day = static_cast<std::size_t>(time::day_index(c.start));
-    if (day < lossy_day.size() && lossy_day[day]) {
-      util::Rng chain_rng = master.split(
-          0x1055'0000'0000ULL +
-          static_cast<std::uint64_t>(c.car.value) * 1000003ULL + day);
-      if (chain_rng.bernoulli(config.data_loss_fraction)) continue;
-    }
-    dataset.add(c);
+  std::size_t total_records = 0;
+  for (const auto& chunk : chunks) total_records += chunk.size();
+  dataset.reserve(total_records);
+  for (auto& chunk : chunks) {
+    dataset.add(chunk);
+    chunk.clear();
+    chunk.shrink_to_fit();
   }
   dataset.finalize(pool);
 
-  return Study{config,
-               std::move(topology),
-               std::move(background),
-               std::move(cars),
-               std::move(dataset),
-               std::move(day_factors)};
+  return std::move(sim).into_study(std::move(dataset));
 }
 
 }  // namespace ccms::sim

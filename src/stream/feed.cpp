@@ -5,16 +5,42 @@
 
 namespace ccms::stream {
 
+namespace {
+
+/// Arrival order: ascending start, ties broken by (car, cell, duration).
+struct ByArrival {
+  bool operator()(const cdr::Connection& a, const cdr::Connection& b) const {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.car != b.car) return a.car < b.car;
+    if (a.cell != b.cell) return a.cell < b.cell;
+    return a.duration_s < b.duration_s;
+  }
+};
+
+}  // namespace
+
 std::vector<cdr::Connection> arrival_order(const cdr::Dataset& dataset) {
   std::vector<cdr::Connection> arrivals(dataset.all().begin(),
                                         dataset.all().end());
-  std::sort(arrivals.begin(), arrivals.end(),
-            [](const cdr::Connection& a, const cdr::Connection& b) {
-              if (a.start != b.start) return a.start < b.start;
-              if (a.car != b.car) return a.car < b.car;
-              if (a.cell != b.cell) return a.cell < b.cell;
-              return a.duration_s < b.duration_s;
-            });
+  std::sort(arrivals.begin(), arrivals.end(), ByArrival{});
+  return arrivals;
+}
+
+std::vector<cdr::Connection> arrival_order(const cdr::ColumnarFile& file) {
+  std::vector<cdr::Connection> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(file.record_count()));
+  cdr::ColumnBlock block;
+  for (std::size_t b = 0; b < file.blocks().size(); ++b) {
+    if (file.decode_block(b, block) != cdr::ColumnarFile::DecodeStatus::kOk) {
+      continue;  // damaged block: lenient ingest drops it, so do we
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      arrivals.push_back(cdr::Connection{CarId{block.car[i]},
+                                         CellId{block.cell[i]},
+                                         block.start[i], block.duration[i]});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(), ByArrival{});
   return arrivals;
 }
 
@@ -24,11 +50,25 @@ void replay(const cdr::Dataset& dataset, ShardedEngine& engine) {
   engine.finish();
 }
 
+void replay(const cdr::ColumnarFile& file, ShardedEngine& engine) {
+  const std::vector<cdr::Connection> arrivals = arrival_order(file);
+  engine.push(std::span<const cdr::Connection>(arrivals));
+  engine.finish();
+}
+
 StreamConfig config_for(const cdr::Dataset& dataset, int shards) {
   StreamConfig config;
   config.shards = shards;
   config.fleet_size = dataset.fleet_size();
   config.study_days = dataset.study_days();
+  return config;
+}
+
+StreamConfig config_for(const cdr::ColumnarFile& file, int shards) {
+  StreamConfig config;
+  config.shards = shards;
+  config.fleet_size = file.fleet_size();
+  config.study_days = file.study_days();
   return config;
 }
 
