@@ -6,7 +6,9 @@
 // to the same failure. Exit status: 0 iff every check passed.
 //
 //   harness_run [--list]
-//               [--scenario NAME]           run one scenario (default: all)
+//               [--scenario NAME]           run one scenario (default: pack)
+//               [--pack core|dist|all]      which pack (default core; dist =
+//                                           supervised worker processes)
 //               [--seeds N]                 seeds base..base+N-1 (default 3)
 //               [--out PATH]                summary path
 //                                           (default harness_summary.json)
@@ -34,8 +36,12 @@ namespace {
 using namespace ccms;
 
 void list_scenarios() {
-  std::printf("shipped scenarios:\n");
+  std::printf("shipped scenarios (--pack core):\n");
   for (const harness::Scenario& s : harness::named_scenarios()) {
+    std::printf("  %-26s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::printf("\ndistributed scenarios (--pack dist):\n");
+  for (const harness::Scenario& s : harness::dist_scenarios()) {
     std::printf("  %-26s %s\n", s.name.c_str(), s.description.c_str());
   }
   std::printf("\ninvariant registry:\n");
@@ -50,6 +56,7 @@ void list_scenarios() {
 
 int main(int argc, char** argv) {
   std::string only_scenario;
+  std::string pack = "core";
   std::string out_path = "harness_summary.json";
   std::string bundle_dir = "harness_replay_bundle";
   int seed_count = 3;
@@ -69,6 +76,13 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--scenario") {
       only_scenario = value();
+    } else if (arg == "--pack") {
+      pack = value();
+      if (pack != "core" && pack != "dist" && pack != "all") {
+        std::fprintf(stderr, "unknown pack '%s' (core|dist|all)\n",
+                     pack.c_str());
+        return 2;
+      }
     } else if (arg == "--seeds") {
       seed_count = std::atoi(value());
       if (seed_count < 1) seed_count = 1;
@@ -86,7 +100,14 @@ int main(int argc, char** argv) {
 
   std::vector<harness::Scenario> scenarios;
   if (only_scenario.empty()) {
-    scenarios = harness::named_scenarios();
+    if (pack == "core" || pack == "all") {
+      const auto& core = harness::named_scenarios();
+      scenarios.insert(scenarios.end(), core.begin(), core.end());
+    }
+    if (pack == "dist" || pack == "all") {
+      const auto& dist = harness::dist_scenarios();
+      scenarios.insert(scenarios.end(), dist.begin(), dist.end());
+    }
   } else {
     const harness::Scenario* found = harness::find_scenario(only_scenario);
     if (found == nullptr) {

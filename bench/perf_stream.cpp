@@ -16,12 +16,20 @@
 // the recovered report is bitwise identical to an uninterrupted run, and
 // writes BENCH_stream_recovery.json.
 //
+// A third phase measures *distributed* recovery: the feed replayed through
+// dist::DistEngine (one supervised worker process per shard), with one
+// worker crashed mid-run and restarted from its rolling checkpoint. Each
+// worker count contributes a row (records/s, restarts, recovery-gap
+// records) to the dist_runs array of BENCH_stream_recovery.json, gated on
+// bitwise parity with the in-process engine.
+//
 // Env overrides: CCMS_CARS (default 2500), CCMS_DAYS (default 28),
 // CCMS_SEED, CCMS_BENCH_OUT (default BENCH_stream.json),
 // CCMS_BENCH_RECOVERY_OUT (default BENCH_stream_recovery.json).
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +37,7 @@
 #include "bench_json.h"
 #include "cdr/clean.h"
 #include "core/cell_sessions.h"
+#include "dist/supervisor.h"
 #include "core/connected_time.h"
 #include "core/days_histogram.h"
 #include "core/presence.h"
@@ -71,6 +80,56 @@ struct RecoveryRun {
   bool identical = false;
   std::string why;
 };
+
+struct DistRun {
+  int workers = 0;
+  double wall_s = 0;
+  double records_per_s = 0;
+  int restarts = 0;
+  std::uint64_t kill_after_applied = 0;  ///< fault point (applied records)
+  std::uint64_t recovery_gap_records = 0;  ///< gap-log records replayed
+  std::uint64_t checkpoint_every = 0;
+  bool identical = false;
+  std::string why;
+};
+
+/// Replays the feed through a dist::DistEngine (one worker process per
+/// shard), crashing one worker mid-run so the supervisor restarts it from
+/// the last rolling checkpoint and replays the gap — then checks the
+/// recovered report is bitwise identical to the in-process engine's.
+DistRun run_dist_recovery(const cdr::Dataset& raw, int workers) {
+  DistRun run;
+  run.workers = workers;
+
+  const stream::StreamConfig stream_config = stream::config_for(raw, workers);
+  stream::ShardedEngine reference_engine(stream_config);
+  stream::replay(raw, reference_engine);
+  const stream::StreamReport reference = reference_engine.snapshot();
+
+  dist::DistConfig config;
+  config.stream = stream_config;
+  config.checkpoint_every = 4096;
+  run.checkpoint_every = config.checkpoint_every;
+  // Kill worker 1 after roughly half its share of the feed.
+  run.kill_after_applied = raw.size() / (2 * static_cast<unsigned>(workers));
+  config.faults[1] = {.crash_after = run.kill_after_applied,
+                      .hang_after = 0,
+                      .generations = 1};
+
+  const std::vector<cdr::Connection> arrivals = stream::arrival_order(raw);
+  dist::DistEngine engine(config);
+  const bench::Stopwatch timer;
+  engine.push(std::span<const cdr::Connection>(arrivals));
+  engine.finish();
+  const stream::StreamReport report = engine.snapshot();
+  run.wall_s = timer.seconds();
+  run.records_per_s =
+      run.wall_s > 0 ? static_cast<double>(raw.size()) / run.wall_s : 0;
+  run.restarts = engine.restarts_total();
+  run.recovery_gap_records = engine.gap_replayed_records();
+  run.identical = stream::reports_identical(reference, report, &run.why);
+  return run;
+}
 
 /// Kills an engine mid-feed (keeping only its last periodic checkpoint and
 /// the feed position recorded with it, like a real upstream), restores a
@@ -267,6 +326,35 @@ int main() {
       static_cast<unsigned long long>(recovery.feed_disconnects),
       recovery.identical ? "identical" : "DIVERGED");
 
+  // ---- Distributed recovery phase: worker processes, kill one mid-run.
+  std::cout << "\ndistributed recovery: worker processes over sockets, "
+               "worker 1 crashed mid-run, restarted from rolling checkpoint\n";
+  std::cout << "workers     wall_s    records/s   restarts   gap_records   "
+               "parity\n";
+  std::vector<DistRun> dist_runs;
+  for (const int workers : {2, 4}) {
+    const DistRun run = run_dist_recovery(study.raw, workers);
+    std::printf("%4d   %11.3f   %10.0f   %8d   %11llu   %s\n", run.workers,
+                run.wall_s, run.records_per_s, run.restarts,
+                static_cast<unsigned long long>(run.recovery_gap_records),
+                run.identical ? "identical" : "DIVERGED");
+    dist_runs.push_back(run);
+  }
+
+  bench::JsonArray dist_rows;
+  for (const DistRun& run : dist_runs) {
+    dist_rows.push(bench::JsonObject()
+                       .add("workers", run.workers)
+                       .add("wall_s", run.wall_s)
+                       .add("records_per_s", run.records_per_s)
+                       .add("restarts", run.restarts)
+                       .add("kill_after_applied", run.kill_after_applied)
+                       .add("recovery_gap_records", run.recovery_gap_records)
+                       .add("checkpoint_every", run.checkpoint_every)
+                       .add("recovery_identical", run.identical)
+                       .dump());
+  }
+
   const std::string recovery_json =
       bench::JsonObject()
           .add("bench", "perf_stream_recovery")
@@ -285,6 +373,7 @@ int main() {
           .add("records_replayed", recovery.records_replayed)
           .add("feed_disconnects", recovery.feed_disconnects)
           .add("recovery_identical", recovery.identical)
+          .raw("dist_runs", dist_rows.dump())
           .dump();
   const char* recovery_out = std::getenv("CCMS_BENCH_RECOVERY_OUT");
   bench::write_bench_json(
@@ -301,6 +390,13 @@ int main() {
   if (!recovery.identical) {
     std::cerr << "[bench] recovery parity FAILED: " << recovery.why << "\n";
     ok = false;
+  }
+  for (const DistRun& run : dist_runs) {
+    if (!run.identical) {
+      std::cerr << "[bench] distributed recovery parity FAILED at "
+                << run.workers << " workers: " << run.why << "\n";
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

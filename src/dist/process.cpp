@@ -1,0 +1,61 @@
+#include "dist/process.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace ccms::dist {
+
+SpawnedWorker spawn_worker(const stream::StreamConfig& config, int worker,
+                           int generation, const WorkerOptions& options,
+                           std::span<const int> close_in_child) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("dist: socketpair failed: " +
+                             std::string(strerror(errno)));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    throw std::runtime_error("dist: fork failed: " +
+                             std::string(strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: drop the router's ends of every sibling socket (so a sibling's
+    // lifetime is controlled by the router alone), then serve the shard and
+    // never return into the parent image.
+    for (int fd : close_in_child) {
+      if (fd >= 0) close(fd);
+    }
+    close(fds[0]);
+    worker_main(fds[1], config, worker, generation, options);
+  }
+  close(fds[1]);
+  return {pid, fds[0]};
+}
+
+void kill_hard(pid_t pid) {
+  if (pid <= 0) return;
+  kill(pid, SIGKILL);
+  reap(pid);
+}
+
+int reap(pid_t pid) {
+  if (pid <= 0) return -1;
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, 0);
+    if (r == pid) return status;
+    if (r < 0 && errno == EINTR) continue;
+    return -1;  // already reaped or not our child
+  }
+}
+
+}  // namespace ccms::dist

@@ -1,0 +1,47 @@
+// Worker process lifecycle: spawn over a socketpair, kill, reap.
+//
+// spawn_worker() forks the current process; the child closes the router end
+// of a SOCK_STREAM socketpair and enters worker_main() — it never returns
+// into the parent's code, exiting via _exit so no parent-owned buffers or
+// atexit handlers run twice. fork-without-exec keeps the spawn path free of
+// any dependency on argv plumbing or binary paths, which means every test
+// binary and bench tool gets real worker processes for free; it is safe here
+// because the supervisor is single-threaded by contract (DESIGN.md §14), so
+// the child never inherits a locked mutex or a half-written heap.
+//
+// The socketpair is the worker's only channel: bounded kernel buffers give
+// physical backpressure underneath the router's frame queue, a dead worker
+// turns into EOF on the router end, and SIGKILL (kill_hard) models the
+// machine-level failure the supervisor must absorb.
+#pragma once
+
+#include <sys/types.h>
+
+#include <span>
+
+#include "dist/worker.h"
+#include "stream/config.h"
+
+namespace ccms::dist {
+
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int fd = -1;  ///< router end of the socketpair
+};
+
+/// Forks a worker process serving shard `worker` of `config`. The child
+/// closes every fd in `close_in_child` (the router ends of sibling workers'
+/// sockets, which fork would otherwise duplicate into it) before entering
+/// worker_main. Throws std::runtime_error if the socketpair or fork fails.
+[[nodiscard]] SpawnedWorker spawn_worker(const stream::StreamConfig& config,
+                                         int worker, int generation,
+                                         const WorkerOptions& options,
+                                         std::span<const int> close_in_child);
+
+/// SIGKILLs the process (if alive) and reaps it. Idempotent.
+void kill_hard(pid_t pid);
+
+/// Blocking waitpid; returns the raw wait status (or -1 if already reaped).
+int reap(pid_t pid);
+
+}  // namespace ccms::dist

@@ -1,0 +1,276 @@
+#include "dist/wire.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/binio.h"
+#include "util/csv.h"
+
+namespace ccms::dist {
+
+namespace {
+
+using binio::Reader;
+using binio::Writer;
+using binio::crc32;
+
+constexpr std::array<char, 4> kMagic = {'C', 'C', 'W', 'F'};
+constexpr std::size_t kHeaderBytes = 16;  // magic + type + payload_len
+constexpr std::size_t kCrcBytes = 4;
+
+std::vector<std::uint8_t> frame(FrameType type,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  Writer w(out);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u64(payload.size());
+  w.bytes(payload);
+  // The CRC spans type + length + payload (everything after the magic), so
+  // no header bit flip can silently re-type or re-size a frame.
+  w.u32(crc32(std::span(out).subspan(kMagic.size())));
+  return out;
+}
+
+void write_connection(Writer& w, const cdr::Connection& c) {
+  w.u32(c.car.value);
+  w.u32(c.cell.value);
+  w.i64(c.start);
+  w.i32(c.duration_s);
+}
+
+cdr::Connection read_connection(Reader& r) {
+  cdr::Connection c;
+  c.car.value = r.u32();
+  c.cell.value = r.u32();
+  c.start = r.i64();
+  c.duration_s = r.i32();
+  return c;
+}
+
+// Typed payload parsers. All throw binio::Truncated on malformed input,
+// which FrameDecoder::next maps onto the fault discipline.
+
+HelloFrame parse_hello(Reader& r) {
+  HelloFrame f;
+  f.protocol = r.u32();
+  f.worker = r.u32();
+  f.generation = r.u32();
+  return f;
+}
+
+BatchFrame parse_batch(Reader& r) {
+  BatchFrame f;
+  f.seq_of_last = r.u64();
+  f.watermark = r.i64();
+  const std::uint64_t n = r.count(r.u64(), 20);
+  f.records.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) f.records.push_back(read_connection(r));
+  return f;
+}
+
+CheckpointImageFrame parse_checkpoint_image(Reader& r) {
+  CheckpointImageFrame f;
+  f.applied_seq = r.u64();
+  f.closed = r.boolean();
+  f.image = r.rest();
+  return f;
+}
+
+RestoreFrame parse_restore(Reader& r) {
+  RestoreFrame f;
+  f.image = r.rest();
+  return f;
+}
+
+RestoreResultFrame parse_restore_result(Reader& r) {
+  RestoreResultFrame f;
+  f.ok = r.boolean();
+  f.reason = r.str();
+  return f;
+}
+
+HeartbeatFrame parse_heartbeat(Reader& r) {
+  HeartbeatFrame f;
+  f.applied_seq = r.u64();
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& f) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  w.u32(f.protocol);
+  w.u32(f.worker);
+  w.u32(f.generation);
+  return frame(FrameType::kHello, payload);
+}
+
+std::vector<std::uint8_t> encode_batch(const BatchFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(24 + 20 * f.records.size());
+  Writer w(payload);
+  w.u64(f.seq_of_last);
+  w.i64(f.watermark);
+  w.u64(f.records.size());
+  for (const cdr::Connection& c : f.records) write_connection(w, c);
+  return frame(FrameType::kBatch, payload);
+}
+
+std::vector<std::uint8_t> encode_checkpoint_request() {
+  return frame(FrameType::kCheckpointRequest, {});
+}
+
+std::vector<std::uint8_t> encode_checkpoint_image(
+    const CheckpointImageFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(9 + f.image.size());
+  Writer w(payload);
+  w.u64(f.applied_seq);
+  w.boolean(f.closed);
+  w.bytes(f.image);
+  return frame(FrameType::kCheckpointImage, payload);
+}
+
+std::vector<std::uint8_t> encode_restore(const RestoreFrame& f) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(f.image.size());
+  Writer w(payload);
+  w.bytes(f.image);
+  return frame(FrameType::kRestore, payload);
+}
+
+std::vector<std::uint8_t> encode_restore_result(const RestoreResultFrame& f) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  w.boolean(f.ok);
+  w.str(f.reason);
+  return frame(FrameType::kRestoreResult, payload);
+}
+
+std::vector<std::uint8_t> encode_heartbeat(const HeartbeatFrame& f) {
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  w.u64(f.applied_seq);
+  return frame(FrameType::kHeartbeat, payload);
+}
+
+std::vector<std::uint8_t> encode_finish() {
+  return frame(FrameType::kFinish, {});
+}
+
+FrameDecoder::FrameDecoder(cdr::IngestOptions options) : options_(options) {
+  report_.mode = options_.mode;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;  // a quarantined stream buffers nothing further
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Status FrameDecoder::fault(cdr::FaultClass fault_class,
+                                         const std::string& reason) {
+  if (options_.mode == cdr::ParseMode::kStrict) {
+    throw util::CsvError("wire: " + std::string(cdr::name(fault_class)) +
+                         " at byte " + std::to_string(stream_offset_) + ": " +
+                         reason);
+  }
+  poisoned_ = true;
+  ++report_.records_dropped;
+  ++report_.counters[static_cast<std::size_t>(fault_class)];
+  if (report_.quarantine.size() < options_.quarantine_cap) {
+    cdr::QuarantineEntry entry;
+    entry.fault = fault_class;
+    entry.byte_offset = stream_offset_;
+    entry.reason = reason;
+    report_.quarantine.push_back(std::move(entry));
+  } else {
+    ++report_.quarantine_overflow;
+  }
+  buffer_.clear();
+  return Status::kQuarantined;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (poisoned_) return Status::kQuarantined;
+  if (buffer_.size() < kHeaderBytes) return Status::kNeedMore;
+
+  if (std::memcmp(buffer_.data(), kMagic.data(), kMagic.size()) != 0) {
+    return fault(cdr::FaultClass::kBadHeader,
+                 "missing or damaged CCWF magic");
+  }
+  Reader header{std::span(buffer_).subspan(4, 12)};
+  const std::uint32_t raw_type = header.u32();
+  const std::uint64_t len = header.u64();
+  if (len > kMaxFramePayload) {
+    return fault(cdr::FaultClass::kTruncatedPayload,
+                 "declared payload length " + std::to_string(len) +
+                     " exceeds the frame limit");
+  }
+  const std::size_t total =
+      kHeaderBytes + static_cast<std::size_t>(len) + kCrcBytes;
+  if (buffer_.size() < total) return Status::kNeedMore;
+
+  const auto payload =
+      std::span(buffer_).subspan(kHeaderBytes, static_cast<std::size_t>(len));
+  const auto covered = std::span(buffer_).subspan(
+      kMagic.size(), kHeaderBytes - kMagic.size() + static_cast<std::size_t>(len));
+  Reader crc_frame{std::span(buffer_).subspan(
+      kHeaderBytes + static_cast<std::size_t>(len), kCrcBytes)};
+  if (binio::crc32(covered) != crc_frame.u32()) {
+    return fault(cdr::FaultClass::kChecksumMismatch,
+                 "frame CRC32 does not match its header and payload");
+  }
+  if (raw_type < static_cast<std::uint32_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint32_t>(FrameType::kFinish)) {
+    return fault(cdr::FaultClass::kCheckpointMismatch,
+                 "unknown frame type " + std::to_string(raw_type));
+  }
+
+  Frame parsed;
+  parsed.type = static_cast<FrameType>(raw_type);
+  try {
+    Reader r(payload);
+    switch (parsed.type) {
+      case FrameType::kHello:
+        parsed.hello = parse_hello(r);
+        break;
+      case FrameType::kBatch:
+        parsed.batch = parse_batch(r);
+        break;
+      case FrameType::kCheckpointRequest:
+      case FrameType::kFinish:
+        break;  // no payload
+      case FrameType::kCheckpointImage:
+        parsed.image = parse_checkpoint_image(r);
+        break;
+      case FrameType::kRestore:
+        parsed.restore = parse_restore(r);
+        break;
+      case FrameType::kRestoreResult:
+        parsed.restore_result = parse_restore_result(r);
+        break;
+      case FrameType::kHeartbeat:
+        parsed.heartbeat = parse_heartbeat(r);
+        break;
+    }
+    if (r.remaining() != 0) {
+      throw binio::Truncated{"payload carries " +
+                             std::to_string(r.remaining()) +
+                             " trailing bytes its type does not declare"};
+    }
+  } catch (const binio::Truncated& t) {
+    return fault(cdr::FaultClass::kTruncatedPayload, t.reason);
+  }
+
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  stream_offset_ += total;
+  ++report_.rows_read;
+  ++report_.records_accepted;
+  out = std::move(parsed);
+  return Status::kFrame;
+}
+
+}  // namespace ccms::dist

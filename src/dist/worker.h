@@ -1,0 +1,96 @@
+// The dist worker: one shard's operators in their own process.
+//
+// A worker owns exactly one stream::ShardState, constructed with the *real*
+// N-shard StreamConfig and its own shard index, so its per-car indexing
+// (car % shards, car / shards) — and therefore its checkpoint image — is
+// bit-identical to shard i of an in-process ShardedEngine fed the same
+// records. The router keeps the producer frontend (clean screen, watermark,
+// exactly-once cursors, global tallies); the worker only integrates routed
+// records and answers checkpoint requests.
+//
+// WorkerCore is the frame-driven state machine, separated from socket I/O so
+// tests drive it directly: feed it a Frame, it appends reply frames and
+// returns what the process should do next. worker_main() is the real
+// process body: a poll loop over the router socket that heartbeats when
+// idle, feeds frames through a FrameDecoder into the core, and exits via
+// _exit (never returning into the forked parent image).
+//
+// Fault injection for the harness/bench kill paths is deterministic by
+// construction: a worker crashes or hangs after applying an exact number of
+// records, so every seed reproduces the same failure point regardless of
+// scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/wire.h"
+#include "stream/config.h"
+#include "stream/operators.h"
+
+namespace ccms::dist {
+
+/// Deterministic fault injection (test/bench only; all off by default).
+struct WorkerFault {
+  /// Crash (exit) the worker the moment it has applied this many records
+  /// in total. 0 = off.
+  std::uint64_t crash_after = 0;
+  /// Stop responding (no reads, no heartbeats) after this many. 0 = off.
+  std::uint64_t hang_after = 0;
+  /// Inject only while the spawn generation is <= this, so a restarted
+  /// worker can run clean (generations = 1) or keep failing (a restart
+  /// storm) until the supervisor's budget decides.
+  int generations = 1;
+};
+
+struct WorkerOptions {
+  int heartbeat_ms = 20;  ///< idle heartbeat interval
+  WorkerFault fault;
+};
+
+/// Frame-driven worker state machine (no I/O).
+class WorkerCore {
+ public:
+  /// `config` is the full N-shard engine config; `fault` is already gated
+  /// on the spawn generation by the caller.
+  WorkerCore(const stream::StreamConfig& config, int worker,
+             const WorkerFault& fault);
+
+  /// What the hosting process must do after a frame.
+  enum class Action {
+    kContinue,       ///< keep serving
+    kFinished,       ///< end of stream: final image emitted, exit 0
+    kCrash,          ///< injected fault: exit immediately, mid-batch
+    kHang,           ///< injected fault: stop reading and writing forever
+    kRefused,        ///< restore refused (fingerprint/version skew): exit
+    kProtocolError,  ///< frame the router must never send: exit
+  };
+
+  /// Processes one frame; reply frames (already encoded) are appended to
+  /// `out` for the caller to write before acting on the returned Action.
+  Action on_frame(const Frame& frame,
+                  std::vector<std::vector<std::uint8_t>>& out);
+
+  /// Encoded heartbeat at the current applied sequence.
+  [[nodiscard]] std::vector<std::uint8_t> heartbeat() const;
+
+  [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_image(bool closed);
+
+  stream::StreamConfig config_;
+  int worker_;
+  WorkerFault fault_;
+  stream::ShardState state_;
+  std::uint64_t applied_seq_ = 0;
+  bool closed_ = false;
+};
+
+/// The worker process body: serves `router_fd` until the stream finishes,
+/// the router hangs up, or an injected fault fires. Never returns.
+[[noreturn]] void worker_main(int router_fd,
+                              const stream::StreamConfig& config, int worker,
+                              int generation, const WorkerOptions& options);
+
+}  // namespace ccms::dist

@@ -84,6 +84,18 @@ const std::vector<InvariantInfo>& invariant_registry() {
        "sweep reproduce every batch StudyReport field bitwise",
        "the paper-scale batch path (1M cars x 90 days on one box) computes "
        "the same figures as the in-memory study"},
+      {"dist-parity",
+       "a distributed run (worker processes over sockets, including kills, "
+       "hangs and restarts within budget) produces a StreamReport bitwise "
+       "identical to the in-process engine over the same feed",
+       "scale-out and crash recovery never change a published figure"},
+      {"dist-supervision",
+       "supervision telemetry matches the fault plan exactly: restarts and "
+       "gap replay occur iff faults were injected, an exhausted budget "
+       "degrades to a declared lost shard (conservation still closes, "
+       "checkpoint() refuses), and the wire stays protocol-clean",
+       "partial infrastructure failure is a measured, first-class outcome, "
+       "never a silent gap in the census"},
   };
   return registry;
 }

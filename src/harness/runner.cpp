@@ -13,6 +13,7 @@
 #include "cdr/clean.h"
 #include "cdr/io.h"
 #include "cdr/session.h"
+#include "dist/supervisor.h"
 #include "core/cell_sessions.h"
 #include "core/connected_time.h"
 #include "core/days_histogram.h"
@@ -559,6 +560,114 @@ void run_restore_stage(const Scenario& scenario, const DeliveryPlan& plan,
   }
 }
 
+/// The distributed stage: the same delivery plan through a dist::DistEngine
+/// (one worker process per shard under heartbeat/backoff supervision), held
+/// to dist-parity against the in-process stream stage's report and to
+/// dist-supervision against the scenario's fault plan. Worker faults fire
+/// on applied-record counts, so a seed reproduces the identical failure
+/// point; only hang *detection* involves the wall clock, and the deadline
+/// is sized so a spurious kill (which recovery makes harmless anyway)
+/// cannot exhaust a generous budget.
+void run_dist_stage(const Scenario& scenario, const DeliveryPlan& plan,
+                    const stream::StreamConfig& base_config,
+                    std::uint64_t feed_seed,
+                    const stream::StreamReport& reference, Checker& checker) {
+  dist::DistConfig config;
+  config.stream = base_config;
+  config.checkpoint_every = scenario.faults.dist_checkpoint_every;
+  config.max_restarts = scenario.faults.dist_max_restarts;
+  if (scenario.faults.dist_kill_worker >= 0) {
+    dist::WorkerFault& fault = config.faults[scenario.faults.dist_kill_worker];
+    fault.crash_after = scenario.faults.dist_kill_after;
+    fault.generations = scenario.faults.dist_fault_generations;
+  }
+  if (scenario.faults.dist_hang_worker >= 0) {
+    dist::WorkerFault& fault = config.faults[scenario.faults.dist_hang_worker];
+    fault.hang_after = scenario.faults.dist_hang_after;
+    fault.generations = scenario.faults.dist_fault_generations;
+    // Tight heartbeat keeps the hung-worker wait short; the deadline stays
+    // generous enough that sanitizer scheduling cannot starve a healthy
+    // worker into a storm of spurious kills.
+    config.heartbeat_ms = 10;
+    config.heartbeat_timeout_ms = 400;
+  }
+
+  dist::DistEngine engine(config);
+  if (plan.kind == FeedKind::kFlaky) {
+    faults::FlakyFeed feed(plan.arrivals, feed_seed, flaky_config(scenario));
+    std::size_t since_ack = 0;
+    while (!feed.exhausted()) {
+      engine.push(feed.next());
+      if (++since_ack >= kAckInterval) {
+        feed.ack();
+        since_ack = 0;
+      }
+    }
+    feed.ack();
+  } else {
+    for (const cdr::Connection& c : plan.sequence) engine.push(c);
+  }
+  engine.finish();
+  const stream::StreamReport report = engine.snapshot();
+
+  // routed == integrated + pending + lost must close across process death.
+  check_conservation_routed(checker, "dist", report);
+
+  const bool faulted = scenario.faults.dist_kill_worker >= 0 ||
+                       scenario.faults.dist_hang_worker >= 0;
+  const std::string telemetry =
+      cat("restarts=", engine.restarts_total(),
+          " gap_replayed=", engine.gap_replayed_records(),
+          " workers_lost=", engine.workers_lost(),
+          " wire_faults=", engine.wire_report().total_faults());
+
+  if (scenario.dist_expect_lost) {
+    const std::uint64_t lost = degraded_lost(report);
+    const std::uint64_t routed = report.engine.records_routed;
+    const double expected_coverage =
+        routed == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(lost) / static_cast<double>(routed);
+    checker.check("coverage-accounting", "dist",
+                  !report.degraded_shards.empty() && lost > 0 &&
+                      report.coverage_fraction == expected_coverage &&
+                      report.coverage_fraction < 1.0,
+                  cat("degraded=", report.degraded_shards.size(),
+                      " lost=", lost, " coverage=", report.coverage_fraction,
+                      " expected=", expected_coverage));
+    // Crash-driven loss is exact: the budget burns deterministically, so
+    // restarts_total equals max_restarts and the shard ends lost.
+    checker.check(
+        "dist-supervision", "dist",
+        engine.workers_lost() == 1 &&
+            engine.restarts_total() == scenario.faults.dist_max_restarts &&
+            engine.wire_report().total_faults() == 0,
+        telemetry);
+    bool refused = false;
+    try {
+      (void)engine.checkpoint();
+    } catch (const stream::StreamStateError&) {
+      refused = true;
+    }
+    checker.check("dist-supervision", "dist", refused,
+                  "a lossy distributed engine must refuse checkpoint()");
+  } else {
+    std::string why;
+    const bool identical = stream::reports_identical(reference, report, &why);
+    checker.check("dist-parity", "dist", identical,
+                  identical ? cat("bitwise identical to in-process engine, ",
+                                  telemetry)
+                            : cat("first diff: ", why, " (", telemetry, ")"));
+    const bool supervision_ok =
+        engine.workers_lost() == 0 &&
+        engine.wire_report().total_faults() == 0 &&
+        (faulted ? engine.restarts_total() >= 1 &&
+                       engine.gap_replayed_records() > 0
+                 : engine.restarts_total() == 0);
+    checker.check("dist-supervision", "dist", supervision_ok, telemetry);
+  }
+}
+
 void run_stream_stage(const Scenario& scenario, std::uint64_t seed,
                       const cdr::Dataset& raw, Checker& checker,
                       ScenarioResult& result) {
@@ -682,6 +791,13 @@ void run_stream_stage(const Scenario& scenario, std::uint64_t seed,
       scenario.exactly_once) {
     run_restore_stage(scenario, plan, base_config, feed_seed, report, checker,
                       result);
+  }
+
+  // The distributed stage compares against this stage's report, so it only
+  // makes sense when the in-process run itself was not sabotaged or killed.
+  if (scenario.run_dist && scenario.faults.kill_shard < 0 &&
+      !scenario.faults.sabotage_drop) {
+    run_dist_stage(scenario, plan, base_config, feed_seed, report, checker);
   }
 }
 

@@ -136,6 +136,89 @@ Scenario batch_50k_out_of_core() {
   return s;
 }
 
+/// Shared shape of the distributed scenarios: a lean workload (the dist
+/// stage forks one process per shard and ships every record over a socket,
+/// so the pack stays CI-sized), stream + dist stages only, parity judged
+/// against the in-process engine rather than the batch study.
+Scenario dist_base() {
+  Scenario s;
+  s.workload.cars = 96;
+  s.workload.days = 7;
+  s.workload.grid = 8;
+  s.shards = 2;
+  s.run_batch = false;
+  s.check_parity = false;
+  s.run_dist = true;
+  return s;
+}
+
+Scenario dist_baseline() {
+  Scenario s = dist_base();
+  s.name = "dist-baseline";
+  s.description =
+      "fault-free distributed run, one worker process per shard: the "
+      "DistEngine report is bitwise identical to the in-process engine and "
+      "the supervisor restarts nothing";
+  return s;
+}
+
+Scenario dist_worker_kill() {
+  Scenario s = dist_base();
+  s.name = "dist-worker-kill";
+  s.description =
+      "worker 1 crashes mid-batch after 150 applied records: the supervisor "
+      "restarts it from the last rolling checkpoint, replays the gap, and "
+      "the recovered report is bitwise identical to an uninterrupted run";
+  s.faults.dist_kill_worker = 1;
+  s.faults.dist_kill_after = 150;
+  return s;
+}
+
+Scenario dist_worker_hang() {
+  Scenario s = dist_base();
+  s.name = "dist-worker-hang";
+  s.description =
+      "worker 0 stops responding after 100 applied records: the heartbeat "
+      "deadline declares it hung, SIGKILL + restart + gap replay recover to "
+      "the identical report (budget generous so sanitizer timing cannot "
+      "flip the outcome)";
+  s.faults.dist_hang_worker = 0;
+  s.faults.dist_hang_after = 100;
+  s.faults.dist_max_restarts = 6;
+  return s;
+}
+
+Scenario dist_restart_storm() {
+  Scenario s = dist_base();
+  s.name = "dist-restart-storm";
+  s.description =
+      "worker 1 crashes in every generation: the supervisor burns the whole "
+      "restart budget (exactly max_restarts restarts), then degrades — the "
+      "shard is lost, conservation still closes, checkpoint() refuses";
+  s.faults.dist_kill_worker = 1;
+  s.faults.dist_kill_after = 80;
+  s.faults.dist_fault_generations = 1000;
+  s.faults.dist_max_restarts = 2;
+  s.dist_expect_lost = true;
+  return s;
+}
+
+Scenario dist_worker_lost() {
+  Scenario s = dist_base();
+  s.name = "dist-worker-lost";
+  s.description =
+      "zero restart budget: the first worker death is final — the shard "
+      "degrades immediately with every routed record accounted as lost and "
+      "coverage_fraction telling the truth";
+  s.shards = 3;
+  s.faults.dist_kill_worker = 2;
+  s.faults.dist_kill_after = 60;
+  s.faults.dist_fault_generations = 1000;
+  s.faults.dist_max_restarts = 0;
+  s.dist_expect_lost = true;
+  return s;
+}
+
 std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
@@ -155,8 +238,19 @@ const std::vector<Scenario>& named_scenarios() {
   return pack;
 }
 
+const std::vector<Scenario>& dist_scenarios() {
+  static const std::vector<Scenario> pack = {
+      dist_baseline(),      dist_worker_kill(), dist_worker_hang(),
+      dist_restart_storm(), dist_worker_lost(),
+  };
+  return pack;
+}
+
 const Scenario* find_scenario(std::string_view name) {
   for (const Scenario& s : named_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  for (const Scenario& s : dist_scenarios()) {
     if (s.name == name) return &s;
   }
   return nullptr;
@@ -192,6 +286,13 @@ std::string serialize_scenario(const Scenario& s, std::uint64_t seed) {
   out << "queue_batches=" << s.faults.queue_batches << "\n";
   out << "batch_records=" << s.faults.batch_records << "\n";
   out << "sabotage_drop=" << (s.faults.sabotage_drop ? 1 : 0) << "\n";
+  out << "dist_kill_worker=" << s.faults.dist_kill_worker << "\n";
+  out << "dist_kill_after=" << s.faults.dist_kill_after << "\n";
+  out << "dist_hang_worker=" << s.faults.dist_hang_worker << "\n";
+  out << "dist_hang_after=" << s.faults.dist_hang_after << "\n";
+  out << "dist_fault_generations=" << s.faults.dist_fault_generations << "\n";
+  out << "dist_max_restarts=" << s.faults.dist_max_restarts << "\n";
+  out << "dist_checkpoint_every=" << s.faults.dist_checkpoint_every << "\n";
   out << "run_batch=" << (s.run_batch ? 1 : 0) << "\n";
   out << "run_stream=" << (s.run_stream ? 1 : 0) << "\n";
   out << "run_restore=" << (s.run_restore ? 1 : 0) << "\n";
@@ -202,6 +303,8 @@ std::string serialize_scenario(const Scenario& s, std::uint64_t seed) {
   out << "check_checkpoint_idempotence="
       << (s.check_checkpoint_idempotence ? 1 : 0) << "\n";
   out << "check_columnar=" << (s.check_columnar ? 1 : 0) << "\n";
+  out << "run_dist=" << (s.run_dist ? 1 : 0) << "\n";
+  out << "dist_expect_lost=" << (s.dist_expect_lost ? 1 : 0) << "\n";
   out << "description=" << s.description << "\n";
   return out.str();
 }
@@ -332,6 +435,24 @@ std::optional<ParsedScenario> parse_scenario(std::string_view text,
       s.faults.batch_records = static_cast<std::size_t>(u);
     } else if (key == "sabotage_drop") {
       ok = parse_bool(value, s.faults.sabotage_drop);
+    } else if (key == "dist_kill_worker") {
+      ok = parse_i64(value, i);
+      s.faults.dist_kill_worker = static_cast<int>(i);
+    } else if (key == "dist_kill_after") {
+      ok = parse_u64(value, s.faults.dist_kill_after);
+    } else if (key == "dist_hang_worker") {
+      ok = parse_i64(value, i);
+      s.faults.dist_hang_worker = static_cast<int>(i);
+    } else if (key == "dist_hang_after") {
+      ok = parse_u64(value, s.faults.dist_hang_after);
+    } else if (key == "dist_fault_generations") {
+      ok = parse_i64(value, i);
+      s.faults.dist_fault_generations = static_cast<int>(i);
+    } else if (key == "dist_max_restarts") {
+      ok = parse_i64(value, i);
+      s.faults.dist_max_restarts = static_cast<int>(i);
+    } else if (key == "dist_checkpoint_every") {
+      ok = parse_u64(value, s.faults.dist_checkpoint_every);
     } else if (key == "run_batch") {
       ok = parse_bool(value, s.run_batch);
     } else if (key == "run_stream") {
@@ -348,6 +469,10 @@ std::optional<ParsedScenario> parse_scenario(std::string_view text,
       ok = parse_bool(value, s.check_checkpoint_idempotence);
     } else if (key == "check_columnar") {
       ok = parse_bool(value, s.check_columnar);
+    } else if (key == "run_dist") {
+      ok = parse_bool(value, s.run_dist);
+    } else if (key == "dist_expect_lost") {
+      ok = parse_bool(value, s.dist_expect_lost);
     } else {
       return fail("unknown key: " + std::string(key));
     }

@@ -84,6 +84,23 @@ struct FaultPlan {
   /// by construction — exists to prove the harness catches silent loss and
   /// to exercise the flight-recorder path.
   bool sabotage_drop = false;
+
+  /// Distributed stage (dist::DistEngine) fault plan. Faults fire on a
+  /// worker *process* by applied-record count, so every seed reproduces the
+  /// same failure point. -1 = no fault on that axis.
+  int dist_kill_worker = -1;            ///< worker to crash (exit mid-batch)
+  std::uint64_t dist_kill_after = 0;    ///< ...after applying this many
+  int dist_hang_worker = -1;            ///< worker to hang (stop responding)
+  std::uint64_t dist_hang_after = 0;    ///< ...after applying this many
+  /// Spawn generations the fault keeps firing in: 1 = fail once then run
+  /// clean after restart; large = a restart storm until the budget decides.
+  int dist_fault_generations = 1;
+  /// Supervisor restart budget per worker before the shard is declared
+  /// lost (0 = first death is final).
+  int dist_max_restarts = 3;
+  /// Routed records per worker between rolling checkpoint requests (small
+  /// values keep the replay gap — and the harness run — short).
+  std::uint64_t dist_checkpoint_every = 64;
 };
 
 /// One named, self-contained harness scenario.
@@ -119,12 +136,28 @@ struct Scenario {
   /// require both the materialized round trip and the out-of-core columnar
   /// sweep to reproduce every batch figure bitwise.
   bool check_columnar = false;
+  /// Run the distributed stage: drive a dist::DistEngine (one worker
+  /// process per shard under supervision) through the same delivery plan
+  /// and hold it to dist-parity / dist-supervision. Requires run_stream
+  /// (the in-process report is the parity reference).
+  bool run_dist = false;
+  /// The dist fault plan is *supposed* to exhaust the restart budget: the
+  /// shard must be declared lost, conservation must still close, and
+  /// checkpoint() must refuse.
+  bool dist_expect_lost = false;
 };
 
 /// The shipped scenario pack (~10 scenarios; see file comment).
 [[nodiscard]] const std::vector<Scenario>& named_scenarios();
 
-/// Looks up a shipped scenario by name; nullptr when unknown.
+/// The distributed pack: dist::DistEngine scenarios (baseline parity,
+/// worker kill/hang recovery, restart storm, zero-budget loss). Separate
+/// from named_scenarios so the core pack stays process-free; harness_run
+/// selects it with --pack dist.
+[[nodiscard]] const std::vector<Scenario>& dist_scenarios();
+
+/// Looks up a shipped scenario by name across both packs; nullptr when
+/// unknown.
 [[nodiscard]] const Scenario* find_scenario(std::string_view name);
 
 /// Serializes (scenario, seed) as deterministic `key=value` lines — the

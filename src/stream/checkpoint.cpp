@@ -1,163 +1,32 @@
 #include "stream/checkpoint.h"
 
-#include <bit>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
+#include "util/binio.h"
 #include "util/csv.h"
 
 namespace ccms::stream {
 
 namespace {
 
+using binio::Reader;
+using binio::Writer;
+using binio::crc32;
+
 constexpr std::array<char, 4> kMagic = {'C', 'C', 'K', 'P'};
 constexpr std::uint32_t kTagConfig = 0x464E4F43;    // "CONF"
 constexpr std::uint32_t kTagProducer = 0x444F5250;  // "PROD"
 constexpr std::uint32_t kTagShard = 0x44524853;     // "SHRD"
 
-// --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over section payloads.
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
-  static constexpr auto kTable = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::uint8_t b : bytes) {
-    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-// --- Little-endian payload writer/reader. Reads throw ParseFault, which
-// decode() maps onto the Strict/Lenient discipline.
-
+// Reads throw binio::Truncated (mapped to kTruncatedPayload) or ParseFault
+// for semantic mismatches; decode() maps both onto the Strict/Lenient
+// discipline.
 struct ParseFault {
   cdr::FaultClass fault;
   std::string reason;
-};
-
-class Writer {
- public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
-
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xFFu);
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back((v >> (8 * i)) & 0xFFu);
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void boolean(bool v) { u8(v ? 1 : 0); }
-  void str(const std::string& s) {
-    u64(s.size());
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-  void vec_u64(const std::vector<std::uint64_t>& v) {
-    u64(v.size());
-    for (std::uint64_t x : v) u64(x);
-  }
-  void vec_u32(const std::vector<std::uint32_t>& v) {
-    u64(v.size());
-    for (std::uint32_t x : v) u32(x);
-  }
-
- private:
-  std::vector<std::uint8_t>& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
-
-  std::uint8_t u8() {
-    need(1);
-    return bytes_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(
-                                                       i)])
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(
-                                                       i)])
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-  bool boolean() { return u8() != 0; }
-  std::string str() {
-    const std::uint64_t n = count(u64(), 1);
-    need(n);
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
-                  static_cast<std::size_t>(n));
-    pos_ += static_cast<std::size_t>(n);
-    return s;
-  }
-  std::vector<std::uint64_t> vec_u64() {
-    const std::uint64_t n = count(u64(), 8);
-    std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
-    for (auto& x : v) x = u64();
-    return v;
-  }
-  std::vector<std::uint32_t> vec_u32() {
-    const std::uint64_t n = count(u64(), 4);
-    std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
-    for (auto& x : v) x = u32();
-    return v;
-  }
-
-  /// Validates a declared element count against the remaining payload
-  /// (each element occupies at least `min_elem_bytes`); a count that cannot
-  /// fit is a truncation fault, not an allocation of bogus size. Division
-  /// (not multiplication) so a hostile count cannot overflow the check.
-  std::uint64_t count(std::uint64_t n, std::uint64_t min_elem_bytes) {
-    if (n > remaining() / min_elem_bytes) {
-      throw ParseFault{cdr::FaultClass::kTruncatedPayload,
-                       "declared count overruns section payload"};
-    }
-    return n;
-  }
-
- private:
-  void need(std::uint64_t n) {
-    if (n > remaining()) {
-      throw ParseFault{cdr::FaultClass::kTruncatedPayload,
-                       "section payload ends mid-field"};
-    }
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
 };
 
 // --- Section payload codecs.
@@ -706,6 +575,8 @@ std::optional<Checkpoint> decode(std::span<const std::uint8_t> bytes,
       }
     } catch (const ParseFault& pf) {
       return fault(pf.fault, pf.reason, pos);
+    } catch (const binio::Truncated& t) {
+      return fault(cdr::FaultClass::kTruncatedPayload, t.reason, pos);
     }
     ++sections_seen;
     pos += 16 + static_cast<std::size_t>(len);

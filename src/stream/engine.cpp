@@ -12,12 +12,10 @@
 namespace ccms::stream {
 
 ShardedEngine::ShardedEngine(StreamConfig config)
-    : config_(config), durations_(config.truncation_cap) {
+    : config_(config), frontend_(config) {
   config_.shards = std::max(1, config_.shards);
   config_.batch_records = std::max<std::size_t>(1, config_.batch_records);
   config_.queue_batches = std::max<std::size_t>(1, config_.queue_batches);
-  ingest_.mode = cdr::ParseMode::kLenient;
-  routed_per_shard_.assign(static_cast<std::size_t>(config_.shards), 0);
 
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int i = 0; i < config_.shards; ++i) {
@@ -80,7 +78,7 @@ void ShardedEngine::flush(Shard& shard) {
   if (shard.pending.empty()) return;
   Batch batch;
   batch.records.swap(shard.pending);
-  batch.watermark = watermark_;
+  batch.watermark = frontend_.watermark();
   shard.pending.reserve(config_.batch_records);
 
   std::unique_lock lock(shard.queue_mutex);
@@ -99,27 +97,6 @@ void ShardedEngine::drain() {
   }
 }
 
-void ShardedEngine::quarantine_late(const cdr::Connection& c) {
-  ++ingest_.records_dropped;
-  ++ingest_.counters[static_cast<std::size_t>(
-      cdr::FaultClass::kOutOfOrderRecord)];
-  if (ingest_.quarantine.size() < config_.quarantine_cap) {
-    cdr::QuarantineEntry entry;
-    entry.fault = cdr::FaultClass::kOutOfOrderRecord;
-    // Post-dedup delivery ordinal, not the raw offer count: re-delivered
-    // duplicates must not shift the ordinals, or a restored run's
-    // quarantine would diverge from the uninterrupted run's.
-    entry.byte_offset = offered_ - replayed_;
-    entry.reason = "arrived past the watermark: start " +
-                   std::to_string(c.start) + " < " +
-                   std::to_string(watermark_) + " (lateness " +
-                   std::to_string(config_.allowed_lateness) + " s)";
-    ingest_.quarantine.push_back(std::move(entry));
-  } else {
-    ++ingest_.quarantine_overflow;
-  }
-}
-
 void ShardedEngine::push(const cdr::Connection& c) {
   std::lock_guard lock(producer_mutex_);
   if (finished_) {
@@ -127,62 +104,12 @@ void ShardedEngine::push(const cdr::Connection& c) {
         "ShardedEngine::push after finish(): the stream is closed; "
         "snapshot()/checkpoint() remain valid");
   }
-  ++offered_;
 
-  // Stage 0 — exactly-once dedup. An at-least-once feed re-delivers from
-  // its last acknowledged position after a disconnect or a restore; the
-  // per-car cursor drops those duplicates before *any* accounting, so every
-  // downstream counter sees the pristine record sequence exactly once.
-  if (config_.exactly_once) {
-    const CursorKey key{c.start, c.cell.value, c.duration_s};
-    auto [it, inserted] = cursors_.try_emplace(c.car.value, key);
-    if (!inserted) {
-      if (key <= it->second) {
-        ++replayed_;
-        return;
-      }
-      it->second = key;
-    }
-  }
-  ++ingest_.rows_read;
+  // Stages 0-3 (dedup, clean screen, watermark, global accounting) live in
+  // the shared Frontend; only routed records reach a shard queue.
+  std::size_t shard_index = 0;
+  if (frontend_.offer(c, &shard_index) != Frontend::Decision::kRoute) return;
 
-  // Stage 1 — the §3 clean screen, same rules and same precedence as the
-  // batch cdr::clean, so the CleanReport matches it record for record.
-  ++clean_.input_records;
-  if (c.duration_s <= 0) {
-    ++clean_.nonpositive_removed;
-    return;
-  }
-  if (config_.clean.artifact_duration_s > 0 &&
-      c.duration_s == config_.clean.artifact_duration_s) {
-    ++clean_.hour_artifacts_removed;
-    return;
-  }
-  if (config_.clean.max_plausible_duration_s > 0 &&
-      c.duration_s > config_.clean.max_plausible_duration_s) {
-    ++clean_.implausible_removed;
-    return;
-  }
-
-  // Stage 2 — the watermark. Only clean records advance it: a corrupt
-  // timestamp must not eject a window's worth of good records.
-  if (c.start < watermark_) {
-    quarantine_late(c);
-    return;
-  }
-  if (c.start > max_start_) {
-    max_start_ = c.start;
-    watermark_ = max_start_ - config_.allowed_lateness;
-  }
-
-  // Stage 3 — exact global accounting, then route to the owning shard.
-  ++ingest_.records_accepted;
-  ++routed_;
-  durations_.add(c.duration_s);
-
-  const auto shard_index = static_cast<std::size_t>(
-      c.car.value % static_cast<std::uint32_t>(config_.shards));
-  ++routed_per_shard_[shard_index];
   Shard& shard = *shards_[shard_index];
   shard.pending.push_back(c);
   if (shard.pending.size() >= config_.batch_records) flush(shard);
@@ -218,29 +145,22 @@ bool ShardedEngine::finished() const {
 
 time::Seconds ShardedEngine::watermark() const {
   std::lock_guard lock(producer_mutex_);
-  return watermark_;
+  return frontend_.watermark();
 }
 
 std::uint64_t ShardedEngine::late_records() const {
   std::lock_guard lock(producer_mutex_);
-  return ingest_.count(cdr::FaultClass::kOutOfOrderRecord);
+  return frontend_.late();
 }
 
 std::uint64_t ShardedEngine::replayed_records() const {
   std::lock_guard lock(producer_mutex_);
-  return replayed_;
+  return frontend_.replayed();
 }
 
 std::vector<AckCursor> ShardedEngine::ack_cursors() const {
   std::lock_guard lock(producer_mutex_);
-  std::vector<AckCursor> cursors;
-  cursors.reserve(cursors_.size());
-  for (const auto& [car, key] : cursors_) {
-    cursors.push_back({car, key.start, key.cell, key.duration_s});
-  }
-  std::sort(cursors.begin(), cursors.end(),
-            [](const AckCursor& a, const AckCursor& b) { return a.car < b.car; });
-  return cursors;
+  return frontend_.ack_cursors();
 }
 
 StreamReport ShardedEngine::snapshot() {
@@ -253,10 +173,10 @@ StreamReport ShardedEngine::snapshot_locked() {
 
   EngineStats engine;
   engine.shards = config_.shards;
-  engine.watermark = watermark_;
-  engine.records_offered = offered_;
-  engine.records_replayed = replayed_;
-  engine.records_routed = routed_;
+  engine.watermark = frontend_.watermark();
+  engine.records_offered = frontend_.offered();
+  engine.records_replayed = frontend_.replayed();
+  engine.records_routed = frontend_.routed();
 
   std::vector<ShardSnapshot> snapshots;
   std::vector<DegradedShard> degraded;
@@ -269,7 +189,7 @@ StreamReport ShardedEngine::snapshot_locked() {
       // watermark so the snapshot is watermark-consistent. An operator
       // failure here degrades the shard like one in the worker would.
       try {
-        shard.state.advance(watermark_);
+        shard.state.advance(frontend_.watermark());
       } catch (const std::exception& e) {
         shard.degraded = true;
         shard.degraded_reason = e.what();
@@ -279,7 +199,7 @@ StreamReport ShardedEngine::snapshot_locked() {
     if (shard.degraded) {
       DegradedShard d;
       d.shard = static_cast<int>(i);
-      d.records_lost = routed_per_shard_[i] - snapshots.back().records;
+      d.records_lost = frontend_.routed_per_shard()[i] - snapshots.back().records;
       d.reason = shard.degraded_reason;
       // Records parked in a degraded shard's reorder heap will never be
       // integrated: they are part of records_lost above. Reporting them as
@@ -289,8 +209,9 @@ StreamReport ShardedEngine::snapshot_locked() {
       degraded.push_back(std::move(d));
     }
   }
-  return merge_snapshots(config_, snapshots, ingest_, clean_, durations_,
-                         engine, std::move(degraded));
+  return merge_snapshots(config_, snapshots, frontend_.ingest(),
+                         frontend_.clean(), frontend_.durations(), engine,
+                         std::move(degraded));
 }
 
 Checkpoint ShardedEngine::checkpoint() {
@@ -300,23 +221,7 @@ Checkpoint ShardedEngine::checkpoint() {
   Checkpoint image;
   image.config = fingerprint_of(config_);
   image.finished = finished_;
-
-  Checkpoint::Producer& p = image.producer;
-  p.ingest = ingest_;
-  p.clean = clean_;
-  p.durations = durations_.state();
-  p.max_start = max_start_;
-  p.watermark = watermark_;
-  p.offered = offered_;
-  p.routed = routed_;
-  p.replayed = replayed_;
-  p.routed_per_shard = routed_per_shard_;
-  p.cursors.reserve(cursors_.size());
-  for (const auto& [car, key] : cursors_) {
-    p.cursors.push_back({car, key.start, key.cell, key.duration_s});
-  }
-  std::sort(p.cursors.begin(), p.cursors.end(),
-            [](const AckCursor& a, const AckCursor& b) { return a.car < b.car; });
+  frontend_.save(image.producer);
 
   image.shards.resize(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -336,14 +241,31 @@ Checkpoint ShardedEngine::checkpoint() {
 bool ShardedEngine::restore(const Checkpoint& checkpoint,
                             cdr::IngestReport* fault_report) {
   std::lock_guard lock(producer_mutex_);
-  if (finished_ || offered_ > 0) {
+  if (finished_ || frontend_.offered() > 0) {
     throw StreamStateError(
         "ShardedEngine::restore requires a pristine engine (no record "
         "pushed, not finished)");
   }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard state_lock(shards_[i]->state_mutex);
+    if (shards_[i]->degraded) {
+      // A degraded engine has lost records; loading a clean image over it
+      // would hide the loss behind healthy-looking counters.
+      throw StreamStateError("ShardedEngine::restore: shard " +
+                             std::to_string(i) + " is degraded (" +
+                             shards_[i]->degraded_reason +
+                             "); restore requires a pristine engine");
+    }
+  }
 
+  // The image must match this engine's analytic fingerprint *and* its shard
+  // geometry everywhere the geometry appears: a CRC-valid image can still
+  // carry a routed_per_shard table of the wrong length (decode does not know
+  // the live shard count), and silently resizing it would fabricate or drop
+  // per-shard routing history.
   if (checkpoint.config != fingerprint_of(config_) ||
-      checkpoint.shards.size() != shards_.size()) {
+      checkpoint.shards.size() != shards_.size() ||
+      checkpoint.producer.routed_per_shard.size() != shards_.size()) {
     const std::string reason =
         "checkpoint fingerprint does not match the restoring engine's "
         "analytic configuration";
@@ -364,31 +286,7 @@ bool ShardedEngine::restore(const Checkpoint& checkpoint,
     return false;
   }
 
-  const Checkpoint::Producer& p = checkpoint.producer;
-  ingest_ = p.ingest;
-  // Re-cap the loaded quarantine to *this* engine's cap (quarantine_cap is
-  // a tunable, not part of the fingerprint) — the same discipline as the
-  // chunk-merge re-cap in parallel ingest.
-  if (ingest_.quarantine.size() > config_.quarantine_cap) {
-    ingest_.quarantine_overflow +=
-        ingest_.quarantine.size() - config_.quarantine_cap;
-    ingest_.quarantine.resize(config_.quarantine_cap);
-  }
-  clean_ = p.clean;
-  durations_.restore(p.durations);
-  max_start_ = p.max_start;
-  watermark_ = p.watermark;
-  offered_ = p.offered;
-  routed_ = p.routed;
-  replayed_ = p.replayed;
-  routed_per_shard_ = p.routed_per_shard;
-  routed_per_shard_.resize(shards_.size(), 0);
-  cursors_.clear();
-  cursors_.reserve(p.cursors.size());
-  for (const AckCursor& cursor : p.cursors) {
-    cursors_.emplace(cursor.car,
-                     CursorKey{cursor.start, cursor.cell, cursor.duration_s});
-  }
+  frontend_.load(checkpoint.producer);
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];

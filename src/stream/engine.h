@@ -52,6 +52,7 @@
 #include "cdr/record.h"
 #include "stream/checkpoint.h"
 #include "stream/config.h"
+#include "stream/frontend.h"
 #include "stream/operators.h"
 #include "stream/report.h"
 
@@ -162,7 +163,6 @@ class ShardedEngine {
   void worker_loop(Shard& shard);
   void flush(Shard& shard);
   void drain();
-  void quarantine_late(const cdr::Connection& c);
   void finish_locked();
   StreamReport snapshot_locked();
 
@@ -175,28 +175,11 @@ class ShardedEngine {
   /// a drain() (which waits on the workers) cannot deadlock.
   mutable std::mutex producer_mutex_;
 
-  // Producer-side accounting; mutated only under producer_mutex_ and
-  // single-threaded in the hot path, so bit-identical for every shard count.
-  cdr::IngestReport ingest_;
-  cdr::CleanReport clean_;
-  DurationTally durations_;
-  time::Seconds max_start_ = std::numeric_limits<time::Seconds>::min();
-  time::Seconds watermark_ = std::numeric_limits<time::Seconds>::min();
-  std::uint64_t offered_ = 0;
-  std::uint64_t routed_ = 0;
-  std::uint64_t replayed_ = 0;
-  std::vector<std::uint64_t> routed_per_shard_;
-
-  /// Exactly-once ack cursors: per car, the largest (start, cell, duration)
-  /// delivery key seen. Only populated when config.exactly_once.
-  struct CursorKey {
-    time::Seconds start = 0;
-    std::uint32_t cell = 0;
-    std::int32_t duration_s = 0;
-
-    friend auto operator<=>(const CursorKey&, const CursorKey&) = default;
-  };
-  std::unordered_map<std::uint32_t, CursorKey> cursors_;
+  /// Producer-side stages 0-3 + exact global accounting (stream/frontend.h);
+  /// mutated only under producer_mutex_ and single-threaded in the hot path,
+  /// so bit-identical for every shard count — and shared verbatim with the
+  /// distributed supervisor.
+  Frontend frontend_;
 };
 
 }  // namespace ccms::stream

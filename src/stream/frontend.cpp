@@ -1,0 +1,151 @@
+#include "stream/frontend.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ccms::stream {
+
+Frontend::Frontend(const StreamConfig& config)
+    : config_(config), durations_(config.truncation_cap) {
+  config_.shards = std::max(1, config_.shards);
+  ingest_.mode = cdr::ParseMode::kLenient;
+  routed_per_shard_.assign(static_cast<std::size_t>(config_.shards), 0);
+}
+
+void Frontend::quarantine_late(const cdr::Connection& c) {
+  ++ingest_.records_dropped;
+  ++ingest_.counters[static_cast<std::size_t>(
+      cdr::FaultClass::kOutOfOrderRecord)];
+  if (ingest_.quarantine.size() < config_.quarantine_cap) {
+    cdr::QuarantineEntry entry;
+    entry.fault = cdr::FaultClass::kOutOfOrderRecord;
+    // Post-dedup delivery ordinal, not the raw offer count: re-delivered
+    // duplicates must not shift the ordinals, or a restored run's
+    // quarantine would diverge from the uninterrupted run's.
+    entry.byte_offset = offered_ - replayed_;
+    entry.reason = "arrived past the watermark: start " +
+                   std::to_string(c.start) + " < " +
+                   std::to_string(watermark_) + " (lateness " +
+                   std::to_string(config_.allowed_lateness) + " s)";
+    ingest_.quarantine.push_back(std::move(entry));
+  } else {
+    ++ingest_.quarantine_overflow;
+  }
+}
+
+Frontend::Decision Frontend::offer(const cdr::Connection& c,
+                                   std::size_t* shard) {
+  ++offered_;
+
+  // Stage 0 — exactly-once dedup. An at-least-once feed re-delivers from
+  // its last acknowledged position after a disconnect or a restore; the
+  // per-car cursor drops those duplicates before *any* accounting, so every
+  // downstream counter sees the pristine record sequence exactly once.
+  if (config_.exactly_once) {
+    const CursorKey key{c.start, c.cell.value, c.duration_s};
+    auto [it, inserted] = cursors_.try_emplace(c.car.value, key);
+    if (!inserted) {
+      if (key <= it->second) {
+        ++replayed_;
+        return Decision::kDuplicate;
+      }
+      it->second = key;
+    }
+  }
+  ++ingest_.rows_read;
+
+  // Stage 1 — the §3 clean screen, same rules and same precedence as the
+  // batch cdr::clean, so the CleanReport matches it record for record.
+  ++clean_.input_records;
+  if (c.duration_s <= 0) {
+    ++clean_.nonpositive_removed;
+    return Decision::kCleaned;
+  }
+  if (config_.clean.artifact_duration_s > 0 &&
+      c.duration_s == config_.clean.artifact_duration_s) {
+    ++clean_.hour_artifacts_removed;
+    return Decision::kCleaned;
+  }
+  if (config_.clean.max_plausible_duration_s > 0 &&
+      c.duration_s > config_.clean.max_plausible_duration_s) {
+    ++clean_.implausible_removed;
+    return Decision::kCleaned;
+  }
+
+  // Stage 2 — the watermark. Only clean records advance it: a corrupt
+  // timestamp must not eject a window's worth of good records.
+  if (c.start < watermark_) {
+    quarantine_late(c);
+    return Decision::kLate;
+  }
+  if (c.start > max_start_) {
+    max_start_ = c.start;
+    watermark_ = max_start_ - config_.allowed_lateness;
+  }
+
+  // Stage 3 — exact global accounting, then hand the owning shard back.
+  ++ingest_.records_accepted;
+  ++routed_;
+  durations_.add(c.duration_s);
+
+  const auto shard_index = static_cast<std::size_t>(
+      c.car.value % static_cast<std::uint32_t>(config_.shards));
+  ++routed_per_shard_[shard_index];
+  if (shard != nullptr) *shard = shard_index;
+  return Decision::kRoute;
+}
+
+std::vector<AckCursor> Frontend::ack_cursors() const {
+  std::vector<AckCursor> cursors;
+  cursors.reserve(cursors_.size());
+  for (const auto& [car, key] : cursors_) {
+    cursors.push_back({car, key.start, key.cell, key.duration_s});
+  }
+  std::sort(
+      cursors.begin(), cursors.end(),
+      [](const AckCursor& a, const AckCursor& b) { return a.car < b.car; });
+  return cursors;
+}
+
+void Frontend::save(Checkpoint::Producer& p) const {
+  p.ingest = ingest_;
+  p.clean = clean_;
+  p.durations = durations_.state();
+  p.max_start = max_start_;
+  p.watermark = watermark_;
+  p.offered = offered_;
+  p.routed = routed_;
+  p.replayed = replayed_;
+  p.routed_per_shard = routed_per_shard_;
+  p.cursors = ack_cursors();
+}
+
+void Frontend::load(const Checkpoint::Producer& p) {
+  ingest_ = p.ingest;
+  // Re-cap the loaded quarantine to *this* engine's cap (quarantine_cap is
+  // a tunable, not part of the fingerprint) — the same discipline as the
+  // chunk-merge re-cap in parallel ingest.
+  if (ingest_.quarantine.size() > config_.quarantine_cap) {
+    ingest_.quarantine_overflow +=
+        ingest_.quarantine.size() - config_.quarantine_cap;
+    ingest_.quarantine.resize(config_.quarantine_cap);
+  }
+  clean_ = p.clean;
+  durations_.restore(p.durations);
+  max_start_ = p.max_start;
+  watermark_ = p.watermark;
+  offered_ = p.offered;
+  routed_ = p.routed;
+  replayed_ = p.replayed;
+  routed_per_shard_ = p.routed_per_shard;
+  routed_per_shard_.resize(static_cast<std::size_t>(config_.shards), 0);
+  cursors_.clear();
+  cursors_.reserve(p.cursors.size());
+  for (const AckCursor& cursor : p.cursors) {
+    cursors_.emplace(cursor.car,
+                     CursorKey{cursor.start, cursor.cell, cursor.duration_s});
+  }
+}
+
+}  // namespace ccms::stream

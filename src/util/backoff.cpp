@@ -1,0 +1,38 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace ccms::util {
+
+Backoff::Backoff(BackoffConfig config) : config_(config), rng_(config.seed) {
+  config_.base_ms = std::max<std::int64_t>(1, config_.base_ms);
+  config_.cap_ms = std::max(config_.base_ms, config_.cap_ms);
+  config_.multiplier = std::max(1.0, config_.multiplier);
+}
+
+std::int64_t Backoff::next_ms() {
+  std::int64_t delay = 0;
+  if (attempts_ == 0) {
+    delay = config_.base_ms;
+  } else if (config_.jitter) {
+    // Decorrelated jitter: uniform in [base, prev * multiplier], capped.
+    const auto hi = static_cast<std::int64_t>(
+        static_cast<double>(prev_ms_) * config_.multiplier);
+    delay = rng_.uniform_int(config_.base_ms,
+                             std::max(config_.base_ms, hi));
+  } else {
+    delay = static_cast<std::int64_t>(static_cast<double>(prev_ms_) *
+                                      config_.multiplier);
+  }
+  delay = std::clamp(delay, config_.base_ms, config_.cap_ms);
+  prev_ms_ = delay;
+  ++attempts_;
+  return delay;
+}
+
+void Backoff::reset() {
+  prev_ms_ = 0;
+  attempts_ = 0;
+}
+
+}  // namespace ccms::util

@@ -1,0 +1,55 @@
+// Seeded exponential backoff with decorrelated jitter.
+//
+// Restart/retry loops (the dist supervisor, flaky-feed reconnects) need
+// delays that grow exponentially, are capped, and are *jittered* so a fleet
+// of restarting workers does not thunder in lockstep. Because every delay is
+// drawn from util::Rng seeded by the caller, a schedule is reproducible
+// bit-for-bit — tests assert exact delay sequences, and a flight-recorder
+// replay of a supervisor run re-draws the same backoff decisions.
+//
+// Jitter policy is "decorrelated jitter" (Brooker, AWS Architecture Blog
+// 2015): each delay is uniform in [base, prev * multiplier], clamped to
+// [base, cap]. With jitter off the schedule is the plain exponential
+// base * multiplier^attempt, clamped to cap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace ccms::util {
+
+struct BackoffConfig {
+  std::int64_t base_ms = 10;    ///< first delay and jitter floor
+  std::int64_t cap_ms = 2000;   ///< delays never exceed this
+  double multiplier = 2.0;      ///< exponential growth factor (>= 1)
+  bool jitter = true;           ///< decorrelated jitter vs. plain exponential
+  std::uint64_t seed = 1;       ///< Rng seed; same seed => same schedule
+};
+
+/// One backoff schedule. next_ms() advances it; reset() rewinds to the first
+/// delay (the Rng state is *not* rewound: after a reset the jittered draws
+/// continue from the stream, but the envelope restarts at base).
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig config = {});
+
+  /// The next delay in milliseconds, advancing the schedule.
+  std::int64_t next_ms();
+
+  /// Rewinds the envelope to the first delay. Attempt count restarts too.
+  void reset();
+
+  /// Delays handed out since construction or the last reset().
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+  [[nodiscard]] const BackoffConfig& config() const { return config_; }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  std::int64_t prev_ms_ = 0;
+  int attempts_ = 0;
+};
+
+}  // namespace ccms::util

@@ -1,0 +1,171 @@
+// Little-endian binary payload writer/reader + CRC32, shared by the
+// checkpoint image codec (stream/checkpoint.cpp) and the dist wire protocol
+// (dist/wire.cpp).
+//
+// Writer appends to a caller-owned byte vector; Reader walks a span and
+// throws binio::Truncated the moment a field would run past the end, which
+// the callers map onto their Strict/Lenient fault discipline
+// (FaultClass::kTruncatedPayload). Reader::count() validates declared
+// element counts against the remaining payload *by division*, so a hostile
+// count can neither overflow the check nor trigger a bogus allocation.
+//
+// All integers are little-endian regardless of host order; doubles travel as
+// their IEEE-754 bit pattern. Equal values encode to equal bytes.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccms::binio {
+
+/// Thrown by Reader when a field or declared count overruns the payload.
+struct Truncated {
+  std::string reason;
+};
+
+/// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) over a payload.
+inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static constexpr auto kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    crc = kTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xFFu);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back((v >> (8 * i)) & 0xFFu);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  void vec_u64(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+  void vec_u32(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    for (std::uint32_t x : v) u32(x);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               bytes_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint64_t n = count(u64(), 1);
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// The rest of the payload, verbatim (for nested opaque images).
+  std::vector<std::uint8_t> rest() {
+    std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.end());
+    pos_ = bytes_.size();
+    return v;
+  }
+  std::vector<std::uint64_t> vec_u64() {
+    const std::uint64_t n = count(u64(), 8);
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = u64();
+    return v;
+  }
+  std::vector<std::uint32_t> vec_u32() {
+    const std::uint64_t n = count(u64(), 4);
+    std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = u32();
+    return v;
+  }
+
+  /// Validates a declared element count against the remaining payload
+  /// (each element occupies at least `min_elem_bytes`); a count that cannot
+  /// fit is a truncation fault, not an allocation of bogus size. Division
+  /// (not multiplication) so a hostile count cannot overflow the check.
+  std::uint64_t count(std::uint64_t n, std::uint64_t min_elem_bytes) {
+    if (n > remaining() / min_elem_bytes) {
+      throw Truncated{"declared count overruns section payload"};
+    }
+    return n;
+  }
+
+ private:
+  void need(std::uint64_t n) {
+    if (n > remaining()) {
+      throw Truncated{"section payload ends mid-field"};
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ccms::binio

@@ -1,0 +1,284 @@
+// Deterministic fuzz corpus over the dist wire protocol: bit flips,
+// truncations, lying length fields and chunk reorders of a realistic
+// router/worker byte stream. The decoder must never crash and never
+// misparse: damage either surfaces as one of the four binary fault classes
+// (kBadHeader / kTruncatedPayload / kChecksumMismatch / kCheckpointMismatch)
+// quarantining the stream, or leaves the decoder waiting for bytes that
+// never come (a peer that died mid-frame). Strict mode throws util::CsvError
+// at exactly the damage lenient mode quarantines.
+#include "dist/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cdr/integrity.h"
+#include "test_helpers.h"
+#include "util/binio.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace ccms::dist {
+namespace {
+
+using test::conn;
+
+/// A realistic multi-frame stream: every frame type, varied payload sizes.
+std::vector<std::uint8_t> corpus() {
+  std::vector<std::uint8_t> stream;
+  const auto append = [&stream](const std::vector<std::uint8_t>& bytes) {
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  };
+  append(encode_hello({kProtocolVersion, 2, 1}));
+  BatchFrame batch;
+  batch.seq_of_last = 64;
+  batch.watermark = 7200;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    batch.records.push_back(conn(i % 8, i % 5, 1000 + 3 * i, 60 + i));
+  }
+  append(encode_batch(batch));
+  append(encode_checkpoint_request());
+  std::vector<std::uint8_t> image(257);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  append(encode_checkpoint_image({64, false, image}));
+  append(encode_restore({image}));
+  append(encode_restore_result({false, "kCheckpointMismatch: skew"}));
+  append(encode_heartbeat({64}));
+  append(encode_finish());
+  return stream;
+}
+
+const std::vector<std::uint8_t>& stream_bytes() {
+  static const std::vector<std::uint8_t> bytes = corpus();
+  return bytes;
+}
+
+constexpr int kCorpusFrames = 8;
+
+bool binary_fault_only(const cdr::IngestReport& report) {
+  const std::uint64_t binary =
+      report.count(cdr::FaultClass::kBadHeader) +
+      report.count(cdr::FaultClass::kTruncatedPayload) +
+      report.count(cdr::FaultClass::kChecksumMismatch) +
+      report.count(cdr::FaultClass::kCheckpointMismatch);
+  return report.records_dropped > 0 && binary == report.records_dropped;
+}
+
+struct DrainResult {
+  int frames = 0;
+  bool poisoned = false;
+};
+
+/// Feeds the whole stream in deterministic random-size chunks and drains.
+DrainResult drain_lenient(const std::vector<std::uint8_t>& bytes,
+                          FrameDecoder& decoder, util::Rng& rng) {
+  DrainResult result;
+  std::size_t off = 0;
+  Frame frame;
+  while (off < bytes.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        bytes.size() - off,
+        static_cast<std::size_t>(rng.uniform_int(1, 97)));
+    decoder.feed(std::span(bytes.data() + off, n));
+    off += n;
+    for (;;) {
+      const auto status = decoder.next(frame);
+      if (status == FrameDecoder::Status::kFrame) {
+        ++result.frames;
+        continue;
+      }
+      if (status == FrameDecoder::Status::kQuarantined) result.poisoned = true;
+      break;
+    }
+    if (result.poisoned) break;
+  }
+  return result;
+}
+
+/// Strict decode of the same bytes: true iff util::CsvError was thrown.
+bool strict_throws(const std::vector<std::uint8_t>& bytes) {
+  cdr::IngestOptions options;
+  options.mode = cdr::ParseMode::kStrict;
+  FrameDecoder decoder(options);
+  decoder.feed(bytes);
+  Frame frame;
+  try {
+    while (decoder.next(frame) == FrameDecoder::Status::kFrame) {
+    }
+  } catch (const util::CsvError&) {
+    return true;
+  }
+  return false;
+}
+
+TEST(DistWireFuzz, PristineCorpusDecodesCompletely) {
+  util::Rng rng(0xC0FFEEu);
+  FrameDecoder decoder;
+  const DrainResult result = drain_lenient(stream_bytes(), decoder, rng);
+  EXPECT_EQ(result.frames, kCorpusFrames);
+  EXPECT_FALSE(result.poisoned);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(strict_throws(stream_bytes()));
+}
+
+TEST(DistWireFuzz, EverySingleBitFlipQuarantinesOrStallsNeverMisparses) {
+  const auto& pristine = stream_bytes();
+  util::Rng rng(0xF1A9u);
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto byte_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pristine.size()) - 1));
+    const int bit = static_cast<int>(rng.uniform_int(0, 7));
+    std::vector<std::uint8_t> damaged = pristine;
+    damaged[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+
+    FrameDecoder decoder;
+    util::Rng chunk_rng(0xFEEDu + static_cast<std::uint64_t>(trial));
+    const DrainResult result = drain_lenient(damaged, decoder, chunk_rng);
+
+    // Every post-magic bit is CRC-covered, so a flip can never complete the
+    // stream: it is quarantined with a binary fault, or (a length field
+    // flipped upward) leaves the decoder starved mid-frame.
+    EXPECT_LT(result.frames, kCorpusFrames)
+        << "flip at byte " << byte_index << " bit " << bit << " went unnoticed";
+    if (result.poisoned) {
+      EXPECT_TRUE(binary_fault_only(decoder.report()))
+          << "flip at byte " << byte_index << " surfaced a non-binary fault";
+    } else {
+      EXPECT_GT(decoder.buffered(), 0u)
+          << "flip at byte " << byte_index
+          << " neither quarantined nor left a partial frame";
+    }
+    EXPECT_EQ(strict_throws(damaged), result.poisoned)
+        << "strict and lenient disagree at byte " << byte_index;
+  }
+}
+
+TEST(DistWireFuzz, TruncationIsIncompleteNeverAFault) {
+  const auto& pristine = stream_bytes();
+  util::Rng rng(0x7121u);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pristine.size()) - 1));
+    const std::vector<std::uint8_t> prefix(pristine.begin(),
+                                           pristine.begin() + static_cast<std::ptrdiff_t>(cut));
+    FrameDecoder decoder;
+    util::Rng chunk_rng(0xBEEFu + static_cast<std::uint64_t>(trial));
+    const DrainResult result = drain_lenient(prefix, decoder, chunk_rng);
+    // A cleanly cut stream has no damaged frame: whatever was complete
+    // decodes, the rest waits. Truncation alone must never quarantine.
+    EXPECT_FALSE(result.poisoned) << "truncation at " << cut << " quarantined";
+    EXPECT_LE(result.frames, kCorpusFrames);
+    EXPECT_FALSE(strict_throws(prefix));
+  }
+}
+
+/// Builds a raw frame with full control over type, declared length and CRC.
+std::vector<std::uint8_t> raw_frame(std::uint32_t type,
+                                    std::vector<std::uint8_t> payload,
+                                    std::uint64_t declared_len,
+                                    bool valid_crc) {
+  std::vector<std::uint8_t> out = {'C', 'C', 'W', 'F'};
+  binio::Writer w(out);
+  w.u32(type);
+  w.u64(declared_len);
+  w.bytes(payload);
+  const std::uint32_t crc = binio::crc32(std::span(out).subspan(4));
+  w.u32(valid_crc ? crc : crc ^ 0xA5A5A5A5u);
+  return out;
+}
+
+TEST(DistWireFuzz, LengthLies) {
+  {  // Declared length beyond the frame limit: rejected before buffering.
+    FrameDecoder decoder;
+    decoder.feed(raw_frame(static_cast<std::uint32_t>(FrameType::kHeartbeat),
+                           std::vector<std::uint8_t>(8, 0),
+                           kMaxFramePayload + 1, true));
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+    EXPECT_EQ(decoder.report().count(cdr::FaultClass::kTruncatedPayload), 1u);
+  }
+  {  // Undersized heartbeat payload with a *valid* CRC: payload misparse.
+    FrameDecoder decoder;
+    decoder.feed(raw_frame(static_cast<std::uint32_t>(FrameType::kHeartbeat),
+                           std::vector<std::uint8_t>(5, 0), 5, true));
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+    EXPECT_EQ(decoder.report().count(cdr::FaultClass::kTruncatedPayload), 1u);
+  }
+  {  // Trailing bytes the type does not declare: also a payload lie.
+    FrameDecoder decoder;
+    decoder.feed(raw_frame(static_cast<std::uint32_t>(FrameType::kHeartbeat),
+                           std::vector<std::uint8_t>(12, 0), 12, true));
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+    EXPECT_EQ(decoder.report().count(cdr::FaultClass::kTruncatedPayload), 1u);
+  }
+  {  // Unknown frame type with a valid CRC.
+    FrameDecoder decoder;
+    decoder.feed(raw_frame(99, {}, 0, true));
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+    EXPECT_EQ(decoder.report().count(cdr::FaultClass::kCheckpointMismatch), 1u);
+  }
+  {  // Plain CRC damage.
+    FrameDecoder decoder;
+    decoder.feed(raw_frame(static_cast<std::uint32_t>(FrameType::kFinish), {},
+                           0, false));
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+    EXPECT_EQ(decoder.report().count(cdr::FaultClass::kChecksumMismatch), 1u);
+  }
+}
+
+TEST(DistWireFuzz, ChunkReordersQuarantineOrStall) {
+  const auto& pristine = stream_bytes();
+  util::Rng rng(0x5EEDu);
+  for (int trial = 0; trial < 120; ++trial) {
+    // Swap two non-aligned chunks of the byte stream (a reordering bug in a
+    // transport would deliver exactly this).
+    const auto size = static_cast<std::int64_t>(pristine.size());
+    const auto a = static_cast<std::size_t>(rng.uniform_int(1, size / 2 - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(size / 2, size - 2));
+    const std::size_t chunk = static_cast<std::size_t>(
+        rng.uniform_int(1, 32));
+    std::vector<std::uint8_t> damaged = pristine;
+    for (std::size_t i = 0; i < chunk && a + i < damaged.size() &&
+                            b + i < damaged.size();
+         ++i) {
+      std::swap(damaged[a + i], damaged[b + i]);
+    }
+    if (damaged == pristine) continue;
+
+    FrameDecoder decoder;
+    util::Rng chunk_rng(0xD00Du + static_cast<std::uint64_t>(trial));
+    const DrainResult result = drain_lenient(damaged, decoder, chunk_rng);
+    EXPECT_LT(result.frames, kCorpusFrames) << "reorder trial " << trial;
+    if (result.poisoned) {
+      EXPECT_TRUE(binary_fault_only(decoder.report())) << "trial " << trial;
+    } else {
+      EXPECT_GT(decoder.buffered(), 0u) << "trial " << trial;
+    }
+    EXPECT_EQ(strict_throws(damaged), result.poisoned) << "trial " << trial;
+  }
+}
+
+TEST(DistWireFuzz, PoisonedDecoderStaysPoisonedAndBuffersNothing) {
+  FrameDecoder decoder;
+  decoder.feed(raw_frame(99, {}, 0, true));
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+  // A pristine frame after the quarantine changes nothing: no resync point.
+  decoder.feed(encode_heartbeat({1}));
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kQuarantined);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_EQ(decoder.report().records_dropped, 1u);
+}
+
+}  // namespace
+}  // namespace ccms::dist

@@ -329,5 +329,52 @@ TEST(StreamCheckpointTest, RestoreRecapsLoadedQuarantine) {
   EXPECT_EQ(report.ingest.count(cdr::FaultClass::kOutOfOrderRecord), 5u);
 }
 
+// Regression: a CRC-valid in-memory checkpoint whose shard geometry was
+// tampered (routed_per_shard table or shard-image list of the wrong length)
+// used to be silently resized on restore, fabricating or dropping per-shard
+// routing history. It must refuse with kCheckpointMismatch instead.
+TEST(StreamCheckpointTest, RestoreRefusesWrongLengthRoutedPerShard) {
+  ShardedEngine source(feed_config(2));
+  source.push(conn(0, 0, 100, 60));
+  source.push(conn(1, 0, 110, 60));
+  Checkpoint saved = source.checkpoint();
+  ASSERT_EQ(saved.producer.routed_per_shard.size(), 2u);
+  saved.producer.routed_per_shard.push_back(7);  // three entries, two shards
+
+  {
+    ShardedEngine target(feed_config(2));
+    cdr::IngestReport report;
+    EXPECT_FALSE(target.restore(saved, &report));
+    EXPECT_EQ(report.count(cdr::FaultClass::kCheckpointMismatch), 1u);
+    // The refused engine is still pristine and usable.
+    target.push(conn(0, 0, 100, 60));
+    target.finish();
+  }
+  {
+    ShardedEngine target(feed_config(2));
+    EXPECT_THROW((void)target.restore(saved), util::CsvError);
+  }
+
+  // Truncated table: same refusal.
+  saved.producer.routed_per_shard.resize(1);
+  ShardedEngine target(feed_config(2));
+  cdr::IngestReport report;
+  EXPECT_FALSE(target.restore(saved, &report));
+  EXPECT_EQ(report.count(cdr::FaultClass::kCheckpointMismatch), 1u);
+}
+
+TEST(StreamCheckpointTest, RestoreRefusesWrongShardImageCount) {
+  ShardedEngine source(feed_config(2));
+  source.push(conn(0, 0, 100, 60));
+  Checkpoint saved = source.checkpoint();
+  ASSERT_EQ(saved.shards.size(), 2u);
+  saved.shards.push_back(saved.shards.back());  // one image too many
+
+  ShardedEngine target(feed_config(2));
+  cdr::IngestReport report;
+  EXPECT_FALSE(target.restore(saved, &report));
+  EXPECT_EQ(report.count(cdr::FaultClass::kCheckpointMismatch), 1u);
+}
+
 }  // namespace
 }  // namespace ccms::stream

@@ -1,0 +1,126 @@
+// util::Backoff: exponential envelope, cap, decorrelated jitter bounds,
+// reset semantics and bit-for-bit seeded determinism.
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccms::util {
+namespace {
+
+BackoffConfig plain(std::int64_t base, std::int64_t cap, double mult) {
+  BackoffConfig config;
+  config.base_ms = base;
+  config.cap_ms = cap;
+  config.multiplier = mult;
+  config.jitter = false;
+  return config;
+}
+
+TEST(Backoff, PlainExponentialDoublesUntilCap) {
+  Backoff b(plain(10, 2000, 2.0));
+  std::vector<std::int64_t> delays;
+  for (int i = 0; i < 12; ++i) delays.push_back(b.next_ms());
+  EXPECT_EQ(delays[0], 10);
+  EXPECT_EQ(delays[1], 20);
+  EXPECT_EQ(delays[2], 40);
+  EXPECT_EQ(delays[7], 1280);
+  // 2560 would exceed the cap: clamped, and it stays there.
+  EXPECT_EQ(delays[8], 2000);
+  EXPECT_EQ(delays[11], 2000);
+  EXPECT_EQ(b.attempts(), 12);
+}
+
+TEST(Backoff, FirstDelayIsAlwaysBase) {
+  BackoffConfig jittered;
+  jittered.base_ms = 7;
+  jittered.seed = 99;
+  Backoff b(jittered);
+  EXPECT_EQ(b.next_ms(), 7);
+}
+
+TEST(Backoff, JitteredDelaysStayInsideEnvelope) {
+  BackoffConfig config;
+  config.base_ms = 5;
+  config.cap_ms = 250;
+  config.multiplier = 3.0;
+  config.seed = 1234;
+  Backoff b(config);
+  std::int64_t prev = b.next_ms();
+  EXPECT_EQ(prev, 5);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t d = b.next_ms();
+    EXPECT_GE(d, config.base_ms);
+    EXPECT_LE(d, config.cap_ms);
+    // Decorrelated jitter: bounded by prev * multiplier (before the cap).
+    EXPECT_LE(d, std::max(config.base_ms,
+                          std::min(config.cap_ms,
+                                   static_cast<std::int64_t>(
+                                       static_cast<double>(prev) * 3.0))));
+    prev = d;
+  }
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  BackoffConfig config;
+  config.base_ms = 5;
+  config.cap_ms = 500;
+  config.seed = 42;
+  Backoff a(config);
+  Backoff b(config);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_ms(), b.next_ms());
+
+  config.seed = 43;
+  Backoff c(config);
+  bool any_differ = false;
+  Backoff a2(BackoffConfig{.base_ms = 5, .cap_ms = 500, .seed = 42});
+  for (int i = 0; i < 64; ++i) {
+    if (a2.next_ms() != c.next_ms()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ) << "different seeds drew an identical schedule";
+}
+
+TEST(Backoff, ResetRewindsEnvelopeButNotRngStream) {
+  BackoffConfig config;
+  config.base_ms = 10;
+  config.cap_ms = 10000;
+  config.seed = 7;
+  Backoff b(config);
+  std::vector<std::int64_t> first;
+  for (int i = 0; i < 6; ++i) first.push_back(b.next_ms());
+  EXPECT_EQ(b.attempts(), 6);
+
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  // After reset the envelope restarts at base...
+  EXPECT_EQ(b.next_ms(), 10);
+  // ...and delays keep respecting the envelope even though the Rng stream
+  // continued (reset is not a full rewind to the constructed state).
+  std::int64_t prev = 10;
+  for (int i = 0; i < 6; ++i) {
+    const std::int64_t d = b.next_ms();
+    EXPECT_GE(d, config.base_ms);
+    EXPECT_LE(d, std::max(config.base_ms,
+                          static_cast<std::int64_t>(
+                              static_cast<double>(prev) * 2.0)));
+    prev = d;
+  }
+}
+
+TEST(Backoff, DegenerateConfigIsNormalized) {
+  BackoffConfig config;
+  config.base_ms = 0;    // floor: 1
+  config.cap_ms = -5;    // floor: base
+  config.multiplier = 0.5;  // floor: 1.0
+  config.jitter = false;
+  Backoff b(config);
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t d = b.next_ms();
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 1);
+  }
+}
+
+}  // namespace
+}  // namespace ccms::util
